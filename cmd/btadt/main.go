@@ -1,0 +1,223 @@
+// Command btadt is the reproduction driver for "Blockchain Abstract Data
+// Type" (Anceaume et al., PPoPP'19 poster / arXiv:1802.09877).
+//
+// Usage:
+//
+//	btadt classify   [-n 8] [-blocks 30] [-seed 42] [-system NAME] [-v]
+//	    Regenerate Table 1: simulate each blockchain system and classify
+//	    its recorded history against the BT consistency criteria.
+//
+//	btadt experiments [-seed 42]
+//	    Run the full per-figure/per-theorem experiment index and print
+//	    paper-claim vs measured for each.
+//
+//	btadt hierarchy  [-procs 8] [-rounds 6] [-seed 17]
+//	    Sample the refinement hierarchy of Figures 8/14: realized fork
+//	    fanout per oracle class.
+//
+//	btadt figures    [-tail 12]
+//	    Check the example histories of Figures 2-4 against SC and EC.
+//
+//	btadt consensus  [-n 16] [-seed 1]
+//	    Solve consensus from the frugal k=1 oracle (Protocol A, Fig 11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"blockadt/internal/chains"
+	"blockadt/internal/consensus"
+	"blockadt/internal/consistency"
+	"blockadt/internal/core"
+	"blockadt/internal/experiments"
+	"blockadt/internal/figures"
+	"blockadt/internal/oracle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "hierarchy":
+		err = cmdHierarchy(os.Args[2:])
+	case "figures":
+		err = cmdFigures(os.Args[2:])
+	case "consensus":
+		err = cmdConsensus(os.Args[2:])
+	case "fairness":
+		err = cmdFairness(os.Args[2:])
+	case "selfish":
+		err = cmdSelfish(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "btadt: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btadt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: btadt <command> [flags]
+
+commands:
+  classify     regenerate Table 1 (system → consistency classification)
+  experiments  run the per-figure/per-theorem experiment index
+  hierarchy    sample the refinement hierarchy (Figures 8/14)
+  figures      check the example histories of Figures 2-4
+  consensus    solve consensus from the frugal k=1 oracle (Figure 11)
+  fairness     analyze proposer fairness against the merit parameter
+  selfish      run the selfish-mining chain-quality experiment`)
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	n := fs.Int("n", 8, "number of processes")
+	blocks := fs.Int("blocks", 30, "target committed blocks per run")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	system := fs.String("system", "", "simulate a single system (default: all)")
+	verbose := fs.Bool("v", false, "print the detailed consistency reports")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := chains.Params{N: *n, TargetBlocks: *blocks, Seed: *seed}
+
+	var rows []chains.Row
+	if *system != "" {
+		sys, err := chains.ByName(*system)
+		if err != nil {
+			return err
+		}
+		rows = []chains.Row{chains.ClassifyOne(sys, p)}
+	} else {
+		rows = chains.Classify(p)
+	}
+	fmt.Print(chains.FormatTable(rows))
+	if *verbose {
+		for _, r := range rows {
+			fmt.Printf("\n── %s ──\n%s%s", r.System, r.SC, r.EC)
+		}
+	}
+	for _, r := range rows {
+		if !r.Match {
+			return fmt.Errorf("%s classified %s, paper says %s", r.System, r.Measured, r.Expected)
+		}
+	}
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	ext := fs.Bool("extensions", true, "also run the beyond-the-paper extension experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner := experiments.Runner{Seed: *seed}
+	results := runner.All()
+	fmt.Println("paper artifacts:")
+	fmt.Print(experiments.Format(results))
+	if *ext {
+		extResults := runner.Extensions()
+		fmt.Println("\nextensions (worked examples, future work, related-work mapping):")
+		fmt.Print(experiments.Format(extResults))
+		results = append(results, extResults...)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			return fmt.Errorf("experiment %s failed", r.ID)
+		}
+	}
+	return nil
+}
+
+func cmdHierarchy(args []string) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ExitOnError)
+	procs := fs.Int("procs", 8, "contending processes")
+	rounds := fs.Int("rounds", 6, "contention rounds")
+	seed := fs.Uint64("seed", 17, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %12s %10s\n", "oracle", "max-fanout", "ok-appends", "SC?")
+	for _, e := range []struct {
+		label string
+		k     int
+	}{{"Θ_F,k=1", 1}, {"Θ_F,k=2", 2}, {"Θ_F,k=4", 4}, {"Θ_P", oracle.Unbounded}} {
+		res := core.ForkWorkload{K: e.k, Procs: *procs, Rounds: *rounds, Seed: *seed}.Run()
+		sc := consistency.CheckSC(res.History, consistency.Options{}).Satisfied()
+		fmt.Printf("%-8s %10d %12d %10v\n", e.label, res.MaxFanout, res.SuccessfulAppends, sc)
+	}
+	return nil
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	tail := fs.Int("tail", 12, "length of the histories' growth tail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := consistency.Options{GraceWindow: 8}
+	report := func(name string, cls consistency.Classification) {
+		fmt.Printf("%s: classified %s\n", name, cls.Level)
+		fmt.Printf("  %s  %s", cls.SC, cls.EC)
+	}
+	report("Figure 2", consistency.Classify(figures.Fig2(*tail), opts))
+	report("Figure 3", consistency.Classify(figures.Fig3(*tail), opts))
+	report("Figure 4", consistency.Classify(figures.Fig4(*tail), opts))
+	return nil
+}
+
+func cmdConsensus(args []string) error {
+	fs := flag.NewFlagSet("consensus", flag.ExitOnError)
+	n := fs.Int("n", 16, "number of proposers")
+	seed := fs.Uint64("seed", 1, "oracle seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	merits := make([]float64, *n)
+	for i := range merits {
+		merits[i] = 1
+	}
+	o := oracle.New(oracle.Config{K: 1, Merits: merits, Seed: *seed})
+	c, err := consensus.NewFromFrugal(o, "b0")
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	decisions := make([]consensus.Value, *n)
+	errs := make([]error, *n)
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decisions[i], errs[i] = c.Propose(i, consensus.Value(fmt.Sprintf("blk-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < *n; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("process %d: %w", i, errs[i])
+		}
+		fmt.Printf("p%-2d proposed blk-%-2d decided %s\n", i, i, decisions[i])
+		if decisions[i] != decisions[0] {
+			return fmt.Errorf("agreement violated")
+		}
+	}
+	fmt.Printf("agreement: all %d processes decided %q\n", *n, decisions[0])
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package adt implements the abstract-data-type formalism of Section 2 of
+// "Blockchain Abstract Data Type" (Anceaume et al., arXiv:1802.09877).
+//
+// An ADT is a transducer T = ⟨A, B, Z, ξ0, τ, δ⟩ (Definition 2.1): A is the
+// input alphabet, B the output alphabet, Z the abstract states, ξ0 the
+// initial state, τ : Z×A → Z the transition function and δ : Z×A → B the
+// output function. Input symbols carry no arguments in the formalism — a
+// call with different arguments is a different symbol — so in Go a symbol is
+// simply a value of the input type.
+//
+// The package provides the sequential-specification machinery used by the
+// rest of the repository: membership in L(T) (Definition 2.3), replay of
+// operation sequences, and transition traces in the style of the paper's
+// Figures 1, 6 and 7.
+package adt
+
+import "fmt"
+
+// ADT is the 6-tuple of Definition 2.1, generic over the state type S, the
+// input alphabet A and the output alphabet B. Tau and Delta must be pure
+// functions of (state, symbol); Tau must return a fresh state value rather
+// than mutating its argument, so that replays and traces can retain
+// intermediate states.
+type ADT[S, A, B any] struct {
+	// Name identifies the data type in traces and error messages.
+	Name string
+	// Initial is ξ0, the initial abstract state.
+	Initial S
+	// Tau is the transition function τ : Z×A → Z.
+	Tau func(S, A) S
+	// Delta is the output function δ : Z×A → B.
+	Delta func(S, A) B
+}
+
+// Operation is an element of Σ = A ∪ (A×B) (Definition 2.2): either a bare
+// input symbol or an input/output couple α/β.
+type Operation[A, B any] struct {
+	// Input is the symbol α ∈ A.
+	Input A
+	// Output is β when the operation is a couple α/β.
+	Output B
+	// HasOutput reports whether the operation is a couple α/β rather than
+	// a bare input symbol.
+	HasOutput bool
+}
+
+// In builds the bare-input operation α.
+func In[A, B any](input A) Operation[A, B] {
+	return Operation[A, B]{Input: input}
+}
+
+// Out builds the couple operation α/β.
+func Out[A, B any](input A, output B) Operation[A, B] {
+	return Operation[A, B]{Input: input, Output: output, HasOutput: true}
+}
+
+// String renders the operation using the paper's α/β syntax.
+func (o Operation[A, B]) String() string {
+	if o.HasOutput {
+		return fmt.Sprintf("%v/%v", o.Input, o.Output)
+	}
+	return fmt.Sprintf("%v", o.Input)
+}
+
+// Step is one transition of a replayed sequence: the state before the
+// operation, the operation itself, the produced output and the state after.
+type Step[S, A, B any] struct {
+	Before S
+	Op     Operation[A, B]
+	Output B
+	After  S
+}
+
+// Trace is the path through the transition system induced by a sequence of
+// operations, in the style of the paper's Figures 1, 6 and 7.
+type Trace[S, A, B any] struct {
+	ADTName string
+	Initial S
+	Steps   []Step[S, A, B]
+}
+
+// Final returns the state reached at the end of the trace.
+func (t Trace[S, A, B]) Final() S {
+	if len(t.Steps) == 0 {
+		return t.Initial
+	}
+	return t.Steps[len(t.Steps)-1].After
+}
+
+// Replay applies the operation inputs in order from ξ0, ignoring any
+// recorded outputs, and returns the full transition trace.
+func (t *ADT[S, A, B]) Replay(ops []Operation[A, B]) Trace[S, A, B] {
+	tr := Trace[S, A, B]{ADTName: t.Name, Initial: t.Initial}
+	state := t.Initial
+	tr.Steps = make([]Step[S, A, B], 0, len(ops))
+	for _, op := range ops {
+		out := t.Delta(state, op.Input)
+		next := t.Tau(state, op.Input)
+		tr.Steps = append(tr.Steps, Step[S, A, B]{Before: state, Op: op, Output: out, After: next})
+		state = next
+	}
+	return tr
+}
+
+// RecognitionError reports why a sequence is not a sequential history of the
+// ADT, i.e. not a member of L(T) (Definition 2.3).
+type RecognitionError[A, B any] struct {
+	// Index is the position of the offending operation.
+	Index int
+	// Op is the offending operation.
+	Op Operation[A, B]
+	// Expected is the output δ(ξi, αi) the transition system produced.
+	Expected B
+}
+
+// Error implements the error interface.
+func (e *RecognitionError[A, B]) Error() string {
+	return fmt.Sprintf("adt: operation %d (%v) incompatible with state: δ produced %v", e.Index, e.Op, e.Expected)
+}
+
+// Recognizes reports whether the sequence σ = (σi) is a sequential history
+// of T (Definition 2.3): there must exist a run ξ0, ξ1, … with
+// τ(ξi, σi) = ξi+1 such that every couple operation's recorded output equals
+// δ(ξi, σi) under eq. Bare-input operations constrain only the state
+// evolution. A nil error means σ ∈ L(T).
+func (t *ADT[S, A, B]) Recognizes(seq []Operation[A, B], eq func(B, B) bool) error {
+	state := t.Initial
+	for i, op := range seq {
+		out := t.Delta(state, op.Input)
+		if op.HasOutput && !eq(op.Output, out) {
+			return &RecognitionError[A, B]{Index: i, Op: op, Expected: out}
+		}
+		state = t.Tau(state, op.Input)
+	}
+	return nil
+}
+
+// Language is a convenience wrapper around Recognizes for output types that
+// are comparable with ==.
+func Language[S, A any, B comparable](t *ADT[S, A, B], seq []Operation[A, B]) error {
+	return t.Recognizes(seq, func(a, b B) bool { return a == b })
+}

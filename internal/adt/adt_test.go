@@ -1,0 +1,166 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// counterADT is a toy ADT used to exercise the transducer machinery: state
+// is an int, inputs are "inc" and "get", outputs are ints.
+type cIn struct {
+	inc bool
+}
+
+func counterADT() *ADT[int, cIn, int] {
+	return &ADT[int, cIn, int]{
+		Name:    "counter",
+		Initial: 0,
+		Tau: func(s int, in cIn) int {
+			if in.inc {
+				return s + 1
+			}
+			return s
+		},
+		Delta: func(s int, in cIn) int {
+			if in.inc {
+				return s + 1
+			}
+			return s
+		},
+	}
+}
+
+func TestReplayProducesTrace(t *testing.T) {
+	c := counterADT()
+	tr := c.Replay([]Operation[cIn, int]{
+		In[cIn, int](cIn{inc: true}),
+		In[cIn, int](cIn{inc: true}),
+		In[cIn, int](cIn{}),
+	})
+	if got := tr.Final(); got != 2 {
+		t.Fatalf("final state = %d, want 2", got)
+	}
+	if len(tr.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(tr.Steps))
+	}
+	if tr.Steps[1].Before != 1 || tr.Steps[1].After != 2 {
+		t.Fatalf("step 1 = %+v, want before=1 after=2", tr.Steps[1])
+	}
+	if tr.Steps[2].Output != 2 {
+		t.Fatalf("get output = %d, want 2", tr.Steps[2].Output)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	c := counterADT()
+	tr := c.Replay(nil)
+	if tr.Final() != 0 {
+		t.Fatalf("empty replay final = %d, want initial 0", tr.Final())
+	}
+}
+
+func TestRecognizesAcceptsLegalHistory(t *testing.T) {
+	c := counterADT()
+	seq := []Operation[cIn, int]{
+		Out[cIn, int](cIn{inc: true}, 1),
+		Out[cIn, int](cIn{}, 1),
+		Out[cIn, int](cIn{inc: true}, 2),
+		Out[cIn, int](cIn{}, 2),
+	}
+	if err := Language(c, seq); err != nil {
+		t.Fatalf("legal history rejected: %v", err)
+	}
+}
+
+func TestRecognizesRejectsWrongOutput(t *testing.T) {
+	c := counterADT()
+	seq := []Operation[cIn, int]{
+		Out[cIn, int](cIn{inc: true}, 1),
+		Out[cIn, int](cIn{}, 7), // wrong: state is 1
+	}
+	err := Language(c, seq)
+	if err == nil {
+		t.Fatal("illegal history accepted")
+	}
+	re, ok := err.(*RecognitionError[cIn, int])
+	if !ok {
+		t.Fatalf("error type = %T, want *RecognitionError", err)
+	}
+	if re.Index != 1 {
+		t.Fatalf("violation index = %d, want 1", re.Index)
+	}
+	if re.Expected != 1 {
+		t.Fatalf("expected output = %d, want 1", re.Expected)
+	}
+}
+
+func TestRecognizesBareInputsUnconstrained(t *testing.T) {
+	c := counterADT()
+	// Bare inputs only constrain state evolution, never outputs.
+	seq := []Operation[cIn, int]{
+		In[cIn, int](cIn{inc: true}),
+		In[cIn, int](cIn{inc: true}),
+		Out[cIn, int](cIn{}, 2),
+	}
+	if err := Language(c, seq); err != nil {
+		t.Fatalf("bare-input history rejected: %v", err)
+	}
+}
+
+func TestOperationString(t *testing.T) {
+	op := Out[cIn, int](cIn{inc: true}, 3)
+	if got := op.String(); got != "{true}/3" {
+		t.Fatalf("String() = %q", got)
+	}
+	bare := In[cIn, int](cIn{})
+	if got := bare.String(); got != "{false}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestProperty_ReplayedOutputsAreRecognized: any sequence of inputs, when
+// replayed and decorated with the produced outputs, is a member of L(T).
+func TestProperty_ReplayedOutputsAreRecognized(t *testing.T) {
+	c := counterADT()
+	f := func(incs []bool) bool {
+		ops := make([]Operation[cIn, int], len(incs))
+		for i, b := range incs {
+			ops[i] = In[cIn, int](cIn{inc: b})
+		}
+		tr := c.Replay(ops)
+		decorated := make([]Operation[cIn, int], len(incs))
+		for i, st := range tr.Steps {
+			decorated[i] = Out[cIn, int](st.Op.Input, st.Output)
+		}
+		return Language(c, decorated) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProperty_CorruptedOutputIsRejected: flipping any couple's output by
+// +1 makes the sequence leave L(T).
+func TestProperty_CorruptedOutputIsRejected(t *testing.T) {
+	c := counterADT()
+	f := func(incs []bool, at uint) bool {
+		if len(incs) == 0 {
+			return true
+		}
+		ops := make([]Operation[cIn, int], len(incs))
+		for i, b := range incs {
+			ops[i] = In[cIn, int](cIn{inc: b})
+		}
+		tr := c.Replay(ops)
+		decorated := make([]Operation[cIn, int], len(incs))
+		for i, st := range tr.Steps {
+			decorated[i] = Out[cIn, int](st.Op.Input, st.Output)
+		}
+		k := int(at % uint(len(decorated)))
+		decorated[k].Output++
+		return Language(c, decorated) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package blocktree implements the BlockTree abstract data type of
+// Section 3.1 of "Blockchain Abstract Data Type" (Anceaume et al.): a
+// directed rooted tree bt = (V_bt, E_bt) whose vertices are blocks and whose
+// edges point backward to the genesis block b0, together with the selection
+// functions f ∈ F, the score functions used by the consistency criteria, and
+// the sequential specification of Definition 3.1.
+package blocktree
+
+import (
+	"fmt"
+
+	"blockadt/internal/history"
+)
+
+// BlockID names a block. IDs are unique within a tree.
+type BlockID = history.BlockRef
+
+// GenesisID is the conventional identifier of the genesis block b0.
+const GenesisID BlockID = "b0"
+
+// Block is a vertex of the BlockTree. A block is valid (∈ B′) when the
+// token-oracle refinement has granted it a token; outside the refinement,
+// validity is judged by a Predicate.
+type Block struct {
+	// ID uniquely names the block.
+	ID BlockID
+	// Parent is the block this one chains to; the genesis block has an
+	// empty parent.
+	Parent BlockID
+	// Height is the distance to the root; genesis has height 0.
+	Height int
+	// Work is the block's own weight contribution (e.g. difficulty); the
+	// heaviest-chain and GHOST selectors accumulate it. A zero value is
+	// treated as weight 1 by the selectors so that plain trees behave
+	// like length-scored trees.
+	Work int
+	// Payload is the application content (transactions); opaque here.
+	Payload []byte
+	// Token is the oracle token that validated the block (0 = none).
+	Token uint64
+	// Proposer is the merit index / process that created the block; -1
+	// when unknown.
+	Proposer int
+}
+
+// Genesis returns the genesis block b0.
+func Genesis() Block {
+	return Block{ID: GenesisID, Height: 0, Proposer: -1}
+}
+
+// work returns the selector weight of the block (zero Work counts as 1).
+func (b Block) work() int {
+	if b.Work <= 0 {
+		return 1
+	}
+	return b.Work
+}
+
+// String renders the block as id(parent,h=height).
+func (b Block) String() string {
+	return fmt.Sprintf("%s(parent=%s,h=%d)", string(b.ID), string(b.Parent), b.Height)
+}
+
+// Predicate is the application-dependent validity predicate P of
+// Section 3.1: bt contains only blocks with P(b) = ⊤. The refinement of
+// Section 3.3 replaces predicates with oracle tokens.
+type Predicate func(Block) bool
+
+// AcceptAll is the trivial predicate: every block is valid.
+func AcceptAll(Block) bool { return true }
+
+// RequireToken accepts exactly the blocks the oracle validated (Token != 0),
+// i.e. the blocks in B′ by construction of the refinement.
+func RequireToken(b Block) bool { return b.Token != 0 }
+
+// Chain is a path from b0 to a leaf as returned by read(); index 0 is b0.
+type Chain []Block
+
+// IDs projects the chain to block references, the representation recorded
+// in histories.
+func (c Chain) IDs() history.Chain {
+	out := make(history.Chain, len(c))
+	for i, b := range c {
+		out[i] = b.ID
+	}
+	return out
+}
+
+// Tip returns the last block of the chain; the genesis block for the chain
+// {b0}.
+func (c Chain) Tip() Block {
+	return c[len(c)-1]
+}
+
+// Length returns the number of non-genesis blocks, the paper's length score
+// l with score({b0}) = s0 = 0.
+func (c Chain) Length() int {
+	if len(c) == 0 {
+		return 0
+	}
+	return len(c) - 1
+}
+
+// Weight returns the cumulative work of the non-genesis blocks, the
+// "heaviest chain" score.
+func (c Chain) Weight() int {
+	w := 0
+	for _, b := range c[1:] {
+		w += b.work()
+	}
+	return w
+}
+
+// String renders the chain with the paper's concatenation syntax.
+func (c Chain) String() string { return c.IDs().String() }
+
+// Score is a monotonically increasing deterministic function BC → N
+// (Section 3.1.2): score(bc⌢{b}) > score(bc).
+type Score func(history.Chain) int
+
+// LengthScore scores a chain by its number of non-genesis blocks.
+func LengthScore(c history.Chain) int {
+	if len(c) == 0 {
+		return 0
+	}
+	return len(c) - 1
+}
+
+// MCPS is the paper's mcps function: the score of the maximal common prefix
+// of two chains under the given score.
+func MCPS(score Score, a, b history.Chain) int {
+	return score(a.CommonPrefix(b))
+}

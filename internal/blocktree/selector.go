@@ -1,0 +1,111 @@
+package blocktree
+
+// Selector is a selection function f ∈ F : BT → BC (Section 3.1): it picks
+// the blockchain a read() returns from the tree. When bt = {b0}, every
+// selector returns the chain {b0}. Selectors must be deterministic, so all
+// provided selectors break ties lexicographically on block id — the
+// tie-break the paper uses in its Figure 2 example.
+type Selector interface {
+	// Select returns the chosen chain {b0}⌢f(bt).
+	Select(t *Tree) Chain
+	// Name identifies the selector in reports and tables.
+	Name() string
+}
+
+// LongestChain selects the chain of maximal length, breaking ties by
+// lexicographically largest tip id. This is Bitcoin's abstract rule with the
+// paper's Figure 2 tie-break.
+type LongestChain struct{}
+
+// Name implements Selector.
+func (LongestChain) Name() string { return "longest" }
+
+// Select implements Selector.
+func (LongestChain) Select(t *Tree) Chain {
+	best := Chain{Genesis()}
+	bestLen, bestTip := -1, BlockID("")
+	for _, leaf := range t.Leaves() {
+		c, ok := t.ChainTo(leaf)
+		if !ok {
+			continue
+		}
+		if c.Length() > bestLen || (c.Length() == bestLen && leaf > bestTip) {
+			best, bestLen, bestTip = c, c.Length(), leaf
+		}
+	}
+	return best
+}
+
+// HeaviestChain selects the chain whose cumulative work is maximal ("the
+// blockchain which has required the most computational work", Section 5.1),
+// breaking ties by lexicographically largest tip id.
+type HeaviestChain struct{}
+
+// Name implements Selector.
+func (HeaviestChain) Name() string { return "heaviest" }
+
+// Select implements Selector.
+func (HeaviestChain) Select(t *Tree) Chain {
+	best := Chain{Genesis()}
+	bestW, bestTip := -1, BlockID("")
+	for _, leaf := range t.Leaves() {
+		c, ok := t.ChainTo(leaf)
+		if !ok {
+			continue
+		}
+		if w := c.Weight(); w > bestW || (w == bestW && leaf > bestTip) {
+			best, bestW, bestTip = c, w, leaf
+		}
+	}
+	return best
+}
+
+// GHOST selects a chain by the Greedy Heaviest-Observed SubTree rule
+// (Sompolinsky & Zohar), the selection function the paper attributes to
+// Ethereum (Section 5.2): walk from the root, at each fork descending into
+// the child whose subtree carries the most cumulative work, ties broken by
+// lexicographically largest id.
+type GHOST struct{}
+
+// Name implements Selector.
+func (GHOST) Name() string { return "ghost" }
+
+// Select implements Selector.
+func (GHOST) Select(t *Tree) Chain {
+	cur := GenesisID
+	for {
+		kids := t.Children(cur)
+		if len(kids) == 0 {
+			break
+		}
+		best, bestW := kids[0], t.SubtreeWork(kids[0])
+		for _, k := range kids[1:] {
+			if w := t.SubtreeWork(k); w > bestW || (w == bestW && k > best) {
+				best, bestW = k, w
+			}
+		}
+		cur = best
+	}
+	c, _ := t.ChainTo(cur)
+	return c
+}
+
+// SingleChain is the trivial projection BT ↦→ BC for trees that contain a
+// unique chain by construction (Red Belly, Section 5.6; Hyperledger,
+// Section 5.7). It selects the unique leaf's chain and falls back to the
+// longest-chain rule if — contrary to the construction — a fork exists, so
+// that misbehaving runs still produce a well-defined read.
+type SingleChain struct{}
+
+// Name implements Selector.
+func (SingleChain) Name() string { return "single" }
+
+// Select implements Selector.
+func (SingleChain) Select(t *Tree) Chain {
+	leaves := t.Leaves()
+	if len(leaves) == 1 {
+		c, _ := t.ChainTo(leaves[0])
+		return c
+	}
+	return LongestChain{}.Select(t)
+}

@@ -1,0 +1,173 @@
+package blocktree
+
+import (
+	"fmt"
+
+	"blockadt/internal/adt"
+	"blockadt/internal/history"
+)
+
+// This file gives the sequential specification of the BT-ADT exactly as
+// Definition 3.1 states it, as an instance of the generic transducer in
+// internal/adt. The abstract state is (bt, f, P); the input alphabet is
+// {append(b), read()}; the output alphabet is BC ∪ {true, false}.
+
+// Input is a symbol of the BT-ADT input alphabet A.
+type Input struct {
+	// Append is true for append(Block) and false for read().
+	Append bool
+	// Block is the argument of append.
+	Block Block
+}
+
+// AppendOp returns the input symbol append(b).
+func AppendOp(b Block) Input { return Input{Append: true, Block: b} }
+
+// ReadOp returns the input symbol read().
+func ReadOp() Input { return Input{} }
+
+// String renders the symbol with the paper's syntax.
+func (in Input) String() string {
+	if in.Append {
+		return fmt.Sprintf("append(%s)", string(in.Block.ID))
+	}
+	return "read()"
+}
+
+// Output is a symbol of the BT-ADT output alphabet B = BC ∪ {true,false}.
+type Output struct {
+	// Chain is the blockchain returned by read().
+	Chain history.Chain
+	// OK is the boolean returned by append().
+	OK bool
+	// IsChain distinguishes the BC case from the boolean case.
+	IsChain bool
+}
+
+// String renders the output symbol.
+func (o Output) String() string {
+	if o.IsChain {
+		return o.Chain.String()
+	}
+	return fmt.Sprintf("%v", o.OK)
+}
+
+// Equal compares output symbols.
+func (o Output) Equal(other Output) bool {
+	if o.IsChain != other.IsChain {
+		return false
+	}
+	if !o.IsChain {
+		return o.OK == other.OK
+	}
+	if len(o.Chain) != len(other.Chain) {
+		return false
+	}
+	for i := range o.Chain {
+		if o.Chain[i] != other.Chain[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// State is the abstract state (bt, f, P) of Definition 3.1. The selection
+// function and predicate are parameters encoded in the state and never
+// change over the computation.
+type State struct {
+	Tree *Tree
+	F    Selector
+	P    Predicate
+}
+
+// ADT constructs the BT-ADT transducer ⟨A, B, Z, ξ0, τ, δ⟩ with the given
+// parameters f and P (Definition 3.1):
+//
+//	τ((bt,f,P), append(b)) = ({b0}⌢f(bt)⌢{b}, f, P) if b ∈ B′, else (bt,f,P)
+//	τ((bt,f,P), read())    = (bt, f, P)
+//	δ((bt,f,P), append(b)) = true if b ∈ B′, else false
+//	δ((bt,f,P), read())    = {b0}⌢f(bt)   (= b0 on the initial state)
+//
+// Note append chains the new block to the tip of the currently selected
+// chain {b0}⌢f(bt): the transition function, not the caller, decides the
+// predecessor.
+func ADT(f Selector, p Predicate) *adt.ADT[State, Input, Output] {
+	return &adt.ADT[State, Input, Output]{
+		Name:    "BT-ADT",
+		Initial: State{Tree: New(), F: f, P: p},
+		Tau: func(s State, in Input) State {
+			if !in.Append || !s.P(in.Block) {
+				return s
+			}
+			next := s.Tree.Clone()
+			b := in.Block
+			b.Parent = s.F.Select(next).Tip().ID
+			if err := next.Insert(b); err != nil {
+				// Duplicate ids leave the state unchanged, matching
+				// the "otherwise" branch of τ.
+				return s
+			}
+			return State{Tree: next, F: s.F, P: s.P}
+		},
+		Delta: func(s State, in Input) Output {
+			if in.Append {
+				return Output{OK: s.P(in.Block) && !s.Tree.Has(in.Block.ID)}
+			}
+			return Output{Chain: s.F.Select(s.Tree).IDs(), IsChain: true}
+		},
+	}
+}
+
+// SeqBlockTree is a mutable sequential BT-ADT object, the imperative
+// counterpart of ADT used by single-process code and as each replica's local
+// copy bt_i in the message-passing model (Section 4.2). It is not safe for
+// concurrent use; the concurrent object lives in internal/core.
+type SeqBlockTree struct {
+	tree *Tree
+	f    Selector
+	p    Predicate
+}
+
+// NewSeq returns a sequential BT-ADT with parameters f and P.
+func NewSeq(f Selector, p Predicate) *SeqBlockTree {
+	return &SeqBlockTree{tree: New(), f: f, p: p}
+}
+
+// NewSeqFromTree wraps an existing tree as a sequential BT-ADT with
+// selection function f and the trivial predicate — used by replay-based
+// checkers that need to branch from intermediate states.
+func NewSeqFromTree(t *Tree, f Selector) *SeqBlockTree {
+	return &SeqBlockTree{tree: t, f: f, p: AcceptAll}
+}
+
+// Append implements the append(b) operation of Definition 3.1: if P(b)
+// holds, b is chained to the tip of the selected chain and true is
+// returned; otherwise the state is unchanged and false is returned.
+func (s *SeqBlockTree) Append(b Block) bool {
+	if !s.p(b) || s.tree.Has(b.ID) {
+		return false
+	}
+	b.Parent = s.f.Select(s.tree).Tip().ID
+	return s.tree.Insert(b) == nil
+}
+
+// Update implements the update_i(bg, b) operation of Section 4.2: it
+// inserts b with the explicit predecessor bg (as received from the network)
+// rather than the locally selected tip. It returns false when P(b) fails or
+// bg is unknown.
+func (s *SeqBlockTree) Update(parent BlockID, b Block) bool {
+	if !s.p(b) || s.tree.Has(b.ID) {
+		return false
+	}
+	b.Parent = parent
+	return s.tree.Insert(b) == nil
+}
+
+// Read implements read(): it returns {b0}⌢f(bt).
+func (s *SeqBlockTree) Read() Chain { return s.f.Select(s.tree) }
+
+// Tree exposes the underlying tree for inspection.
+func (s *SeqBlockTree) Tree() *Tree { return s.tree }
+
+// Selector returns the parameter f.
+func (s *SeqBlockTree) Selector() Selector { return s.f }

@@ -1,0 +1,215 @@
+package blocktree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Tree is the BlockTree bt = (V_bt, E_bt): an append-only directed rooted
+// tree whose edges point backward to the genesis block. Tree is safe for
+// concurrent use.
+type Tree struct {
+	mu       sync.RWMutex
+	blocks   map[BlockID]Block
+	children map[BlockID][]BlockID
+	// subtreeWork caches cumulative work of each subtree for GHOST; it is
+	// updated incrementally on insert.
+	subtreeWork map[BlockID]int
+	count       int
+}
+
+// Errors returned by Tree operations.
+var (
+	// ErrUnknownParent reports an attempt to attach a block to an absent
+	// predecessor.
+	ErrUnknownParent = errors.New("blocktree: unknown parent block")
+	// ErrDuplicate reports an attempt to insert an already-present block.
+	ErrDuplicate = errors.New("blocktree: duplicate block")
+	// ErrSelfParent reports a block naming itself as predecessor.
+	ErrSelfParent = errors.New("blocktree: block cannot be its own parent")
+)
+
+// New returns a tree containing only the genesis block b0.
+func New() *Tree {
+	t := &Tree{
+		blocks:      map[BlockID]Block{GenesisID: Genesis()},
+		children:    map[BlockID][]BlockID{},
+		subtreeWork: map[BlockID]int{GenesisID: 0},
+		count:       1,
+	}
+	return t
+}
+
+// Insert attaches b to its parent. The block's Height is derived from the
+// parent regardless of the incoming value. Insert never removes or mutates
+// existing vertices: the BlockTree is append-only.
+func (t *Tree) Insert(b Block) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b.ID == b.Parent {
+		return ErrSelfParent
+	}
+	if _, dup := t.blocks[b.ID]; dup {
+		return ErrDuplicate
+	}
+	parent, ok := t.blocks[b.Parent]
+	if !ok {
+		return fmt.Errorf("%w: %s for block %s", ErrUnknownParent, string(b.Parent), string(b.ID))
+	}
+	b.Height = parent.Height + 1
+	t.blocks[b.ID] = b
+	t.children[b.Parent] = append(t.children[b.Parent], b.ID)
+	// Propagate the new block's work up to the root for GHOST.
+	w := b.work()
+	t.subtreeWork[b.ID] = w
+	for p := b.Parent; ; {
+		t.subtreeWork[p] += w
+		blk := t.blocks[p]
+		if blk.ID == GenesisID {
+			break
+		}
+		p = blk.Parent
+	}
+	t.count++
+	return nil
+}
+
+// Has reports whether the tree contains the block.
+func (t *Tree) Has(id BlockID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.blocks[id]
+	return ok
+}
+
+// Get returns the block with the given id.
+func (t *Tree) Get(id BlockID) (Block, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b, ok := t.blocks[id]
+	return b, ok
+}
+
+// Size returns the number of blocks including genesis.
+func (t *Tree) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Children returns the ids of the blocks chained to id, sorted
+// lexicographically (a deterministic order the selectors rely on).
+func (t *Tree) Children(id BlockID) []BlockID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sortedChildrenLocked(id)
+}
+
+func (t *Tree) sortedChildrenLocked(id BlockID) []BlockID {
+	kids := t.children[id]
+	out := make([]BlockID, len(kids))
+	copy(out, kids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChainTo returns the path {b0}⌢…⌢{id}.
+func (t *Tree) ChainTo(id BlockID) (Chain, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chainToLocked(id)
+}
+
+func (t *Tree) chainToLocked(id BlockID) (Chain, bool) {
+	b, ok := t.blocks[id]
+	if !ok {
+		return nil, false
+	}
+	chain := make(Chain, b.Height+1)
+	for i := b.Height; ; i-- {
+		chain[i] = b
+		if b.ID == GenesisID {
+			break
+		}
+		b = t.blocks[b.Parent]
+	}
+	return chain, true
+}
+
+// Leaves returns the ids of the blocks with no children, sorted
+// lexicographically.
+func (t *Tree) Leaves() []BlockID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []BlockID
+	for id := range t.blocks {
+		if len(t.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForkCount returns, for each block with more than one child, the number of
+// branches departing from it. It is the per-block fork census used by the
+// k-Fork Coherence experiments (Definition 3.9).
+func (t *Tree) ForkCount() map[BlockID]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := map[BlockID]int{}
+	for id, kids := range t.children {
+		if len(kids) > 1 {
+			out[id] = len(kids)
+		}
+	}
+	return out
+}
+
+// MaxFanout returns the maximum number of children of any block: the
+// realized fork bound of the tree.
+func (t *Tree) MaxFanout() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	maxKids := 0
+	for _, kids := range t.children {
+		if len(kids) > maxKids {
+			maxKids = len(kids)
+		}
+	}
+	return maxKids
+}
+
+// SubtreeWork returns the cumulative work of the subtree rooted at id
+// (excluding genesis's own zero work), used by the GHOST selector.
+func (t *Tree) SubtreeWork(id BlockID) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.subtreeWork[id]
+}
+
+// Clone returns a deep, independent copy of the tree.
+func (t *Tree) Clone() *Tree {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := &Tree{
+		blocks:      make(map[BlockID]Block, len(t.blocks)),
+		children:    make(map[BlockID][]BlockID, len(t.children)),
+		subtreeWork: make(map[BlockID]int, len(t.subtreeWork)),
+		count:       t.count,
+	}
+	for id, b := range t.blocks {
+		c.blocks[id] = b
+	}
+	for id, kids := range t.children {
+		cp := make([]BlockID, len(kids))
+		copy(cp, kids)
+		c.children[id] = cp
+	}
+	for id, w := range t.subtreeWork {
+		c.subtreeWork[id] = w
+	}
+	return c
+}

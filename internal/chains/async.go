@@ -1,0 +1,37 @@
+package chains
+
+import (
+	"blockadt/internal/blocktree"
+	"blockadt/internal/netsim"
+)
+
+// This file provides the executable counterparts of the open issues the
+// paper lists at the end of Section 4.2 ("TBC"): the solvability of
+// Eventual Prefix under asynchrony and under block intervals shorter than
+// the message-delay bound. The paper states the conjectures:
+//
+//	(ii)  Eventual Prefix is impossible in an asynchronous system;
+//	(iii) Eventual Prefix is impossible if the interval between the
+//	      generation of two successive blocks is less than the upper
+//	      bound on the message delay.
+//
+// RunBitcoinAsync exhibits finite-run witnesses for both: with mining much
+// faster than delivery, replicas build on stale tips and the recorded
+// histories show divergence that outlives any grace window; with mining
+// much slower than the (bounded) delay, the same protocol converges.
+
+// AsyncParams extends Params with the asynchronous link bound.
+type AsyncParams struct {
+	Params
+	// MaxDelay is the common-case asynchronous delay bound; stragglers
+	// exceed it ×10 with TailProb.
+	MaxDelay int64
+	// TailProb is the probability of a 10×MaxDelay straggler.
+	TailProb float64
+}
+
+// RunBitcoinAsync runs the Bitcoin simulator over asynchronous links.
+func RunBitcoinAsync(p AsyncParams) Result {
+	links := netsim.Asynchronous{MaxDelay: p.MaxDelay, TailProb: p.TailProb}
+	return runPoWLinks("Bitcoin/async", "R(BT-ADT_EC, Θ_P) — async regime", blocktree.HeaviestChain{}, links, p.Params)
+}

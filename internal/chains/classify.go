@@ -1,0 +1,79 @@
+package chains
+
+import (
+	"fmt"
+	"strings"
+
+	"blockadt/internal/consistency"
+)
+
+// Row is one row of the regenerated Table 1.
+type Row struct {
+	System string
+	// PaperRefinement is the classification Table 1 assigns.
+	PaperRefinement string
+	// Expected is the consistency level implied by the paper.
+	Expected consistency.Level
+	// Measured is the level our checker assigns to the simulated run.
+	Measured consistency.Level
+	// Oracle and Selector describe the simulator's instantiation.
+	Oracle   string
+	Selector string
+	// Blocks / Forks / Ticks summarize the run.
+	Blocks int
+	Forks  int
+	Ticks  int64
+	// Match reports Measured == Expected.
+	Match bool
+	// SC and EC are the detailed reports.
+	SC consistency.Report
+	EC consistency.Report
+}
+
+// Classify runs every system of Table 1 with the given parameters and
+// returns the regenerated table.
+func Classify(p Params) []Row {
+	rows := make([]Row, 0, len(All()))
+	for _, sys := range All() {
+		rows = append(rows, ClassifyOne(sys, p))
+	}
+	return rows
+}
+
+// ClassifyOne simulates a single system and checks its history.
+func ClassifyOne(sys System, p Params) Row {
+	res := sys.Run(p)
+	cls := res.Classify(Options(p.withDefaults(), res.History))
+	return Row{
+		System:          sys.Name(),
+		PaperRefinement: sys.Refinement(),
+		Expected:        sys.Expected(),
+		Measured:        cls.Level,
+		Oracle:          res.OracleName,
+		Selector:        res.SelectorName,
+		Blocks:          res.Blocks,
+		Forks:           res.Forks,
+		Ticks:           res.Ticks,
+		Match:           cls.Level == sys.Expected(),
+		SC:              cls.SC,
+		EC:              cls.EC,
+	}
+}
+
+// FormatTable renders the rows as an aligned text table mirroring Table 1
+// with the measured column appended.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-28s %-10s %-9s %-9s %-8s %6s %6s %5s\n",
+		"System", "Refinement (paper)", "Oracle", "Selector", "Expected", "Measured", "Blocks", "Forks", "Match")
+	fmt.Fprintln(&b, strings.Repeat("-", 104))
+	for _, r := range rows {
+		match := "yes"
+		if !r.Match {
+			match = "NO"
+		}
+		fmt.Fprintf(&b, "%-12s %-28s %-10s %-9s %-9s %-8s %6d %6d %5s\n",
+			r.System, r.PaperRefinement, r.Oracle, r.Selector, r.Expected, r.Measured, r.Blocks, r.Forks, match)
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package chains_test
+
+import (
+	"fmt"
+
+	"blockadt/internal/chains"
+)
+
+// Example regenerates one row of Table 1: simulate Bitcoin and classify
+// its recorded history.
+func Example() {
+	p := chains.Params{N: 8, TargetBlocks: 30, Seed: 42}
+	res := chains.Bitcoin{}.Run(p)
+	cls := res.Classify(chains.Options(p, res.History))
+	fmt.Println("paper:", chains.Bitcoin{}.Refinement())
+	fmt.Println("measured:", cls.Level)
+	fmt.Println("forked:", res.Forks > 0)
+	// Output:
+	// paper: R(BT-ADT_EC, Θ_P)
+	// measured: EC
+	// forked: true
+}
+
+// ExampleClassify regenerates the whole of Table 1.
+func ExampleClassify() {
+	rows := chains.Classify(chains.Params{N: 8, TargetBlocks: 30, Seed: 42})
+	allMatch := true
+	for _, r := range rows {
+		if !r.Match {
+			allMatch = false
+		}
+	}
+	fmt.Printf("%d systems, all at the paper's level: %v\n", len(rows), allMatch)
+	// Output:
+	// 7 systems, all at the paper's level: true
+}

@@ -1,0 +1,169 @@
+package chains
+
+import (
+	"blockadt/internal/blocktree"
+	"blockadt/internal/consistency"
+	"blockadt/internal/history"
+	"blockadt/internal/netsim"
+	"blockadt/internal/oracle"
+)
+
+// powNode is a proof-of-work miner: at every mining tick it invokes
+// getToken on the tip of its locally selected chain (the PoW attempt,
+// Section 5.1); a granted token is consumed (always possible with Θ_P) and
+// the resulting valid block is flooded with the LRC broadcast.
+type powNode struct {
+	rep     *netsim.Replica
+	orc     *oracle.Oracle
+	merit   int
+	params  Params
+	counter int
+	done    *bool
+}
+
+const (
+	mineTimer = "mine"
+	readTimer = "read"
+)
+
+// OnTimer implements netsim.Handler.
+func (n *powNode) OnTimer(s *netsim.Sim, tag string) {
+	switch tag {
+	case mineTimer:
+		if !*n.done {
+			n.mine(s)
+			s.TimerAt(n.rep.ID(), s.Now()+n.params.MineInterval, mineTimer)
+		}
+	case readTimer:
+		n.rep.Read()
+		if !*n.done {
+			s.TimerAt(n.rep.ID(), s.Now()+n.params.ReadEvery, readTimer)
+		}
+	}
+}
+
+// OnMessage implements netsim.Handler.
+func (n *powNode) OnMessage(s *netsim.Sim, m netsim.Message) {
+	n.rep.OnMessage(s, m)
+}
+
+func (n *powNode) mine(s *netsim.Sim) {
+	parent := n.rep.Selected().Tip()
+	candidate := blockName(parent.Height+1, n.rep.ID(), n.counter)
+	tok, ok := n.orc.GetToken(n.merit, parent.ID, candidate)
+	if !ok {
+		return
+	}
+	n.counter++
+	rec := s.Recorder()
+	op := rec.Invoke(n.rep.ID(), history.Label{Kind: history.KindAppend, Block: candidate})
+	_, inserted, err := n.orc.ConsumeToken(tok)
+	okAppend := err == nil && inserted
+	rec.Respond(op, history.Label{Kind: history.KindAppend, Block: candidate, Parent: parent.ID, OK: okAppend})
+	if !okAppend {
+		return
+	}
+	b := blocktree.Block{ID: candidate, Parent: parent.ID, Work: 1, Token: tok.ID, Proposer: n.merit}
+	n.rep.CreateAndBroadcast(s, parent.ID, b)
+}
+
+// runPoW drives a permissionless PoW network with the given selector over
+// synchronous links and returns its result.
+func runPoW(name, refinement string, sel blocktree.Selector, p Params) Result {
+	return runPoWLinks(name, refinement, sel, nil, p)
+}
+
+// runPoWLinks is runPoW with an explicit link model (nil = synchronous with
+// bound Delta). The asynchronous variants back the Section 4.2 open-issue
+// experiments: Eventual Prefix under unbounded delay.
+func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.LinkModel, p Params) Result {
+	p = p.withDefaults()
+	if links == nil {
+		links = netsim.Synchronous{Delta: p.Delta}
+	}
+	sim := netsim.New(links, p.Seed)
+	orc := newProdigal(p)
+	done := false
+	reps := map[history.ProcID]*netsim.Replica{}
+	for i := 0; i < p.N; i++ {
+		id := history.ProcID(i)
+		rep := netsim.NewReplica(id, sel, sim.Recorder())
+		reps[id] = rep
+		node := &powNode{rep: rep, orc: orc, merit: i, params: p, done: &done}
+		sim.Register(id, node)
+		sim.TimerAt(id, 1+int64(i)%p.MineInterval, mineTimer)
+		sim.TimerAt(id, 2+int64(i)%p.ReadEvery, readTimer)
+	}
+
+	// Run in slices, stopping the mining phase once the target chain
+	// length is reached, then drain in-flight messages and take a final
+	// round of reads so the history exhibits convergence.
+	var t int64
+	for t = 0; t < p.MaxTicks; t += 64 {
+		sim.Run(t + 64)
+		blocks, _ := bestReplica(reps)
+		if blocks >= p.TargetBlocks {
+			break
+		}
+	}
+	done = true
+	sim.Run(t + 64 + 16*p.Delta) // drain the network
+	for _, id := range sim.Procs() {
+		reps[id].Read()
+	}
+
+	blocks, forks := bestReplica(reps)
+	return Result{
+		System:       name,
+		Refinement:   refinement,
+		OracleName:   orc.Name(),
+		SelectorName: sel.Name(),
+		K:            oracle.Unbounded,
+		History:      sim.Recorder().Snapshot(),
+		Blocks:       blocks,
+		Forks:        forks,
+		Ticks:        sim.Now(),
+		Delivered:    sim.Delivered,
+		Dropped:      sim.Dropped,
+	}
+}
+
+// Bitcoin is Section 5.1: permissionless, merits are hashing power, the
+// getToken operation is proof-of-work, consumeToken returns true for all
+// valid blocks (no bound on consumed tokens ⇒ prodigal oracle Θ_P), and f
+// selects the chain that required the most work. Bitcoin implements
+// R(BT-ADT_EC, Θ_P): Eventual consistency only.
+type Bitcoin struct{}
+
+// Name implements System.
+func (Bitcoin) Name() string { return "Bitcoin" }
+
+// Refinement implements System.
+func (Bitcoin) Refinement() string { return "R(BT-ADT_EC, Θ_P)" }
+
+// Expected implements System.
+func (Bitcoin) Expected() consistency.Level { return consistency.LevelEC }
+
+// Run implements System.
+func (Bitcoin) Run(p Params) Result {
+	return runPoW("Bitcoin", Bitcoin{}.Refinement(), blocktree.HeaviestChain{}, p)
+}
+
+// Ethereum is Section 5.2: as Bitcoin but the merit parameter models
+// memory-bound work and f is implemented through the GHOST algorithm.
+// Ethereum implements R(BT-ADT_EC, Θ_P).
+type Ethereum struct{}
+
+// Name implements System.
+func (Ethereum) Name() string { return "Ethereum" }
+
+// Refinement implements System.
+func (Ethereum) Refinement() string { return "R(BT-ADT_EC, Θ_P)" }
+
+// Expected implements System.
+func (Ethereum) Expected() consistency.Level { return consistency.LevelEC }
+
+// Run implements System.
+func (Ethereum) Run(p Params) Result {
+	return runPoW("Ethereum", Ethereum{}.Refinement(), blocktree.GHOST{}, p)
+}

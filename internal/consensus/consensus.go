@@ -1,0 +1,138 @@
+// Package consensus implements the Consensus abstraction of Definition 4.1
+// of "Blockchain Abstract Data Type" (Anceaume et al.) and the paper's
+// Protocol A (Figure 11), which solves Consensus wait-free from the frugal
+// oracle with k = 1 — the constructive half of Theorem 4.2 (Θ_F,k=1 has
+// consensus number ∞). A Compare&Swap-based implementation is provided as
+// the classical baseline the reduction is compared against.
+//
+// The Consensus variant used is the blockchain one: the Validity property
+// requires the decided block to satisfy the validity predicate P ([11]'s
+// formulation — a valid block can be decided even if proposed by a faulty
+// process). In the oracle construction validity holds by construction,
+// because only oracle-validated blocks can be consumed.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+
+	"blockadt/internal/oracle"
+	"blockadt/internal/registers"
+)
+
+// Value is a proposed/decided value (a block id in this reproduction).
+type Value = oracle.ObjectID
+
+// Consensus is the one-shot consensus object interface: every correct
+// process calls Propose once with its input and obtains the decided value.
+// Implementations must satisfy Termination, Integrity, Agreement and
+// Validity (Definition 4.1).
+type Consensus interface {
+	// Propose submits the calling process's value and returns the
+	// decision. merit identifies the invoking process to the oracle;
+	// implementations that do not use an oracle ignore it.
+	Propose(merit int, v Value) (Value, error)
+}
+
+// ErrNoDecision reports that the implementation failed to decide, which
+// violates Termination and is only possible under misconfiguration (e.g. an
+// oracle whose tape never grants a token with probability 0).
+var ErrNoDecision = errors.New("consensus: no decision reached")
+
+// FromFrugal is Protocol A (Figure 11): consensus from Θ_F,k=1.
+//
+//	upon propose(b):
+//	  while validBlock = ⊥: validBlock ← getToken(b0, b)
+//	  validBlockSet ← consumeToken(validBlock)  // |set| = k = 1
+//	  decide(validBlockSet)
+//
+// The first process to consume installs its block into K[b0]; every
+// consumeToken thereafter returns the same singleton set, so all processes
+// decide identically (Agreement), with a value some process proposed and
+// the oracle validated (Validity).
+type FromFrugal struct {
+	oracle *oracle.Oracle
+	base   oracle.ObjectID
+	// MaxAttempts bounds the getToken loop for defensive termination in
+	// tests; 0 means unbounded (the paper's wait-free loop, which
+	// terminates with probability 1 for pα > 0).
+	MaxAttempts int
+}
+
+// NewFromFrugal returns a consensus instance anchored at the object base
+// (the paper uses b0). The oracle must be frugal with k = 1; any other
+// oracle makes Agreement unsound, so the constructor rejects it.
+func NewFromFrugal(o *oracle.Oracle, base oracle.ObjectID) (*FromFrugal, error) {
+	if o.K() != 1 {
+		return nil, fmt.Errorf("consensus: FromFrugal requires Θ_F,k=1, got %s", o.Name())
+	}
+	return &FromFrugal{oracle: o, base: base}, nil
+}
+
+// Propose implements Consensus by Protocol A.
+func (c *FromFrugal) Propose(merit int, v Value) (Value, error) {
+	for attempt := 0; c.MaxAttempts == 0 || attempt < c.MaxAttempts; attempt++ {
+		tok, ok := c.oracle.GetToken(merit, c.base, v)
+		if !ok {
+			continue
+		}
+		set, _, err := c.oracle.ConsumeToken(tok)
+		if err != nil {
+			return "", err
+		}
+		if len(set) != 1 {
+			return "", fmt.Errorf("consensus: frugal k=1 oracle returned set of size %d", len(set))
+		}
+		return set[0], nil
+	}
+	return "", ErrNoDecision
+}
+
+// FromCAS is the textbook consensus from a Compare&Swap object, provided as
+// the baseline object of consensus number ∞ the reduction chain of
+// Theorem 4.1/4.2 passes through: the first CompareAndSwap("", v) wins.
+type FromCAS struct {
+	cas *registers.CAS
+}
+
+// NewFromCAS returns a consensus instance over a fresh CAS object.
+func NewFromCAS() *FromCAS { return &FromCAS{cas: &registers.CAS{}} }
+
+// Propose implements Consensus: decide the first value installed.
+func (c *FromCAS) Propose(_ int, v Value) (Value, error) {
+	if v == "" {
+		return "", errors.New("consensus: empty value is reserved")
+	}
+	prev := c.cas.CompareAndSwap("", string(v))
+	if prev == "" {
+		return v, nil
+	}
+	return Value(prev), nil
+}
+
+// FromCT is consensus built from the consumeToken shared object through the
+// CAS reduction of Figure 10, composing Theorem 4.1 with the CAS baseline:
+// CT → CAS → consensus. It demonstrates the full reduction chain
+// executably.
+type FromCT struct {
+	cas  *registers.CASFromCT
+	base string
+}
+
+// NewFromCT returns a consensus instance over a fresh consumeToken object
+// anchored at base.
+func NewFromCT(base string) *FromCT {
+	return &FromCT{cas: registers.NewCASFromCT(registers.NewConsumeTokenK1()), base: base}
+}
+
+// Propose implements Consensus via compare&swap(K[h], {}, v).
+func (c *FromCT) Propose(_ int, v Value) (Value, error) {
+	if v == "" {
+		return "", errors.New("consensus: empty value is reserved")
+	}
+	prev := c.cas.CompareAndSwapEmpty(c.base, string(v))
+	if prev == "" {
+		return v, nil
+	}
+	return Value(prev), nil
+}

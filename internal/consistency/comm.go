@@ -1,0 +1,160 @@
+package consistency
+
+import (
+	"sort"
+
+	"blockadt/internal/history"
+)
+
+// msgKey identifies a propagated update (bg, b_origin) as in Definition 4.3.
+type msgKey struct {
+	parent history.BlockRef
+	block  history.BlockRef
+}
+
+// procUniverse returns the correct-process universe: Options.Procs if set,
+// otherwise every process that produced an event.
+func procUniverse(h *history.History, opts Options) []history.ProcID {
+	if opts.Procs != nil {
+		return opts.Procs
+	}
+	seen := map[history.ProcID]bool{}
+	for _, e := range h.Events() {
+		seen[e.Proc] = true
+	}
+	out := make([]history.ProcID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UpdateAgreement checks the three Update Agreement properties of
+// Definition 4.3 on a replicated-object history:
+//
+//	R1. every update_i(bg, b_i) of a locally generated block has a
+//	    matching send_i(bg, b_i);
+//	R2. every update_i(bg, b_j) of a remote block (j ≠ i) is preceded at
+//	    i by a receive_i(bg, b_j);
+//	R3. for every update_i(bg, b_j), every correct process k has a
+//	    receive_k(bg, b_j) somewhere in the history.
+//
+// Theorem 4.6 makes Update Agreement necessary for BT Eventual Consistency;
+// the experiments use this checker on both compliant and message-dropping
+// runs.
+func UpdateAgreement(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	procs := procUniverse(h, opts)
+
+	sends := map[history.ProcID]map[msgKey]int64{}
+	receives := map[history.ProcID]map[msgKey]int64{}
+	put := func(m map[history.ProcID]map[msgKey]int64, p history.ProcID, k msgKey, t int64) {
+		inner, ok := m[p]
+		if !ok {
+			inner = map[msgKey]int64{}
+			m[p] = inner
+		}
+		if old, ok := inner[k]; !ok || t < old {
+			inner[k] = t
+		}
+	}
+	var updates []history.Op
+	for _, op := range h.Ops() {
+		k := msgKey{parent: op.Label.Parent, block: op.Label.Block}
+		switch op.Label.Kind {
+		case history.KindSend:
+			put(sends, op.Proc, k, op.InvTime)
+		case history.KindReceive:
+			put(receives, op.Proc, k, op.InvTime)
+		case history.KindUpdate:
+			updates = append(updates, op)
+		}
+	}
+
+	checked := 0
+	for _, u := range updates {
+		k := msgKey{parent: u.Label.Parent, block: u.Label.Block}
+		if u.Label.Origin == u.Proc {
+			// R1: locally generated block must be sent.
+			checked++
+			if _, ok := sends[u.Proc][k]; !ok {
+				sink.addf("R1: update_%d(%s,%s) of own block without send", u.Proc, string(k.parent), string(k.block))
+			}
+		} else {
+			// R2: remote block must have been received first.
+			checked++
+			t, ok := receives[u.Proc][k]
+			if !ok {
+				sink.addf("R2: update_%d(%s,%s) without receive", u.Proc, string(k.parent), string(k.block))
+			} else if t > u.InvTime {
+				sink.addf("R2: update_%d(%s,%s) at t=%d precedes its receive at t=%d", u.Proc, string(k.parent), string(k.block), u.InvTime, t)
+			}
+		}
+		// R3: everyone eventually receives the update's block.
+		for _, p := range procs {
+			checked++
+			if _, ok := receives[p][k]; !ok {
+				sink.addf("R3: update of (%s,%s) but p%d never receives it", string(k.parent), string(k.block), p)
+			}
+		}
+	}
+	return sink.verdict("UpdateAgreement", checked)
+}
+
+// LRC checks the Light Reliable Communication properties of Definition 4.4:
+//
+//	Validity:  every send_i(b, b_i) has a matching receive_i(b, b_i) at
+//	           the sender itself;
+//	Agreement: every message received by some correct process is received
+//	           by every correct process.
+//
+// Theorem 4.7 makes LRC necessary for BT Eventual Consistency.
+func LRC(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	procs := procUniverse(h, opts)
+
+	received := map[history.ProcID]map[msgKey]bool{}
+	for _, p := range procs {
+		received[p] = map[msgKey]bool{}
+	}
+	var anyReceived []msgKey
+	seen := map[msgKey]bool{}
+	type sendEvt struct {
+		proc history.ProcID
+		key  msgKey
+	}
+	var sendEvents []sendEvt
+	for _, op := range h.Ops() {
+		k := msgKey{parent: op.Label.Parent, block: op.Label.Block}
+		switch op.Label.Kind {
+		case history.KindSend:
+			sendEvents = append(sendEvents, sendEvt{proc: op.Proc, key: k})
+		case history.KindReceive:
+			if m, ok := received[op.Proc]; ok {
+				m[k] = true
+			}
+			if !seen[k] {
+				seen[k] = true
+				anyReceived = append(anyReceived, k)
+			}
+		}
+	}
+
+	checked := 0
+	for _, s := range sendEvents {
+		checked++
+		if m, ok := received[s.proc]; ok && !m[s.key] {
+			sink.addf("Validity: send_%d(%s,%s) never received by sender", s.proc, string(s.key.parent), string(s.key.block))
+		}
+	}
+	for _, k := range anyReceived {
+		for _, p := range procs {
+			checked++
+			if !received[p][k] {
+				sink.addf("Agreement: (%s,%s) received by some process but not by p%d", string(k.parent), string(k.block), p)
+			}
+		}
+	}
+	return sink.verdict("LRC", checked)
+}

@@ -1,0 +1,289 @@
+package consistency
+
+import (
+	"sort"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/history"
+)
+
+// BlockValidity checks the Block validity property of Definition 3.2: every
+// block in a chain returned by a read() is valid and was inserted via an
+// append() whose invocation program-order-precedes the read's response.
+// Replicated histories (Section 4.2) insert remote blocks via update
+// events, so an update of the block before the read response at any process
+// also witnesses insertion — updates only carry oracle-validated blocks in
+// this reproduction (Definition 4.2 restricts E to appends of valid
+// blocks).
+func BlockValidity(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+
+	// earliest[b] = earliest time the block entered the system via an
+	// append invocation or an update event.
+	earliest := map[history.BlockRef]int64{}
+	note := func(b history.BlockRef, t int64) {
+		if b == "" {
+			return
+		}
+		if old, ok := earliest[b]; !ok || t < old {
+			earliest[b] = t
+		}
+	}
+	for _, op := range h.Ops() {
+		switch op.Label.Kind {
+		case history.KindAppend:
+			note(op.Label.Block, op.InvTime)
+		case history.KindUpdate:
+			note(op.Label.Block, op.InvTime)
+		}
+	}
+
+	checked := 0
+	for _, r := range h.Reads() {
+		for _, b := range r.Chain {
+			if b == blocktree.GenesisID {
+				continue
+			}
+			checked++
+			t, ok := earliest[b]
+			if !ok {
+				sink.addf("read by p%d returned %s containing %s, never appended", r.Op.Proc, r.Chain, string(b))
+				continue
+			}
+			if t > r.Op.RspTime {
+				sink.addf("read by p%d (rsp t=%d) returned %s before its append/update (t=%d)", r.Op.Proc, r.Op.RspTime, string(b), t)
+			}
+		}
+	}
+	return sink.verdict("BlockValidity", checked)
+}
+
+// LocalMonotonicRead checks Definition 3.2's Local monotonic read: along
+// each process's sequence of reads (process order ↦→), the score of the
+// returned blockchain never decreases.
+func LocalMonotonicRead(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	score := opts.score()
+	last := map[history.ProcID]int{}
+	lastChain := map[history.ProcID]history.Chain{}
+	checked := 0
+	for _, r := range readsByProcessOrder(h) {
+		s := score(r.Chain)
+		if prev, ok := last[r.Op.Proc]; ok {
+			checked++
+			if s < prev {
+				sink.addf("p%d read %s (score %d) after %s (score %d)", r.Op.Proc, r.Chain, s, lastChain[r.Op.Proc], prev)
+			}
+		}
+		last[r.Op.Proc] = s
+		lastChain[r.Op.Proc] = r.Chain
+	}
+	return sink.verdict("LocalMonotonicRead", checked)
+}
+
+// readsByProcessOrder returns completed reads sorted by (proc, invocation
+// sequence): the per-process order ↦→.
+func readsByProcessOrder(h *history.History) []history.ReadOp {
+	reads := h.Reads()
+	sort.Slice(reads, func(i, j int) bool {
+		if reads[i].Op.Proc != reads[j].Op.Proc {
+			return reads[i].Op.Proc < reads[j].Op.Proc
+		}
+		return reads[i].Op.InvSeq < reads[j].Op.InvSeq
+	})
+	return reads
+}
+
+// StrongPrefix checks Definition 3.2's Strong prefix: for every pair of
+// reads, one returned blockchain is a prefix of the other. The check sorts
+// chains by length and verifies each is a prefix of the next longer one:
+// prefix order is total on a set iff adjacent elements in length order are
+// related, which brings the pairwise O(N²) property to O(N log N + N·L).
+func StrongPrefix(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	reads := h.Reads()
+	chains := make([]history.Chain, len(reads))
+	for i, r := range reads {
+		chains[i] = r.Chain
+	}
+	order := make([]int, len(chains))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(chains[order[a]]) < len(chains[order[b]]) })
+	checked := 0
+	for i := 1; i < len(order); i++ {
+		a, b := chains[order[i-1]], chains[order[i]]
+		checked++
+		if !b.HasPrefix(a) {
+			sink.addf("neither of %s and %s prefixes the other", a, b)
+		}
+	}
+	return sink.verdict("StrongPrefix", checked)
+}
+
+// EverGrowingTree checks Definition 3.2's Ever growing tree under the
+// finitization documented in the package comment: a read rᵢ with score s
+// may be followed by at most W-1 reads before every later read whose
+// invocation the response of rᵢ program-order-precedes returns a score
+// strictly greater than s.
+//
+// The paper quantifies the property over E(a∗, r∗) — histories with
+// infinitely many appends. A finite recorded prefix inevitably ends with a
+// plateau (reads after the final append legitimately stop growing), so the
+// checker constrains only reads followed by at least W growth events
+// (successful appends or updates): those are the reads for which the
+// recorded prefix still witnesses the infinite-append regime.
+func EverGrowingTree(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	score := opts.score()
+	reads := h.Reads() // response order
+	w := opts.window(len(reads))
+	scores := make([]int, len(reads))
+	for i, r := range reads {
+		scores[i] = score(r.Chain)
+	}
+	// growthTimes holds the invocation times of growth events, sorted.
+	var growthTimes []int64
+	for _, a := range h.SuccessfulAppends() {
+		growthTimes = append(growthTimes, a.Op.InvTime)
+	}
+	for _, u := range h.OpsOfKind(history.KindUpdate) {
+		growthTimes = append(growthTimes, u.InvTime)
+	}
+	sort.Slice(growthTimes, func(a, b int) bool { return growthTimes[a] < growthTimes[b] })
+	growthAfter := func(t int64) int {
+		// Number of growth events invoked strictly after t.
+		lo, hi := 0, len(growthTimes)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if growthTimes[mid] <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return len(growthTimes) - lo
+	}
+	checked := 0
+	for i := range reads {
+		if growthAfter(reads[i].Op.RspTime) < w {
+			continue // plateau region of the finite prefix: exempt
+		}
+		checked++
+		for j := i + w; j < len(reads); j++ {
+			if scores[j] > scores[i] {
+				continue
+			}
+			if !history.RespondedBefore(reads[i].Op, reads[j].Op) {
+				continue
+			}
+			sink.addf("read#%d by p%d score %d still matched by read#%d by p%d score %d after grace window %d",
+				i, reads[i].Op.Proc, scores[i], j, reads[j].Op.Proc, scores[j], w)
+			break
+		}
+	}
+	return sink.verdict("EverGrowingTree", checked)
+}
+
+// EventualPrefix checks Definition 3.3's Eventual prefix under the
+// finitization documented in the package comment: for a read rᵢ with score
+// s, every pair of reads responding at least W positions after rᵢ must
+// share a maximal common prefix of score at least s.
+//
+// The pairwise quantification collapses to a suffix computation: prefix
+// score is an ultrametric (mcps(a,c) ≥ min(mcps(a,b), mcps(b,c))), so the
+// minimum pairwise mcps over a set of chains equals the score of the
+// common prefix of the whole set, computable right-to-left in O(N·L).
+func EventualPrefix(h *history.History, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	score := opts.score()
+	reads := h.Reads()
+	w := opts.window(len(reads))
+	n := len(reads)
+	// suffixCP[j] = common prefix of chains[j..n-1].
+	suffixCPScore := make([]int, n+1)
+	var cp history.Chain
+	for j := n - 1; j >= 0; j-- {
+		if j == n-1 {
+			cp = reads[j].Chain
+		} else {
+			cp = cp.CommonPrefix(reads[j].Chain)
+		}
+		suffixCPScore[j] = score(cp)
+	}
+	suffixCPScore[n] = int(^uint(0) >> 1) // empty suffix: vacuously ∞
+	checked := 0
+	for i := range reads {
+		checked++
+		s := score(reads[i].Chain)
+		j := i + w
+		if j >= n {
+			continue // no mature pairs after rᵢ: vacuously satisfied
+		}
+		if suffixCPScore[j] < s {
+			// Locate a concrete violating pair for the report.
+			hi, ki := findDivergentPair(reads[j:], score, s)
+			sink.addf("read#%d score %d: reads #%d and #%d past window %d share prefix score %d < %d",
+				i, s, j+hi, j+ki, w, suffixCPScore[j], s)
+		}
+	}
+	return sink.verdict("EventualPrefix", checked)
+}
+
+// findDivergentPair returns indices (relative to reads) of a pair whose
+// mcps is below s; it exists whenever the suffix common-prefix score is
+// below s.
+func findDivergentPair(reads []history.ReadOp, score blocktree.Score, s int) (int, int) {
+	for i := 1; i < len(reads); i++ {
+		if score(reads[0].Chain.CommonPrefix(reads[i].Chain)) < s {
+			return 0, i
+		}
+	}
+	// The first chain agrees with everyone: divergence is among the
+	// rest; recurse linearly.
+	if len(reads) > 1 {
+		a, b := findDivergentPair(reads[1:], score, s)
+		return a + 1, b + 1
+	}
+	return 0, 0
+}
+
+// KForkCoherence checks Definition 3.9: at most k append() operations
+// return ⊤ for the same token target (the block the token was granted on,
+// recorded as the Parent of a successful append response). Replicated
+// histories additionally count distinct child blocks per predecessor among
+// update events. Θ_P corresponds to k = Unbounded (pass k ≤ 0 to skip the
+// bound and always succeed).
+func KForkCoherence(h *history.History, k int, opts Options) Verdict {
+	sink := &violationSink{max: opts.maxViolations()}
+	if k <= 0 {
+		return sink.verdict("KForkCoherence(∞)", 0)
+	}
+	children := map[history.BlockRef]map[history.BlockRef]bool{}
+	add := func(parent, child history.BlockRef) {
+		if parent == "" || child == "" {
+			return
+		}
+		m, ok := children[parent]
+		if !ok {
+			m = map[history.BlockRef]bool{}
+			children[parent] = m
+		}
+		m[child] = true
+	}
+	for _, a := range h.SuccessfulAppends() {
+		add(a.Op.Response.Parent, a.Block)
+	}
+	for _, op := range h.OpsOfKind(history.KindUpdate) {
+		add(op.Label.Parent, op.Label.Block)
+	}
+	checked := 0
+	for parent, kids := range children {
+		checked++
+		if len(kids) > k {
+			sink.addf("block %s has %d successful extensions, bound k=%d", string(parent), len(kids), k)
+		}
+	}
+	return sink.verdict("KForkCoherence", checked)
+}

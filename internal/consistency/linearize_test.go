@@ -1,0 +1,207 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/core"
+	"blockadt/internal/figures"
+	"blockadt/internal/history"
+	"blockadt/internal/oracle"
+)
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	h := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "a").
+		At(3).Read(0, "b0", "a").
+		At(5).AppendOK(1, "a", "b").
+		At(7).Read(1, "b0", "a", "b").
+		History()
+	ok, err := Linearizable(h, blocktree.LongestChain{})
+	if err != nil || !ok {
+		t.Fatalf("sequential history not linearizable: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLinearizableEmptyHistory(t *testing.T) {
+	ok, err := Linearizable(figures.NewCustom().History(), nil)
+	if err != nil || !ok {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestNotLinearizableGhostRead(t *testing.T) {
+	// A read returns a block never appended: no order explains it.
+	h := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "a").
+		At(3).Read(0, "b0", "ghost").
+		History()
+	ok, err := Linearizable(h, blocktree.LongestChain{})
+	if err != nil || ok {
+		t.Fatalf("ghost read linearizable: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNotLinearizableStaleReadAfterAppend(t *testing.T) {
+	// The append completes strictly before the read is invoked, yet the
+	// read misses the block — forbidden by real-time order.
+	h := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "a"). // rsp at t=2
+		At(10).Read(1, "b0").         // inv at t=10
+		History()
+	ok, err := Linearizable(h, blocktree.LongestChain{})
+	if err != nil || ok {
+		t.Fatal("stale read after completed append is not linearizable")
+	}
+}
+
+func TestSequentialConsistencyForgivesCrossProcessStaleness(t *testing.T) {
+	// The same history IS sequentially consistent: the read's process has
+	// no order constraint against the other process's append.
+	h := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "a").
+		At(10).Read(1, "b0").
+		History()
+	ok, err := SequentiallyConsistent(h, blocktree.LongestChain{})
+	if err != nil || !ok {
+		t.Fatalf("cross-process stale read not sequentially consistent: ok=%v err=%v", ok, err)
+	}
+	// But same-process staleness is still forbidden.
+	h2 := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "a").
+		At(10).Read(0, "b0").
+		History()
+	ok, err = SequentiallyConsistent(h2, blocktree.LongestChain{})
+	if err != nil || ok {
+		t.Fatal("same-process stale read accepted by sequential consistency")
+	}
+}
+
+type manualTestClock struct{ t *int64 }
+
+func (c manualTestClock) Now() int64 { return *c.t }
+
+// overlapHistory builds: append(x) by p0 spanning [1,10], append(y) by p1
+// spanning [2,3] (nested inside x), then a read at [12,13] returning the
+// given chain.
+func overlapHistory(readChain ...history.BlockRef) *history.History {
+	now := new(int64)
+	rec := history.NewRecorderWithClock(manualTestClock{t: now})
+	at := func(t int64) { *now = t }
+
+	at(1)
+	opX := rec.Invoke(0, history.Label{Kind: history.KindAppend, Block: "x"})
+	at(2)
+	opY := rec.Invoke(1, history.Label{Kind: history.KindAppend, Block: "y"})
+	at(3)
+	rec.Respond(opY, history.Label{Kind: history.KindAppend, Block: "y", OK: true})
+	at(10)
+	rec.Respond(opX, history.Label{Kind: history.KindAppend, Block: "x", OK: true})
+	at(12)
+	opR := rec.Invoke(2, history.Label{Kind: history.KindRead})
+	at(13)
+	rec.Respond(opR, history.Label{Kind: history.KindRead, Chain: history.Chain(readChain)})
+	return rec.Snapshot()
+}
+
+// TestLinearizableOverlappingAppendsEitherOrder: the two appends overlap in
+// real time, so both serializations are admissible — the read may see
+// b0⌢y⌢x or b0⌢x⌢y; but a read missing the completed y admits no order.
+func TestLinearizableOverlappingAppendsEitherOrder(t *testing.T) {
+	for _, chain := range []history.Chain{
+		{"b0", "y", "x"},
+		{"b0", "x", "y"},
+	} {
+		ok, err := Linearizable(overlapHistory(chain...), blocktree.LongestChain{})
+		if err != nil || !ok {
+			t.Fatalf("order %v should be linearizable: ok=%v err=%v", chain, ok, err)
+		}
+	}
+	ok, err := Linearizable(overlapHistory("b0", "x"), blocktree.LongestChain{})
+	if err != nil || ok {
+		t.Fatal("read missing the completed append y must not be linearizable")
+	}
+}
+
+// TestConcurrentBlockchainIsLinearizable: the shared-memory refinement
+// object (mutex-serialized appends and reads) produces linearizable
+// histories under real concurrency.
+func TestConcurrentBlockchainIsLinearizable(t *testing.T) {
+	merits := []float64{1, 1, 1}
+	bc := core.New(core.Config{Oracle: oracle.New(oracle.Config{K: 1, Merits: merits, Seed: 7})})
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				bc.Append(history.ProcID(p), blocktree.Block{ID: blocktree.BlockID(fmt.Sprintf("p%d-%d", p, i))})
+				bc.Read(history.ProcID(p))
+			}
+		}(p)
+	}
+	wg.Wait()
+	ok, err := Linearizable(bc.History(), bc.Selector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("mutex-serialized blockchain object produced a non-linearizable history")
+	}
+}
+
+// TestLinearizableImpliesSequentiallyConsistent on assorted histories.
+func TestLinearizableImpliesSequentiallyConsistent(t *testing.T) {
+	histories := []*history.History{
+		figures.NewCustom().At(1).AppendOK(0, "b0", "a").At(3).Read(0, "b0", "a").History(),
+		figures.NewCustom().At(1).Read(0, "b0").History(),
+	}
+	for i, h := range histories {
+		lin, err := Linearizable(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := SequentiallyConsistent(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin && !seq {
+			t.Fatalf("history %d: linearizable but not sequentially consistent", i)
+		}
+	}
+}
+
+func TestLinearizeSizeBound(t *testing.T) {
+	b := figures.NewCustom()
+	tick := int64(1)
+	for i := 0; i < MaxLinearizeOps+1; i++ {
+		b.At(tick).Read(0, "b0")
+		tick += 2
+	}
+	_, err := Linearizable(b.History(), nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestForkedReadsNotLinearizable: the Figure 3 divergence (two reads on
+// incomparable branches) cannot be explained by any sequential order of
+// the BT-ADT, whose appends always extend the selected tip.
+func TestForkedReadsNotLinearizable(t *testing.T) {
+	h := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "a").
+		At(2).AppendOK(1, "b0", "c").
+		At(5).Read(0, "b0", "a").
+		At(7).Read(1, "b0", "c").
+		History()
+	ok, err := Linearizable(h, blocktree.LongestChain{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("forked reads linearizable against the sequential BT-ADT")
+	}
+}

@@ -1,0 +1,26 @@
+package consistency
+
+import "blockadt/internal/history"
+
+// CheckMPC checks Monotonic Prefix Consistency, the criterion of Girault
+// et al. ([20] in the paper) that the related-work section aligns with
+// Strong Prefix: "no criterion stronger than MPC can be implemented in a
+// partition-prone message-passing system", and the paper's Strong Prefix
+// solvability results "immediately apply" to it.
+//
+// MPC is the safety core of BT Strong Consistency: reads are monotone per
+// process and globally prefix-comparable, with every returned block
+// legitimately inserted — but, unlike SC, MPC imposes no liveness (no Ever
+// Growing Tree), so a system that stalls forever while returning the same
+// consistent chain is MPC but not SC. CheckMPC therefore reuses the Block
+// validity, Local monotonic read and Strong prefix checkers.
+func CheckMPC(h *history.History, opts Options) Report {
+	return Report{
+		Criterion: "Monotonic Prefix Consistency",
+		Verdicts: []Verdict{
+			BlockValidity(h, opts),
+			LocalMonotonicRead(h, opts),
+			StrongPrefix(h, opts),
+		},
+	}
+}

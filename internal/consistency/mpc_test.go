@@ -1,0 +1,47 @@
+package consistency
+
+import (
+	"testing"
+
+	"blockadt/internal/figures"
+	"blockadt/internal/history"
+)
+
+// TestMPCOnFigures: Figure 2 satisfies MPC (it is SC); Figure 3 violates it
+// (Strong Prefix fails).
+func TestMPCOnFigures(t *testing.T) {
+	if rep := CheckMPC(figures.Fig2(12), figOpts); !rep.Satisfied() {
+		t.Fatalf("Fig2 not MPC:\n%s", rep)
+	}
+	if rep := CheckMPC(figures.Fig3(12), figOpts); rep.Satisfied() {
+		t.Fatal("Fig3 must violate MPC (Strong Prefix fails)")
+	}
+}
+
+// TestMPCWeakerThanSC: a history whose chain stalls while appends continue
+// elsewhere violates SC's Ever Growing Tree but still satisfies MPC — the
+// liveness/safety separation between the two criteria.
+func TestMPCWeakerThanSC(t *testing.T) {
+	b := figures.NewCustom().
+		At(1).AppendOK(0, "b0", "1").
+		At(2).Read(0, "b0", "1")
+	tick := int64(3)
+	parent := "1"
+	for i := 0; i < 10; i++ {
+		next := "x" + string(rune('a'+i))
+		b.At(tick).AppendOK(0, history.BlockRef(parent), history.BlockRef(next))
+		parent = next
+		tick++
+		// Reads stall at the same (consistent) chain.
+		b.At(tick).Read(1, "b0", "1")
+		tick += 2
+	}
+	h := b.History()
+	opts := Options{GraceWindow: 3}
+	if rep := CheckMPC(h, opts); !rep.Satisfied() {
+		t.Fatalf("stalled-but-consistent history must be MPC:\n%s", rep)
+	}
+	if rep := CheckSC(h, opts); rep.Satisfied() {
+		t.Fatal("stalled history must violate SC (Ever Growing Tree)")
+	}
+}

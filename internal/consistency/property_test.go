@@ -1,0 +1,92 @@
+package consistency
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/core"
+	"blockadt/internal/oracle"
+)
+
+// TestProperty_Theorem31OnGeneratedHistories: across random fork workloads
+// and oracle bounds, every history classified SC also satisfies EC — the
+// inclusion H_SC ⊂ H_EC holds on machine-generated histories, not just the
+// hand-built figures.
+func TestProperty_Theorem31OnGeneratedHistories(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw % 4) // 0 = prodigal
+		res := core.ForkWorkload{K: k, Procs: 5, Rounds: 5, Seed: seed}.Run()
+		opts := Options{}
+		sc := CheckSC(res.History, opts).Satisfied()
+		ec := CheckEC(res.History, opts).Satisfied()
+		// SC ⇒ EC always.
+		return !sc || ec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProperty_K1WorkloadsAlwaysSC: the frugal k=1 fork workload can never
+// produce anything below Strong Consistency — the shared-memory reading of
+// Corollary 4.8.1.
+func TestProperty_K1WorkloadsAlwaysSC(t *testing.T) {
+	f := func(seed uint64) bool {
+		res := core.ForkWorkload{K: 1, Procs: 5, Rounds: 5, Seed: seed}.Run()
+		return CheckSC(res.History, Options{}).Satisfied() && res.MaxFanout <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProperty_ClassificationMonotoneInLevel: Classify never reports SC
+// when CheckSC fails, nor EC when CheckEC fails.
+func TestProperty_ClassificationMonotoneInLevel(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw % 4)
+		res := core.ForkWorkload{K: k, Procs: 4, Rounds: 4, Seed: seed}.Run()
+		opts := Options{}
+		cls := Classify(res.History, opts)
+		switch cls.Level {
+		case LevelSC:
+			return cls.SC.Satisfied()
+		case LevelEC:
+			return !cls.SC.Satisfied() && cls.EC.Satisfied()
+		default:
+			return !cls.EC.Satisfied()
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProperty_SharedMemoryK1Linearizable: small concurrent runs of the
+// k=1 refinement object are always linearizable against the sequential
+// BT-ADT spec.
+func TestProperty_SharedMemoryK1Linearizable(t *testing.T) {
+	f := func(seed uint64) bool {
+		merits := []float64{1, 1}
+		bc := core.New(core.Config{Oracle: oracle.New(oracle.Config{K: 1, Merits: merits, Seed: seed})})
+		// Sequential-but-interleaved workload: 2 procs, 4 ops each.
+		for i := 0; i < 4; i++ {
+			bc.Append(0, blockFor(0, i))
+			bc.Read(1)
+			bc.Append(1, blockFor(1, i))
+			bc.Read(0)
+		}
+		ok, err := Linearizable(bc.History(), bc.Selector())
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blockFor names workload blocks uniquely per (proc, index).
+func blockFor(proc, i int) blocktree.Block {
+	return blocktree.Block{ID: blocktree.BlockID(fmt.Sprintf("w%d-%d", proc, i))}
+}

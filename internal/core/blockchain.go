@@ -1,0 +1,163 @@
+// Package core implements the paper's primary contribution: the refinement
+// R(BT-ADT, Θ) of Definitions 3.7–3.8 of "Blockchain Abstract Data Type"
+// (Anceaume et al.) — a BlockTree abstract data type augmented with a token
+// oracle, exposed as a concurrent, history-recording Blockchain object.
+//
+// The refined append(b) triggers getToken(b_h ← last block(f(bt)), b_ℓ)
+// until a token is returned, then consumes the token and concatenates the
+// validated block at position h: {b0}⌢f(bt)|⌢h{b_ℓ}. The two oracle
+// operations and the concatenation occur atomically (Section 3.3), which is
+// the oracle-side synchronization assumed by the message-passing results
+// (Section 4.4). read() returns {b0}⌢f(bt).
+//
+// Every operation is recorded into a history.Recorder so that the
+// consistency checkers of internal/consistency can adjudicate the run.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/history"
+	"blockadt/internal/oracle"
+)
+
+// Config parameterizes a Blockchain.
+type Config struct {
+	// Oracle is the token oracle Θ; nil defaults to a frugal oracle with
+	// k = 1 and a single always-granting merit.
+	Oracle *oracle.Oracle
+	// Selector is the selection function f; nil defaults to longest
+	// chain.
+	Selector blocktree.Selector
+	// Recorder receives the history events; nil allocates a fresh one.
+	Recorder *history.Recorder
+	// MaxTokenAttempts bounds the getToken loop of a single append; 0
+	// means unbounded (the paper's semantics, terminating with
+	// probability 1 whenever the invoker's merit probability is
+	// positive).
+	MaxTokenAttempts int
+}
+
+// Blockchain is the concurrent object R(BT-ADT, Θ).
+type Blockchain struct {
+	mu       sync.Mutex
+	tree     *blocktree.Tree
+	orc      *oracle.Oracle
+	sel      blocktree.Selector
+	rec      *history.Recorder
+	maxTries int
+}
+
+// ErrTokenExhausted reports that an append gave up before obtaining a token
+// because Config.MaxTokenAttempts was reached.
+var ErrTokenExhausted = errors.New("core: token attempts exhausted")
+
+// New returns a Blockchain per the configuration.
+func New(cfg Config) *Blockchain {
+	orc := cfg.Oracle
+	if orc == nil {
+		orc = oracle.NewFrugal(1, 0, 1)
+	}
+	sel := cfg.Selector
+	if sel == nil {
+		sel = blocktree.LongestChain{}
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = history.NewRecorder()
+	}
+	return &Blockchain{
+		tree:     blocktree.New(),
+		orc:      orc,
+		sel:      sel,
+		rec:      rec,
+		maxTries: cfg.MaxTokenAttempts,
+	}
+}
+
+// Oracle returns the oracle Θ the object was refined with.
+func (bc *Blockchain) Oracle() *oracle.Oracle { return bc.orc }
+
+// Selector returns the selection function f.
+func (bc *Blockchain) Selector() blocktree.Selector { return bc.sel }
+
+// Recorder returns the recorder collecting this object's history.
+func (bc *Blockchain) Recorder() *history.Recorder { return bc.rec }
+
+// Tree returns a snapshot copy of the current BlockTree.
+func (bc *Blockchain) Tree() *blocktree.Tree {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.tree.Clone()
+}
+
+// History returns an immutable snapshot of the recorded history.
+func (bc *Blockchain) History() *history.History { return bc.rec.Snapshot() }
+
+// Append implements the refined append(b) of Definition 3.7 on behalf of
+// process proc, whose oracle merit index equals int(proc). It returns the
+// paper's evaluate() output: true iff a token was obtained and the block
+// entered the consumed set (and hence the tree). The error is non-nil only
+// for configuration-level failures (token attempts exhausted).
+func (bc *Blockchain) Append(proc history.ProcID, b blocktree.Block) (bool, error) {
+	op := bc.rec.Invoke(proc, history.Label{Kind: history.KindAppend, Block: b.ID})
+
+	bc.mu.Lock()
+	ok, parent, err := bc.appendLocked(int(proc), b)
+	bc.mu.Unlock()
+
+	bc.rec.Respond(op, history.Label{Kind: history.KindAppend, Block: b.ID, Parent: parent, OK: ok})
+	return ok, err
+}
+
+// appendLocked runs the atomic getToken*·consumeToken·concatenate step.
+func (bc *Blockchain) appendLocked(merit int, b blocktree.Block) (bool, blocktree.BlockID, error) {
+	parent := bc.sel.Select(bc.tree).Tip().ID
+	var tok oracle.Token
+	for attempt := 0; ; attempt++ {
+		if bc.maxTries > 0 && attempt >= bc.maxTries {
+			return false, parent, ErrTokenExhausted
+		}
+		t, granted := bc.orc.GetToken(merit, parent, b.ID)
+		if granted {
+			tok = t
+			break
+		}
+	}
+	set, inserted, err := bc.orc.ConsumeToken(tok)
+	if err != nil {
+		return false, parent, fmt.Errorf("core: consume: %w", err)
+	}
+	// evaluate(b, δb ∘ δa*): true iff b^tknh is in the returned set.
+	in := false
+	for _, o := range set {
+		if o == b.ID {
+			in = true
+			break
+		}
+	}
+	if !inserted || !in {
+		// Frugal oracle refused the consumption: K[h] already holds k
+		// blocks. The tree is unchanged and append returns false.
+		return false, parent, nil
+	}
+	b.Parent = parent
+	b.Token = tok.ID
+	if err := bc.tree.Insert(b); err != nil {
+		return false, parent, fmt.Errorf("core: insert after consume: %w", err)
+	}
+	return true, parent, nil
+}
+
+// Read implements read() on behalf of process proc: {b0}⌢f(bt).
+func (bc *Blockchain) Read(proc history.ProcID) blocktree.Chain {
+	op := bc.rec.Invoke(proc, history.Label{Kind: history.KindRead})
+	bc.mu.Lock()
+	chain := bc.sel.Select(bc.tree)
+	bc.mu.Unlock()
+	bc.rec.Respond(op, history.Label{Kind: history.KindRead, Chain: chain.IDs()})
+	return chain
+}

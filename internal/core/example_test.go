@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/consistency"
+	"blockadt/internal/core"
+	"blockadt/internal/oracle"
+)
+
+// Example builds the refinement R(BT-ADT, Θ_F,k=1), appends two blocks and
+// reads the selected chain — the minimal end-to-end use of the library.
+func Example() {
+	bc := core.New(core.Config{
+		Oracle:   oracle.NewFrugal(1, 42, 1.0),
+		Selector: blocktree.LongestChain{},
+	})
+	ok, _ := bc.Append(0, blocktree.Block{ID: "a"})
+	fmt.Println("append(a):", ok)
+	ok, _ = bc.Append(0, blocktree.Block{ID: "b"})
+	fmt.Println("append(b):", ok)
+	fmt.Println("read():", bc.Read(0))
+	// Output:
+	// append(a): true
+	// append(b): true
+	// read(): b0⌢a⌢b
+}
+
+// Example_consistencyCheck records a run's history and adjudicates it
+// against the BT Strong Consistency criterion.
+func Example_consistencyCheck() {
+	bc := core.New(core.Config{})
+	bc.Append(0, blocktree.Block{ID: "x"})
+	bc.Read(0)
+	bc.Read(1)
+	report := consistency.CheckSC(bc.History(), consistency.Options{})
+	fmt.Println("SC satisfied:", report.Satisfied())
+	// Output:
+	// SC satisfied: true
+}
+
+// Example_forkBound shows the frugal oracle refusing a second block on the
+// same predecessor: the k-fork bound at work.
+func Example_forkBound() {
+	orc := oracle.NewFrugal(1, 7, 1, 1)
+	t1, _ := orc.GetToken(0, "b0", "left")
+	t2, _ := orc.GetToken(1, "b0", "right")
+	_, first, _ := orc.ConsumeToken(t1)
+	_, second, _ := orc.ConsumeToken(t2)
+	fmt.Println("first consumed:", first)
+	fmt.Println("second consumed:", second)
+	fmt.Println("K[b0]:", orc.ConsumedSet("b0"))
+	// Output:
+	// first consumed: true
+	// second consumed: false
+	// K[b0]: [left]
+}

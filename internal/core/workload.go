@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/history"
+	"blockadt/internal/oracle"
+)
+
+// ForkWorkload generates a contended history for the hierarchy experiments
+// of Section 3.4 (Figures 8 and 14, Theorems 3.3 and 3.4): in each round,
+// every process proposes a block for the same predecessor (the current tip
+// of the longest chain) and consumes a token for it, so the realized fanout
+// per block is limited exactly by the oracle bound k. The resulting
+// (history, tree) pair exhibits how Θ_F,k shapes the admissible histories.
+type ForkWorkload struct {
+	// K is the oracle bound (oracle.Unbounded for Θ_P).
+	K int
+	// Procs is the number of contending processes.
+	Procs int
+	// Rounds is the number of contention rounds.
+	Rounds int
+	// Seed drives the oracle tapes.
+	Seed uint64
+}
+
+// ForkResult is the outcome of running a ForkWorkload.
+type ForkResult struct {
+	// History is the recorded concurrent history, reads included.
+	History *history.History
+	// Tree is the final BlockTree.
+	Tree *blocktree.Tree
+	// MaxFanout is the realized maximum number of children per block.
+	MaxFanout int
+	// SuccessfulAppends counts appends that returned true.
+	SuccessfulAppends int
+}
+
+// Run executes the workload deterministically (sequential rounds; the
+// contention is on the oracle's consumed sets, not on goroutine timing, so
+// results are reproducible).
+func (w ForkWorkload) Run() ForkResult {
+	procs := w.Procs
+	if procs <= 0 {
+		procs = 4
+	}
+	rounds := w.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	merits := make([]float64, procs)
+	for i := range merits {
+		merits[i] = 1
+	}
+	orc := oracle.New(oracle.Config{K: w.K, Merits: merits, Seed: w.Seed})
+	rec := history.NewRecorder()
+	tree := blocktree.New()
+	sel := blocktree.LongestChain{}
+
+	success := 0
+	for r := 0; r < rounds; r++ {
+		parent := sel.Select(tree).Tip().ID
+		for p := 0; p < procs; p++ {
+			id := blocktree.BlockID(fmt.Sprintf("r%02d-p%02d", r, p))
+			op := rec.Invoke(history.ProcID(p), history.Label{Kind: history.KindAppend, Block: id})
+			tok, granted := orc.GetToken(p, parent, id)
+			ok := false
+			if granted {
+				if _, inserted, err := orc.ConsumeToken(tok); err == nil && inserted {
+					if tree.Insert(blocktree.Block{ID: id, Parent: parent, Token: tok.ID, Proposer: p}) == nil {
+						ok = true
+						success++
+					}
+				}
+			}
+			rec.Respond(op, history.Label{Kind: history.KindAppend, Block: id, Parent: parent, OK: ok})
+		}
+		// One read per process per round.
+		for p := 0; p < procs; p++ {
+			op := rec.Invoke(history.ProcID(p), history.Label{Kind: history.KindRead})
+			rec.Respond(op, history.Label{Kind: history.KindRead, Chain: sel.Select(tree).IDs()})
+		}
+	}
+	return ForkResult{
+		History:           rec.Snapshot(),
+		Tree:              tree,
+		MaxFanout:         tree.MaxFanout(),
+		SuccessfulAppends: success,
+	}
+}

@@ -1,0 +1,408 @@
+// Package experiments runs the per-figure/per-theorem reproduction
+// experiments indexed in DESIGN.md and records paper-claim versus measured
+// outcome. Each experiment is deterministic (seeded) and returns a
+// structured Result consumed by the btadt CLI, the test suite and
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"blockadt/internal/adt"
+	"blockadt/internal/blocktree"
+	"blockadt/internal/chains"
+	"blockadt/internal/consensus"
+	"blockadt/internal/consistency"
+	"blockadt/internal/core"
+	"blockadt/internal/figures"
+	"blockadt/internal/history"
+	"blockadt/internal/oracle"
+	"blockadt/internal/registers"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "F2", "T42").
+	ID string
+	// Artifact names the paper artifact reproduced.
+	Artifact string
+	// PaperClaim summarizes what the paper states.
+	PaperClaim string
+	// Measured summarizes what the reproduction observed.
+	Measured string
+	// Pass reports whether the observation matches the claim.
+	Pass bool
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("[%s] %-4s %-34s %s", status, r.ID, r.Artifact, r.Measured)
+}
+
+// Runner executes experiments with a shared base seed.
+type Runner struct {
+	// Seed drives every experiment; default 42.
+	Seed uint64
+}
+
+func (r Runner) seed() uint64 {
+	if r.Seed == 0 {
+		return 42
+	}
+	return r.Seed
+}
+
+// All runs every experiment in index order.
+func (r Runner) All() []Result {
+	return []Result{
+		r.F1SequentialSpec(),
+		r.F2StrongHistory(),
+		r.F3EventualHistory(),
+		r.F4InconsistentHistory(),
+		r.F5F6OracleTransitions(),
+		r.F7AppendRefinement(),
+		r.F8F14Hierarchy(),
+		r.T31SCSubsetEC(),
+		r.T32KForkCoherence(),
+		r.T33T34FrugalInclusions(),
+		r.T41CASFromConsumeToken(),
+		r.T42ConsensusFromFrugal(),
+		r.T43ProdigalFromSnapshot(),
+		r.T46T47UpdateAgreementNecessity(),
+		r.T48ForkImpossibility(),
+		r.Table1Classification(),
+	}
+}
+
+// F1SequentialSpec replays Figure 1's transition path through the BT-ADT
+// transducer and checks membership in L(BT-ADT).
+func (r Runner) F1SequentialSpec() Result {
+	valid := func(b blocktree.Block) bool { return b.ID != "b3" }
+	bt := blocktree.ADT(blocktree.LongestChain{}, valid)
+	seq := []adt.Operation[blocktree.Input, blocktree.Output]{
+		adt.Out[blocktree.Input, blocktree.Output](blocktree.AppendOp(blocktree.Block{ID: "b1"}), blocktree.Output{OK: true}),
+		adt.Out[blocktree.Input, blocktree.Output](blocktree.AppendOp(blocktree.Block{ID: "b3"}), blocktree.Output{OK: false}),
+		adt.Out[blocktree.Input, blocktree.Output](blocktree.ReadOp(), blocktree.Output{IsChain: true, Chain: history.Chain{"b0", "b1"}}),
+		adt.Out[blocktree.Input, blocktree.Output](blocktree.AppendOp(blocktree.Block{ID: "b2"}), blocktree.Output{OK: true}),
+		adt.Out[blocktree.Input, blocktree.Output](blocktree.ReadOp(), blocktree.Output{IsChain: true, Chain: history.Chain{"b0", "b1", "b2"}}),
+	}
+	err := bt.Recognizes(seq, blocktree.Output.Equal)
+	return Result{
+		ID:         "F1",
+		Artifact:   "Fig 1: BT-ADT transition path",
+		PaperClaim: "the depicted append/read path is a sequential history of the BT-ADT",
+		Measured:   measured(err == nil, "path ∈ L(BT-ADT)", fmt.Sprintf("rejected: %v", err)),
+		Pass:       err == nil,
+	}
+}
+
+func measured(ok bool, yes, no string) string {
+	if ok {
+		return yes
+	}
+	return no
+}
+
+// figOpts is the grace window used on the hand-built figure histories.
+var figOpts = consistency.Options{GraceWindow: 8}
+
+// F2StrongHistory checks that the Figure 2 history satisfies SC.
+func (r Runner) F2StrongHistory() Result {
+	cls := consistency.Classify(figures.Fig2(12), figOpts)
+	pass := cls.Level == consistency.LevelSC
+	return Result{
+		ID:         "F2",
+		Artifact:   "Fig 2: SC-admissible history",
+		PaperClaim: "the history satisfies the BT Strong Consistency criterion",
+		Measured:   "classified " + cls.Level.String(),
+		Pass:       pass,
+	}
+}
+
+// F3EventualHistory checks that the Figure 3 history is EC but not SC.
+func (r Runner) F3EventualHistory() Result {
+	cls := consistency.Classify(figures.Fig3(12), figOpts)
+	pass := cls.Level == consistency.LevelEC
+	return Result{
+		ID:         "F3",
+		Artifact:   "Fig 3: EC-but-not-SC history",
+		PaperClaim: "the history satisfies Eventual but violates Strong consistency",
+		Measured:   "classified " + cls.Level.String() + "; SC failures: " + strings.Join(cls.SC.Failed(), ","),
+		Pass:       pass,
+	}
+}
+
+// F4InconsistentHistory checks that the Figure 4 history satisfies neither
+// criterion.
+func (r Runner) F4InconsistentHistory() Result {
+	cls := consistency.Classify(figures.Fig4(12), figOpts)
+	pass := cls.Level == consistency.LevelNone
+	return Result{
+		ID:         "F4",
+		Artifact:   "Fig 4: inconsistent history",
+		PaperClaim: "the history satisfies no BT consistency criterion",
+		Measured:   "classified " + cls.Level.String(),
+		Pass:       pass,
+	}
+}
+
+// F5F6OracleTransitions replays the Figure 6 oracle path and verifies the
+// Figure 5 abstract state (tapes + K array) behaves as specified.
+func (r Runner) F5F6OracleTransitions() Result {
+	o := oracle.New(oracle.Config{K: 2, Merits: []float64{1, 0}, Seed: r.seed()})
+	tok, granted := o.GetToken(0, "obj1", "objk")
+	if !granted {
+		return Result{ID: "F5-6", Artifact: "Fig 5-6: Θ oracle state/transitions", PaperClaim: "getToken pops tkn, consumeToken fills K[h] up to k", Measured: "tape α1 (p=1) refused a token", Pass: false}
+	}
+	set, inserted, err := o.ConsumeToken(tok)
+	_, zeroGrant := o.GetToken(1, "obj1", "objz")
+	pass := inserted && err == nil && len(set) == 1 && set[0] == "objk" && !zeroGrant
+	return Result{
+		ID:         "F5-6",
+		Artifact:   "Fig 5-6: Θ oracle state/transitions",
+		PaperClaim: "getToken pops the merit tape; consumeToken inserts into K[h] while |K[h]| < k",
+		Measured:   fmt.Sprintf("K[obj1]=%v after consume; p=0 tape granted=%v", set, zeroGrant),
+		Pass:       pass,
+	}
+}
+
+// F7AppendRefinement executes the refined append of Figure 7 on the
+// composed object and checks the resulting chain and oracle state.
+func (r Runner) F7AppendRefinement() Result {
+	orc := oracle.NewFrugal(2, r.seed(), 1)
+	bc := core.New(core.Config{Oracle: orc})
+	ok1, _ := bc.Append(0, blocktree.Block{ID: "bk"})
+	ok2, _ := bc.Append(0, blocktree.Block{ID: "b2"})
+	chain := bc.Read(0).String()
+	set := orc.ConsumedSet("b0")
+	pass := ok1 && ok2 && chain == "b0⌢bk⌢b2" && len(set) == 1 && set[0] == "bk"
+	return Result{
+		ID:         "F7",
+		Artifact:   "Fig 7: refined append path",
+		PaperClaim: "append = getToken*·consumeToken·concatenate, atomically",
+		Measured:   fmt.Sprintf("read()=%s, K[b0]=%v", chain, set),
+		Pass:       pass,
+	}
+}
+
+// F8F14Hierarchy samples the refinement hierarchy: realized fanout is
+// monotone in k, and only k=1 yields fork-free trees.
+func (r Runner) F8F14Hierarchy() Result {
+	fanouts := map[string]int{}
+	ks := []struct {
+		label string
+		k     int
+	}{{"k=1", 1}, {"k=2", 2}, {"k=4", 4}, {"Θ_P", oracle.Unbounded}}
+	prev := 0
+	monotone := true
+	for i, e := range ks {
+		res := core.ForkWorkload{K: e.k, Procs: 8, Rounds: 6, Seed: r.seed()}.Run()
+		fanouts[e.label] = res.MaxFanout
+		if i > 0 && res.MaxFanout < prev {
+			monotone = false
+		}
+		prev = res.MaxFanout
+	}
+	pass := monotone && fanouts["k=1"] == 1 && fanouts["Θ_P"] == 8
+	return Result{
+		ID:         "F8-14",
+		Artifact:   "Fig 8/14: refinement hierarchy",
+		PaperClaim: "Ĥ(Θ_F,k1) ⊆ Ĥ(Θ_F,k2) ⊆ Ĥ(Θ_P) for k1≤k2; only k=1 forbids forks",
+		Measured:   fmt.Sprintf("max fanout: k=1→%d, k=2→%d, k=4→%d, Θ_P→%d", fanouts["k=1"], fanouts["k=2"], fanouts["k=4"], fanouts["Θ_P"]),
+		Pass:       pass,
+	}
+}
+
+// T31SCSubsetEC checks Theorem 3.1 on the figure histories.
+func (r Runner) T31SCSubsetEC() Result {
+	fig2 := figures.Fig2(12)
+	scIsEC := consistency.CheckSC(fig2, figOpts).Satisfied() && consistency.CheckEC(fig2, figOpts).Satisfied()
+	fig3 := figures.Fig3(12)
+	strict := consistency.CheckEC(fig3, figOpts).Satisfied() && !consistency.CheckSC(fig3, figOpts).Satisfied()
+	pass := scIsEC && strict
+	return Result{
+		ID:         "T3.1",
+		Artifact:   "Theorem 3.1: H_SC ⊂ H_EC",
+		PaperClaim: "every SC history is EC; some EC history is not SC",
+		Measured:   fmt.Sprintf("SC⇒EC on Fig2: %v; EC∖SC witness (Fig3): %v", scIsEC, strict),
+		Pass:       pass,
+	}
+}
+
+// T32KForkCoherence checks Theorem 3.2 under contention.
+func (r Runner) T32KForkCoherence() Result {
+	ok := true
+	detail := []string{}
+	for _, k := range []int{1, 2, 3} {
+		res := core.ForkWorkload{K: k, Procs: 8, Rounds: 5, Seed: r.seed()}.Run()
+		v := consistency.KForkCoherence(res.History, k, consistency.Options{})
+		ok = ok && v.Satisfied && res.MaxFanout <= k
+		detail = append(detail, fmt.Sprintf("k=%d fanout=%d", k, res.MaxFanout))
+	}
+	return Result{
+		ID:         "T3.2",
+		Artifact:   "Theorem 3.2: k-Fork Coherence",
+		PaperClaim: "histories of BT-ADT ∘ Θ_F,k have ≤ k successful appends per token target",
+		Measured:   strings.Join(detail, ", "),
+		Pass:       ok,
+	}
+}
+
+// T33T34FrugalInclusions checks the sampled inclusions of Theorems 3.3/3.4.
+func (r Runner) T33T34FrugalInclusions() Result {
+	h1 := core.ForkWorkload{K: 1, Procs: 8, Rounds: 5, Seed: r.seed()}.Run().History
+	h2 := core.ForkWorkload{K: 2, Procs: 8, Rounds: 5, Seed: r.seed()}.Run().History
+	hp := core.ForkWorkload{K: oracle.Unbounded, Procs: 8, Rounds: 5, Seed: r.seed()}.Run().History
+	inc12 := consistency.KForkCoherence(h1, 2, consistency.Options{}).Satisfied
+	incP := consistency.KForkCoherence(h2, 0, consistency.Options{}).Satisfied
+	strict := !consistency.KForkCoherence(hp, 2, consistency.Options{}).Satisfied
+	pass := inc12 && incP && strict
+	return Result{
+		ID:         "T3.3-4",
+		Artifact:   "Theorems 3.3/3.4: oracle-class inclusions",
+		PaperClaim: "Ĥ(Θ_F,k1) ⊆ Ĥ(Θ_F,k2) ⊆ Ĥ(Θ_P), strictly under contention",
+		Measured:   fmt.Sprintf("k1⊆k2: %v, frugal⊆prodigal: %v, strictness: %v", inc12, incP, strict),
+		Pass:       pass,
+	}
+}
+
+// T41CASFromConsumeToken exercises the Figure 9/10 reduction.
+func (r Runner) T41CASFromConsumeToken() Result {
+	cas := registers.NewCASFromCT(registers.NewConsumeTokenK1())
+	won := cas.CompareAndSwapEmpty("h", "b1") == ""
+	lostPrev := cas.CompareAndSwapEmpty("h", "b2")
+	pass := won && lostPrev == "b1"
+	return Result{
+		ID:         "T4.1",
+		Artifact:   "Fig 9/10: CAS from consumeToken (k=1)",
+		PaperClaim: "compare&swap is wait-free implementable from consumeToken",
+		Measured:   fmt.Sprintf("winner saw {}, loser saw %q", lostPrev),
+		Pass:       pass,
+	}
+}
+
+// T42ConsensusFromFrugal runs Protocol A with 16 processes.
+func (r Runner) T42ConsensusFromFrugal() Result {
+	const n = 16
+	merits := make([]float64, n)
+	for i := range merits {
+		merits[i] = 1
+	}
+	o := oracle.New(oracle.Config{K: 1, Merits: merits, Seed: r.seed()})
+	c, err := consensus.NewFromFrugal(o, "b0")
+	if err != nil {
+		return Result{ID: "T4.2", Artifact: "Fig 11/Thm 4.2", Measured: err.Error(), Pass: false}
+	}
+	decisions := map[consensus.Value]int{}
+	for i := 0; i < n; i++ {
+		d, err := c.Propose(i, consensus.Value(fmt.Sprintf("blk%d", i)))
+		if err != nil {
+			return Result{ID: "T4.2", Artifact: "Fig 11/Thm 4.2", Measured: err.Error(), Pass: false}
+		}
+		decisions[d]++
+	}
+	pass := len(decisions) == 1
+	var decided consensus.Value
+	for d := range decisions {
+		decided = d
+	}
+	return Result{
+		ID:         "T4.2",
+		Artifact:   "Fig 11 / Thm 4.2: Consensus from Θ_F,k=1",
+		PaperClaim: "Θ_F,k=1 has consensus number ∞ (Protocol A solves n-process consensus)",
+		Measured:   fmt.Sprintf("%d processes all decided %q", n, decided),
+		Pass:       pass,
+	}
+}
+
+// T43ProdigalFromSnapshot exercises the Figure 12 reduction.
+func (r Runner) T43ProdigalFromSnapshot() Result {
+	ct := registers.NewCTFromSnapshot(8)
+	ct.Consume("h", "t1")
+	ct.Consume("h", "t2")
+	set := ct.Consume("h", "t3")
+	pass := len(set) == 3
+	return Result{
+		ID:         "T4.3",
+		Artifact:   "Fig 12 / Thm 4.3: Θ_P from Atomic Snapshot",
+		PaperClaim: "the prodigal consumeToken is implementable from snapshot (consensus number 1)",
+		Measured:   fmt.Sprintf("3 consumptions all accepted, final set %v", set),
+		Pass:       pass,
+	}
+}
+
+// T46T47UpdateAgreementNecessity compares a reliable run against a lossy
+// run: the reliable run satisfies Update Agreement + LRC + EC; the lossy
+// run violates all three.
+func (r Runner) T46T47UpdateAgreementNecessity() Result {
+	reliable := runReplicated(r.seed(), false)
+	lossy := runReplicated(r.seed(), true)
+	opts := consistency.Options{Procs: []history.ProcID{0, 1, 2}, GraceWindow: 8}
+	relOK := consistency.UpdateAgreement(reliable, opts).Satisfied &&
+		consistency.LRC(reliable, opts).Satisfied &&
+		consistency.CheckEC(reliable, opts).Satisfied()
+	lossyBad := !consistency.UpdateAgreement(lossy, opts).Satisfied &&
+		!consistency.LRC(lossy, opts).Satisfied &&
+		!consistency.EventualPrefix(lossy, opts).Satisfied
+	pass := relOK && lossyBad
+	return Result{
+		ID:         "T4.6-7",
+		Artifact:   "Fig 13 / Thms 4.6-4.7: Update Agreement & LRC necessity",
+		PaperClaim: "dropping even one correct process's update breaks Eventual Prefix",
+		Measured:   fmt.Sprintf("reliable run: UA+LRC+EC=%v; lossy run violates UA,LRC,EventualPrefix=%v", relOK, lossyBad),
+		Pass:       pass,
+	}
+}
+
+// T48ForkImpossibility runs the Theorem 4.8 construction.
+func (r Runner) T48ForkImpossibility() Result {
+	violatedAtK2, singleAtK1 := theorem48Runs(r.seed())
+	pass := violatedAtK2 && singleAtK1
+	return Result{
+		ID:         "T4.8",
+		Artifact:   "Theorem 4.8: Strong Prefix needs Θ_F,k=1",
+		PaperClaim: "with any fork-allowing oracle, a fault-free synchronous run violates Strong Prefix",
+		Measured:   fmt.Sprintf("k=2 construction violates StrongPrefix: %v; k=1 rerun stays a single chain: %v", violatedAtK2, singleAtK1),
+		Pass:       pass,
+	}
+}
+
+// Table1Classification regenerates Table 1.
+func (r Runner) Table1Classification() Result {
+	rows := chains.Classify(chains.Params{N: 8, TargetBlocks: 30, Seed: r.seed()})
+	mismatches := []string{}
+	for _, row := range rows {
+		if !row.Match {
+			mismatches = append(mismatches, fmt.Sprintf("%s(%s≠%s)", row.System, row.Measured, row.Expected))
+		}
+	}
+	pass := len(mismatches) == 0
+	return Result{
+		ID:         "T1",
+		Artifact:   "Table 1: mapping of existing systems",
+		PaperClaim: "Bitcoin/Ethereum → R(BT_EC,Θ_P); Algorand/ByzCoin/PeerCensus/RedBelly/Hyperledger → R(BT_SC,Θ_F,k=1)",
+		Measured:   measured(pass, "all 7 systems classified at the paper's level", "mismatches: "+strings.Join(mismatches, ", ")),
+		Pass:       pass,
+	}
+}
+
+// Format renders results as an aligned report.
+func Format(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintln(&b, r)
+	}
+	pass := 0
+	for _, r := range results {
+		if r.Pass {
+			pass++
+		}
+	}
+	fmt.Fprintf(&b, "%d/%d experiments reproduce the paper's claims\n", pass, len(results))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass: every indexed experiment reproduces its paper
+// claim — the repository-level acceptance test.
+func TestAllExperimentsPass(t *testing.T) {
+	results := Runner{}.All()
+	if len(results) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s (%s): %s", r.ID, r.Artifact, r.Measured)
+		}
+	}
+	t.Logf("\n%s", Format(results))
+}
+
+// TestExperimentsDeterministic: the same seed yields identical measured
+// strings.
+func TestExperimentsDeterministic(t *testing.T) {
+	a := Runner{Seed: 7}.All()
+	b := Runner{Seed: 7}.All()
+	for i := range a {
+		if a[i].Measured != b[i].Measured || a[i].Pass != b[i].Pass {
+			t.Fatalf("experiment %s not deterministic", a[i].ID)
+		}
+	}
+}
+
+// TestAlternateSeedsStillPass: the reproduction is not seed-lucky.
+func TestAlternateSeedsStillPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for _, seed := range []uint64{1, 9, 123} {
+		for _, r := range (Runner{Seed: seed}).All() {
+			if !r.Pass {
+				t.Errorf("seed %d: %s failed: %s", seed, r.ID, r.Measured)
+			}
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format([]Result{{ID: "X", Artifact: "a", Measured: "m", Pass: true}})
+	if !strings.Contains(out, "[PASS]") || !strings.Contains(out, "1/1") {
+		t.Fatalf("format:\n%s", out)
+	}
+	out = Format([]Result{{ID: "X", Artifact: "a", Measured: "m", Pass: false}})
+	if !strings.Contains(out, "[FAIL]") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{ID: "F2", Artifact: "art", Measured: "ok", Pass: true}.String()
+	if !strings.Contains(s, "F2") || !strings.Contains(s, "PASS") {
+		t.Fatalf("string: %s", s)
+	}
+}
+
+// TestExtensionsPass: the beyond-the-paper experiments (worked examples,
+// future work, related-work mapping) also hold.
+func TestExtensionsPass(t *testing.T) {
+	results := Runner{}.Extensions()
+	if len(results) != 9 {
+		t.Fatalf("extensions = %d, want 9", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s (%s): %s", r.ID, r.Artifact, r.Measured)
+		}
+	}
+	t.Logf("\n%s", Format(results))
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/consistency"
+	"blockadt/internal/finality"
+	"blockadt/internal/history"
+	"blockadt/internal/netsim"
+	"blockadt/internal/oracle"
+)
+
+// runReplicated drives the 3-process replicated BT-ADT of Section 4.2 —
+// process 0 creates blocks, everyone reads — over reliable or lossy links
+// (lossy = all updates towards process 2 dropped, the Lemma 4.5
+// construction).
+func runReplicated(seed uint64, lossy bool) *history.History {
+	var links netsim.LinkModel = netsim.Synchronous{Delta: 4}
+	if lossy {
+		links = netsim.Lossy{
+			Inner: netsim.Synchronous{Delta: 4},
+			Rule:  func(m netsim.Message, _ int64) bool { return m.Kind == netsim.UpdateMsg && m.To == 2 },
+		}
+	}
+	s := netsim.New(links, seed)
+	reps := map[history.ProcID]*netsim.Replica{}
+	for i := 0; i < 3; i++ {
+		id := history.ProcID(i)
+		reps[id] = netsim.NewReplica(id, blocktree.LongestChain{}, s.Recorder())
+	}
+	count := 0
+	const blocks = 12
+	for i := 0; i < 3; i++ {
+		id := history.ProcID(i)
+		rep := reps[id]
+		creator := i == 0
+		s.Register(id, netsim.HandlerFuncs{
+			Message: func(s *netsim.Sim, m netsim.Message) { rep.OnMessage(s, m) },
+			Timer: func(s *netsim.Sim, tag string) {
+				switch tag {
+				case "create":
+					if creator && count < blocks {
+						parent := rep.Selected().Tip()
+						b := blocktree.Block{
+							ID:     blocktree.BlockID(fmt.Sprintf("c%03d", count)),
+							Parent: parent.ID,
+							Token:  uint64(count + 1),
+						}
+						count++
+						rep.CreateAndBroadcast(s, parent.ID, b)
+						s.TimerAt(id, s.Now()+10, "create")
+					}
+				case "read":
+					rep.Read()
+					s.TimerAt(id, s.Now()+7, "read")
+				}
+			},
+		})
+		if creator {
+			s.TimerAt(id, 1, "create")
+		}
+		s.TimerAt(id, 2+int64(i), "read")
+	}
+	s.Run(600)
+	for _, p := range s.Procs() {
+		reps[p].Read()
+	}
+	return s.Recorder().Snapshot()
+}
+
+// theorem48Runs executes the Theorem 4.8 construction twice: once with
+// Θ_F,k=2 (forks allowed — Strong Prefix must break) and once with Θ_F,k=1
+// (the fork is refused — Strong Prefix must hold). It returns
+// (violatedAtK2, singleChainAtK1).
+func theorem48Runs(seed uint64) (bool, bool) {
+	run := func(k int) (*history.History, int) {
+		const delta = 10
+		sim := netsim.New(netsim.Synchronous{Delta: delta, Min: delta}, seed)
+		orc := oracle.NewFrugal(k, seed, 1, 1)
+		rec := sim.Recorder()
+		reps := map[history.ProcID]*netsim.Replica{}
+		for _, p := range []history.ProcID{0, 1} {
+			rep := netsim.NewReplica(p, blocktree.LongestChain{}, rec)
+			reps[p] = rep
+			p := p
+			sim.Register(p, netsim.HandlerFuncs{
+				Message: func(s *netsim.Sim, m netsim.Message) { rep.OnMessage(s, m) },
+				Timer: func(s *netsim.Sim, tag string) {
+					switch tag {
+					case "append":
+						parent := rep.Selected().Tip()
+						id := blocktree.BlockID("b_" + string(rune('i'+p)))
+						tok, ok := orc.GetToken(int(p), parent.ID, id)
+						if !ok {
+							return
+						}
+						op := rec.Invoke(p, history.Label{Kind: history.KindAppend, Block: id})
+						_, inserted, err := orc.ConsumeToken(tok)
+						okAppend := inserted && err == nil
+						rec.Respond(op, history.Label{Kind: history.KindAppend, Block: id, Parent: parent.ID, OK: okAppend})
+						if okAppend {
+							rep.CreateAndBroadcast(s, parent.ID, blocktree.Block{ID: id, Parent: parent.ID, Token: tok.ID})
+						}
+					case "read":
+						rep.Read()
+					}
+				},
+			})
+		}
+		const t0 = 5
+		sim.TimerAt(0, t0, "append")
+		sim.TimerAt(1, t0, "append")
+		sim.TimerAt(0, t0+delta/2, "read")
+		sim.TimerAt(1, t0+delta/2, "read")
+		sim.Run(t0 + 4*delta)
+		maxFanout := 0
+		for _, rep := range reps {
+			if f := rep.Tree().MaxFanout(); f > maxFanout {
+				maxFanout = f
+			}
+		}
+		return rec.Snapshot(), maxFanout
+	}
+
+	h2, _ := run(2)
+	violated := !consistency.StrongPrefix(h2, consistency.Options{}).Satisfied
+	h1, fanout1 := run(1)
+	single := consistency.StrongPrefix(h1, consistency.Options{}).Satisfied && fanout1 <= 1
+	return violated, single
+}
+
+// runFinalityComparison drives a forking PoW network and reads it both
+// raw and through depth-8 finality gadgets; it returns the raw history,
+// the finalized-read history and the number of finality violations.
+func runFinalityComparison(seed uint64) (*history.History, *history.History, int) {
+	const n = 4
+	sim := netsim.New(netsim.Synchronous{Delta: 8}, seed)
+	merits := make([]float64, n)
+	for i := range merits {
+		merits[i] = 0.2
+	}
+	orc := oracle.NewProdigal(seed, merits...)
+	reps := map[history.ProcID]*netsim.Replica{}
+	for i := 0; i < n; i++ {
+		id := history.ProcID(i)
+		rep := netsim.NewReplica(id, blocktree.LongestChain{}, sim.Recorder())
+		reps[id] = rep
+		counter := 0
+		sim.Register(id, netsim.HandlerFuncs{
+			Message: func(s *netsim.Sim, m netsim.Message) { rep.OnMessage(s, m) },
+			Timer: func(s *netsim.Sim, tag string) {
+				switch tag {
+				case "mine":
+					parent := rep.Selected().Tip()
+					cand := blocktree.BlockID(fmt.Sprintf("b%04d-p%02d-%04d", parent.Height+1, id, counter))
+					if tok, ok := orc.GetToken(int(id), parent.ID, cand); ok {
+						if _, ins, err := orc.ConsumeToken(tok); err == nil && ins {
+							counter++
+							op := s.Recorder().Invoke(id, history.Label{Kind: history.KindAppend, Block: cand})
+							s.Recorder().Respond(op, history.Label{Kind: history.KindAppend, Block: cand, Parent: parent.ID, OK: true})
+							rep.CreateAndBroadcast(s, parent.ID, blocktree.Block{ID: cand, Parent: parent.ID, Work: 1, Proposer: int(id), Token: tok.ID})
+						}
+					}
+					s.TimerAt(id, s.Now()+4, "mine")
+				case "read":
+					rep.Read()
+					s.TimerAt(id, s.Now()+16, "read")
+				}
+			},
+		})
+		sim.TimerAt(id, 1+int64(i), "mine")
+		sim.TimerAt(id, 2+int64(i), "read")
+	}
+
+	finRec := history.NewRecorderWithClock(simNowClock{sim})
+	readers := map[history.ProcID]*finality.Reader{}
+	for id := range reps {
+		readers[id] = &finality.Reader{Gadget: finality.New(8, blocktree.LongestChain{}), Proc: id, Rec: finRec}
+	}
+	violations := 0
+	for step := 0; step < 120; step++ {
+		sim.Run(int64(step+1) * 16)
+		for id, rep := range reps {
+			if _, err := readers[id].FinalizedRead(rep.Tree()); err != nil {
+				violations++
+			}
+		}
+	}
+	return sim.Recorder().Snapshot(), finRec.Snapshot(), violations
+}
+
+// simNowClock adapts the simulator clock for external recorders.
+type simNowClock struct{ s *netsim.Sim }
+
+// Now implements history.Clock.
+func (c simNowClock) Now() int64 { return c.s.Now() }
+
+// runPartition drives a 4-replica network split 2/2 until heal; one creator
+// per side. With anti-entropy resync after healing the sides converge;
+// without it they diverge forever.
+func runPartition(seed uint64, resync bool) (converged bool, h *history.History) {
+	const heal = 120
+	side := func(p history.ProcID) int {
+		if p <= 1 {
+			return 0
+		}
+		return 1
+	}
+	rule := func(m netsim.Message, now int64) bool {
+		return now < heal && side(m.From) != side(m.To)
+	}
+	s := netsim.New(netsim.Lossy{Inner: netsim.Synchronous{Delta: 4}, Rule: rule}, seed)
+	reps := map[history.ProcID]*netsim.Replica{}
+	for i := 0; i < 4; i++ {
+		id := history.ProcID(i)
+		rep := netsim.NewReplica(id, blocktree.LongestChain{}, s.Recorder())
+		reps[id] = rep
+		creator := i == 0 || i == 2
+		count := 0
+		s.Register(id, netsim.HandlerFuncs{
+			Message: func(sim *netsim.Sim, m netsim.Message) { rep.OnMessage(sim, m) },
+			Timer: func(sim *netsim.Sim, tag string) {
+				switch tag {
+				case "create":
+					if creator && count < 8 {
+						parent := rep.Selected().Tip()
+						b := blocktree.Block{
+							ID:       blocktree.BlockID(fmt.Sprintf("c%d-%02d", id, count)),
+							Parent:   parent.ID,
+							Proposer: int(id),
+							Token:    uint64(100*int(id) + count + 1),
+						}
+						count++
+						rep.CreateAndBroadcast(sim, parent.ID, b)
+						sim.TimerAt(id, sim.Now()+12, "create")
+					}
+				case "read":
+					rep.Read()
+					sim.TimerAt(id, sim.Now()+9, "read")
+				case "resync":
+					rep.Resync(sim)
+				}
+			},
+		})
+		if creator {
+			s.TimerAt(id, 1, "create")
+		}
+		s.TimerAt(id, 2+int64(i), "read")
+		if resync {
+			s.TimerAt(id, heal+4, "resync")
+		}
+	}
+	s.Run(600)
+	for _, p := range s.Procs() {
+		reps[p].Read()
+	}
+	chains := map[string]bool{}
+	for _, r := range reps {
+		chains[r.Read().String()] = true
+	}
+	return len(chains) == 1, s.Recorder().Snapshot()
+}

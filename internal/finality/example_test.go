@@ -1,0 +1,42 @@
+package finality_test
+
+import (
+	"fmt"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/finality"
+)
+
+// Example finalizes the prefix of a growing chain at confirmation depth 2.
+func Example() {
+	tree := blocktree.New()
+	parent := blocktree.GenesisID
+	for _, id := range []blocktree.BlockID{"a", "b", "c", "d", "e"} {
+		tree.Insert(blocktree.Block{ID: id, Parent: parent})
+		parent = id
+	}
+	g := finality.New(2, blocktree.LongestChain{})
+	fin, _ := g.Observe(tree)
+	fmt.Println("finalized:", fin)
+	// Output:
+	// finalized: b0⌢a⌢b⌢c
+}
+
+// Example_violation shows a reorganization deeper than the confirmation
+// depth being detected instead of silently rolled back.
+func Example_violation() {
+	tree := blocktree.New()
+	tree.Insert(blocktree.Block{ID: "a", Parent: blocktree.GenesisID})
+	g := finality.New(0, blocktree.LongestChain{})
+	g.Observe(tree) // finalizes b0⌢a
+
+	// A longer competing branch reorganizes past the finalized block.
+	tree.Insert(blocktree.Block{ID: "x1", Parent: blocktree.GenesisID})
+	tree.Insert(blocktree.Block{ID: "x2", Parent: "x1"})
+	_, err := g.Observe(tree)
+	fmt.Println("violation detected:", err != nil)
+	fmt.Println("finalized prefix kept:", g.Finalized())
+	// Output:
+	// violation detected: true
+	// finalized prefix kept: b0⌢a
+}

@@ -1,0 +1,213 @@
+package finality
+
+import (
+	"fmt"
+	"testing"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/consistency"
+	"blockadt/internal/history"
+	"blockadt/internal/netsim"
+	"blockadt/internal/oracle"
+)
+
+func TestGadgetBasicAdvance(t *testing.T) {
+	tr := blocktree.New()
+	g := New(2, blocktree.LongestChain{})
+	if got := g.Finalized().String(); got != "b0" {
+		t.Fatalf("initial finalized = %s", got)
+	}
+	// Chain of 5: finalized = first 3 (tip minus depth 2).
+	parent := blocktree.GenesisID
+	for i := 0; i < 5; i++ {
+		id := blocktree.BlockID(fmt.Sprintf("c%d", i))
+		if err := tr.Insert(blocktree.Block{ID: id, Parent: parent}); err != nil {
+			t.Fatal(err)
+		}
+		parent = id
+	}
+	fin, err := g.Observe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.String() != "b0⌢c0⌢c1⌢c2" {
+		t.Fatalf("finalized = %s", fin)
+	}
+}
+
+func TestGadgetNeverRollsBack(t *testing.T) {
+	tr := blocktree.New()
+	g := New(0, blocktree.LongestChain{}) // depth 0: finalize the tip itself
+	if err := tr.Insert(blocktree.Block{ID: "a", Parent: blocktree.GenesisID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Observe(tr); err != nil {
+		t.Fatal(err)
+	}
+	// A competing longer branch reorganizes the tip: with depth 0 this
+	// contradicts finality.
+	if err := tr.Insert(blocktree.Block{ID: "x1", Parent: blocktree.GenesisID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(blocktree.Block{ID: "x2", Parent: "x1"}); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := g.Observe(tr)
+	if err == nil {
+		t.Fatal("deep reorg not flagged at depth 0")
+	}
+	if _, ok := err.(*ErrFinalityViolation); !ok {
+		t.Fatalf("err type %T", err)
+	}
+	// The finalized prefix is retained, not rolled back.
+	if fin.String() != "b0⌢a" {
+		t.Fatalf("finalized after violation = %s", fin)
+	}
+	if g.Violations() != 1 {
+		t.Fatalf("violations = %d", g.Violations())
+	}
+}
+
+func TestGadgetDeepEnoughAbsorbsReorg(t *testing.T) {
+	tr := blocktree.New()
+	g := New(3, blocktree.LongestChain{})
+	if err := tr.Insert(blocktree.Block{ID: "a", Parent: blocktree.GenesisID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Observe(tr); err != nil {
+		t.Fatal(err)
+	}
+	// The same 2-deep reorg is invisible below a depth-3 horizon.
+	tr.Insert(blocktree.Block{ID: "x1", Parent: blocktree.GenesisID})
+	tr.Insert(blocktree.Block{ID: "x2", Parent: "x1"})
+	if _, err := g.Observe(tr); err != nil {
+		t.Fatalf("depth-3 gadget flagged a shallow reorg: %v", err)
+	}
+	if g.Violations() != 0 {
+		t.Fatal("violations counted")
+	}
+}
+
+// powNetwork builds a small forking PoW network and returns the simulator,
+// the replicas, and a function driving it; used to compare raw vs
+// finalized read histories.
+func powNetwork(seed uint64) (*netsim.Sim, map[history.ProcID]*netsim.Replica) {
+	const n = 4
+	sim := netsim.New(netsim.Synchronous{Delta: 8}, seed)
+	merits := make([]float64, n)
+	for i := range merits {
+		merits[i] = 0.2
+	}
+	orc := oracle.NewProdigal(seed, merits...)
+	reps := map[history.ProcID]*netsim.Replica{}
+	for i := 0; i < n; i++ {
+		id := history.ProcID(i)
+		rep := netsim.NewReplica(id, blocktree.LongestChain{}, sim.Recorder())
+		reps[id] = rep
+		counter := 0
+		sim.Register(id, netsim.HandlerFuncs{
+			Message: func(s *netsim.Sim, m netsim.Message) { rep.OnMessage(s, m) },
+			Timer: func(s *netsim.Sim, tag string) {
+				switch tag {
+				case "mine":
+					parent := rep.Selected().Tip()
+					cand := blocktree.BlockID(fmt.Sprintf("b%04d-p%02d-%04d", parent.Height+1, id, counter))
+					if tok, ok := orc.GetToken(int(id), parent.ID, cand); ok {
+						if _, ins, err := orc.ConsumeToken(tok); err == nil && ins {
+							counter++
+							op := s.Recorder().Invoke(id, history.Label{Kind: history.KindAppend, Block: cand})
+							s.Recorder().Respond(op, history.Label{Kind: history.KindAppend, Block: cand, Parent: parent.ID, OK: true})
+							rep.CreateAndBroadcast(s, parent.ID, blocktree.Block{ID: cand, Parent: parent.ID, Work: 1, Proposer: int(id), Token: tok.ID})
+						}
+					}
+					s.TimerAt(id, s.Now()+4, "mine")
+				case "read":
+					rep.Read()
+					s.TimerAt(id, s.Now()+16, "read")
+				}
+			},
+		})
+		sim.TimerAt(id, 1+int64(i), "mine")
+		sim.TimerAt(id, 2+int64(i), "read")
+	}
+	return sim, reps
+}
+
+// TestFinalizedViewIsStronglyConsistent: on a forking PoW run whose raw
+// reads violate Strong Prefix, the depth-d finalized reads satisfy it (and
+// local monotonicity) with zero finality violations — the gadget lifts
+// R(BT-ADT_EC, Θ_P) reads to a BT-ADT_SC view.
+func TestFinalizedViewIsStronglyConsistent(t *testing.T) {
+	sim, reps := powNetwork(77)
+
+	finRec := history.NewRecorderWithClock(simNow{sim})
+	readers := map[history.ProcID]*Reader{}
+	for id := range reps {
+		readers[id] = &Reader{Gadget: New(8, blocktree.LongestChain{}), Proc: id, Rec: finRec}
+	}
+	var finalityErrs int
+	for step := 0; step < 120; step++ {
+		sim.Run(int64(step+1) * 16)
+		for id, rep := range reps {
+			if _, err := readers[id].FinalizedRead(rep.Tree()); err != nil {
+				finalityErrs++
+			}
+		}
+	}
+
+	raw := sim.Recorder().Snapshot()
+	rawSP := consistency.StrongPrefix(raw, consistency.Options{})
+	if rawSP.Satisfied {
+		t.Fatal("raw PoW reads satisfy Strong Prefix — run too tame to be interesting")
+	}
+
+	if finalityErrs > 0 {
+		t.Fatalf("%d finality violations at depth 8", finalityErrs)
+	}
+	fin := finRec.Snapshot()
+	if v := consistency.StrongPrefix(fin, consistency.Options{}); !v.Satisfied {
+		t.Fatalf("finalized reads violate Strong Prefix: %s", v)
+	}
+	if v := consistency.LocalMonotonicRead(fin, consistency.Options{}); !v.Satisfied {
+		t.Fatalf("finalized reads not monotone: %s", v)
+	}
+}
+
+// TestShallowDepthViolatesFinality: the same run with depth 0 produces
+// finality violations — the condition on d is necessary.
+func TestShallowDepthViolatesFinality(t *testing.T) {
+	sim, reps := powNetwork(77)
+	finRec := history.NewRecorderWithClock(simNow{sim})
+	readers := map[history.ProcID]*Reader{}
+	for id := range reps {
+		readers[id] = &Reader{Gadget: New(0, blocktree.LongestChain{}), Proc: id, Rec: finRec}
+	}
+	violations := 0
+	for step := 0; step < 120; step++ {
+		sim.Run(int64(step+1) * 16)
+		for id, rep := range reps {
+			if _, err := readers[id].FinalizedRead(rep.Tree()); err != nil {
+				violations++
+			}
+		}
+	}
+	if violations == 0 {
+		t.Fatal("depth-0 finality survived a forking run")
+	}
+}
+
+type simNow struct{ s *netsim.Sim }
+
+func (c simNow) Now() int64 { return c.s.Now() }
+
+func TestGadgetDefaults(t *testing.T) {
+	g := New(5, nil)
+	if g.Depth() != 5 {
+		t.Fatal("depth")
+	}
+	tr := blocktree.New()
+	fin, err := g.Observe(tr)
+	if err != nil || fin.String() != "b0" {
+		t.Fatalf("genesis observe: %s %v", fin, err)
+	}
+}

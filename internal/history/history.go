@@ -1,0 +1,411 @@
+// Package history implements the concurrent-history formalism of
+// Definition 2.4 of "Blockchain Abstract Data Type" (Anceaume et al.).
+//
+// A concurrent history H = ⟨Σ, E, Λ, ↦→, ≺, ր⟩ consists of a set of events
+// E (invocations and responses of ADT operations, plus the message-passing
+// events of Definition 4.2: send, receive and update), the labelling Λ, the
+// process order ↦→ (events of the same process), the operation order ≺
+// (invocation precedes its response; a response at real time t precedes any
+// invocation at t' > t), and the program order ր, the union of the two.
+//
+// Histories are produced by a Recorder, which concurrent objects call around
+// each operation, and consumed immutably by the consistency checkers in
+// internal/consistency.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ProcID identifies a sequential process.
+type ProcID int
+
+// BlockRef names a block; the empty string is reserved for "no block".
+type BlockRef string
+
+// Chain is a blockchain value as returned by read(): the genesis-rooted
+// sequence of block references {b0}⌢…
+type Chain []BlockRef
+
+// Clone returns an independent copy of the chain.
+func (c Chain) Clone() Chain {
+	out := make(Chain, len(c))
+	copy(out, c)
+	return out
+}
+
+// HasPrefix reports whether p is a prefix of c (p ⊑ c).
+func (c Chain) HasPrefix(p Chain) bool {
+	if len(p) > len(c) {
+		return false
+	}
+	for i := range p {
+		if c[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonPrefix returns the maximal common prefix of c and other.
+func (c Chain) CommonPrefix(other Chain) Chain {
+	n := len(c)
+	if len(other) < n {
+		n = len(other)
+	}
+	i := 0
+	for i < n && c[i] == other[i] {
+		i++
+	}
+	return c[:i]
+}
+
+// String renders the chain with the paper's b0⌢b1⌢… concatenation syntax.
+func (c Chain) String() string {
+	s := ""
+	for i, b := range c {
+		if i > 0 {
+			s += "⌢"
+		}
+		s += string(b)
+	}
+	return s
+}
+
+// Kind enumerates the operation kinds that appear in the histories of this
+// reproduction.
+type Kind int
+
+// Operation kinds. Read and Append are the BT-ADT operations
+// (Definition 3.1); GetToken and ConsumeToken are the oracle operations
+// (Definition 3.5); Send, Receive and Update are the replicated-object
+// events of Definitions 4.2 and 4.3.
+const (
+	KindRead Kind = iota
+	KindAppend
+	KindGetToken
+	KindConsumeToken
+	KindSend
+	KindReceive
+	KindUpdate
+	KindPropose
+	KindDecide
+)
+
+var kindNames = map[Kind]string{
+	KindRead:         "read",
+	KindAppend:       "append",
+	KindGetToken:     "getToken",
+	KindConsumeToken: "consumeToken",
+	KindSend:         "send",
+	KindReceive:      "receive",
+	KindUpdate:       "update",
+	KindPropose:      "propose",
+	KindDecide:       "decide",
+}
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Label is Λ(e): the operation an event belongs to, with its arguments and —
+// on responses — its result.
+type Label struct {
+	Kind Kind
+	// Block is the block argument of append/send/receive/update/propose,
+	// or the proposed block of getToken.
+	Block BlockRef
+	// Parent is the predecessor argument bg of send/receive/update and of
+	// getToken (the block the token is requested for).
+	Parent BlockRef
+	// Chain is the blockchain returned by a read response (or decided by
+	// a decide event).
+	Chain Chain
+	// OK is the boolean result of an append response.
+	OK bool
+	// Token identifies the oracle token involved in
+	// getToken/consumeToken responses.
+	Token uint64
+	// Origin is the process that generated the block carried by a
+	// send/receive/update event (the i of b_i in Definition 4.3); it is
+	// meaningful only for those kinds.
+	Origin ProcID
+}
+
+// EventType distinguishes invocation and response events.
+type EventType int
+
+// Event types.
+const (
+	Invocation EventType = iota
+	Response
+)
+
+// String returns "inv" or "rsp".
+func (t EventType) String() string {
+	if t == Invocation {
+		return "inv"
+	}
+	return "rsp"
+}
+
+// OpID pairs an invocation event with its response event.
+type OpID int
+
+// Event is an element of E.
+type Event struct {
+	// Seq is the event's position in the global record; it is consistent
+	// with real time (Time) and with per-process order.
+	Seq int
+	// Type says whether this is the invocation or the response event.
+	Type EventType
+	// Proc is the process that produced the event.
+	Proc ProcID
+	// Op identifies the operation this event belongss to.
+	Op OpID
+	// Label is Λ(e).
+	Label Label
+	// Time is the real (or virtual) timestamp used by the operation
+	// order ≺.
+	Time int64
+}
+
+// String renders the event compactly for diagnostics.
+func (e Event) String() string {
+	return fmt.Sprintf("e%d[p%d %s %s(%s) t=%d]", e.Seq, e.Proc, e.Type, e.Label.Kind, string(e.Label.Block), e.Time)
+}
+
+// Op is a completed (or pending) operation reconstructed from a history:
+// its invocation event and, when present, its response event.
+type Op struct {
+	ID       OpID
+	Proc     ProcID
+	Label    Label // invocation label
+	Response *Label
+	InvTime  int64
+	RspTime  int64
+	InvSeq   int
+	RspSeq   int
+	// Complete reports whether a response was recorded.
+	Complete bool
+}
+
+// History is an immutable concurrent history H.
+type History struct {
+	events []Event
+	ops    []Op
+}
+
+// Events returns the event set E in global (Seq) order.
+func (h *History) Events() []Event { return h.events }
+
+// Ops returns all operations in invocation order.
+func (h *History) Ops() []Op { return h.ops }
+
+// Len returns the number of events.
+func (h *History) Len() int { return len(h.events) }
+
+// ReadOp is a completed read() operation together with its returned chain.
+type ReadOp struct {
+	Op    Op
+	Chain Chain
+}
+
+// Reads returns the completed read() operations in response order (the
+// order their responses occurred), which is the order the consistency
+// criteria quantify over.
+func (h *History) Reads() []ReadOp {
+	var out []ReadOp
+	for _, op := range h.ops {
+		if op.Label.Kind == KindRead && op.Complete {
+			out = append(out, ReadOp{Op: op, Chain: op.Response.Chain})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op.RspSeq < out[j].Op.RspSeq })
+	return out
+}
+
+// AppendOp is a completed append() operation.
+type AppendOp struct {
+	Op    Op
+	Block BlockRef
+	OK    bool
+}
+
+// Appends returns the completed append() operations in invocation order.
+func (h *History) Appends() []AppendOp {
+	var out []AppendOp
+	for _, op := range h.ops {
+		if op.Label.Kind == KindAppend && op.Complete {
+			out = append(out, AppendOp{Op: op, Block: op.Label.Block, OK: op.Response.OK})
+		}
+	}
+	return out
+}
+
+// SuccessfulAppends returns the appends whose response is true. The
+// hierarchy results (Section 3.4) consider histories purged of unsuccessful
+// append responses; this accessor implements that purge.
+func (h *History) SuccessfulAppends() []AppendOp {
+	var out []AppendOp
+	for _, a := range h.Appends() {
+		if a.OK {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// OpsOfKind returns completed operations with the given kind, in invocation
+// order.
+func (h *History) OpsOfKind(k Kind) []Op {
+	var out []Op
+	for _, op := range h.ops {
+		if op.Label.Kind == k {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// ProcessOrdered reports a ↦→ b: both events belong to the same process and
+// a precedes b in that process's sequence.
+func ProcessOrdered(a, b Event) bool {
+	return a.Proc == b.Proc && a.Seq < b.Seq
+}
+
+// OperationOrdered reports a ≺ b per Definition 2.4: either a is the
+// invocation and b the response of the same operation, or a is a response
+// occurring strictly before the invocation b in real time.
+func OperationOrdered(a, b Event) bool {
+	if a.Op == b.Op && a.Type == Invocation && b.Type == Response {
+		return true
+	}
+	return a.Type == Response && b.Type == Invocation && a.Time < b.Time
+}
+
+// ProgramOrdered reports a ր b: the union of process order and operation
+// order (Definition 2.4). It is the order the consistency criteria use to
+// relate a read response to later read invocations.
+func ProgramOrdered(a, b Event) bool {
+	if a.Seq == b.Seq {
+		return false
+	}
+	return ProcessOrdered(a, b) || OperationOrdered(a, b)
+}
+
+// RespondedBefore reports whether op a's response program-order-precedes op
+// b's invocation: ersp(a) ր einv(b). Both operations must be complete.
+func RespondedBefore(a, b Op) bool {
+	if !a.Complete {
+		return false
+	}
+	// Same process: compare per-process sequence.
+	if a.Proc == b.Proc {
+		return a.RspSeq < b.InvSeq
+	}
+	return a.RspTime < b.InvTime
+}
+
+// Recorder accumulates events concurrently. The zero value is not usable;
+// create one with NewRecorder.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	ops    []Op
+	clock  Clock
+}
+
+// Clock supplies timestamps for the operation order ≺. Virtual-time
+// simulators supply their own clock; real concurrent runs use a monotonic
+// counter.
+type Clock interface {
+	// Now returns the current time; values must be non-decreasing.
+	Now() int64
+}
+
+// counterClock is a monotonic logical clock: each call returns a strictly
+// larger value, which linearizes real concurrent runs by recording order.
+type counterClock struct {
+	mu sync.Mutex
+	t  int64
+}
+
+func (c *counterClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t++
+	return c.t
+}
+
+// NewRecorder returns a recorder using a monotonic logical clock.
+func NewRecorder() *Recorder {
+	return &Recorder{clock: &counterClock{}}
+}
+
+// NewRecorderWithClock returns a recorder stamped by the given clock (used
+// by the virtual-time netsim).
+func NewRecorderWithClock(c Clock) *Recorder {
+	return &Recorder{clock: c}
+}
+
+// Invoke records the invocation event of a new operation and returns its
+// OpID, to be passed to Respond.
+func (r *Recorder) Invoke(p ProcID, l Label) OpID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := OpID(len(r.ops))
+	seq := len(r.events)
+	now := r.clock.Now()
+	r.events = append(r.events, Event{Seq: seq, Type: Invocation, Proc: p, Op: id, Label: l, Time: now})
+	r.ops = append(r.ops, Op{ID: id, Proc: p, Label: l, InvTime: now, InvSeq: seq})
+	return id
+}
+
+// Respond records the response event of operation id with the given result
+// label.
+func (r *Recorder) Respond(id OpID, result Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seq := len(r.events)
+	now := r.clock.Now()
+	op := &r.ops[id]
+	r.events = append(r.events, Event{Seq: seq, Type: Response, Proc: op.Proc, Op: id, Label: result, Time: now})
+	res := result
+	op.Response = &res
+	op.RspTime = now
+	op.RspSeq = seq
+	op.Complete = true
+}
+
+// Record records an instantaneous (invocation+response collapsed) event,
+// used for send/receive/update events which have no call/return structure.
+func (r *Recorder) Record(p ProcID, l Label) {
+	id := r.Invoke(p, l)
+	r.Respond(id, l)
+}
+
+// Snapshot returns an immutable copy of the history recorded so far.
+func (r *Recorder) Snapshot() *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := &History{
+		events: make([]Event, len(r.events)),
+		ops:    make([]Op, len(r.ops)),
+	}
+	copy(h.events, r.events)
+	copy(h.ops, r.ops)
+	for i := range h.ops {
+		if r.ops[i].Response != nil {
+			res := *r.ops[i].Response
+			h.ops[i].Response = &res
+		}
+	}
+	return h
+}

@@ -1,0 +1,259 @@
+package history
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func chainOf(ids ...string) Chain {
+	c := make(Chain, len(ids))
+	for i, s := range ids {
+		c[i] = BlockRef(s)
+	}
+	return c
+}
+
+func TestChainHasPrefix(t *testing.T) {
+	c := chainOf("b0", "1", "2", "3")
+	cases := []struct {
+		prefix Chain
+		want   bool
+	}{
+		{chainOf(), true},
+		{chainOf("b0"), true},
+		{chainOf("b0", "1"), true},
+		{chainOf("b0", "1", "2", "3"), true},
+		{chainOf("b0", "2"), false},
+		{chainOf("b0", "1", "2", "3", "4"), false},
+		{chainOf("1"), false},
+	}
+	for _, tc := range cases {
+		if got := c.HasPrefix(tc.prefix); got != tc.want {
+			t.Errorf("HasPrefix(%v) = %v, want %v", tc.prefix, got, tc.want)
+		}
+	}
+}
+
+func TestChainCommonPrefix(t *testing.T) {
+	a := chainOf("b0", "1", "2", "3")
+	b := chainOf("b0", "1", "9")
+	cp := a.CommonPrefix(b)
+	if cp.String() != "b0⌢1" {
+		t.Fatalf("common prefix = %s, want b0⌢1", cp)
+	}
+	if got := a.CommonPrefix(a); len(got) != len(a) {
+		t.Fatalf("self common prefix length = %d, want %d", len(got), len(a))
+	}
+	if got := a.CommonPrefix(chainOf("x")); len(got) != 0 {
+		t.Fatalf("disjoint common prefix length = %d, want 0", len(got))
+	}
+}
+
+func TestChainClone(t *testing.T) {
+	a := chainOf("b0", "1")
+	b := a.Clone()
+	b[1] = "2"
+	if a[1] != "1" {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+// TestProperty_CommonPrefixIsPrefixOfBoth: the common prefix prefixes both
+// inputs and is maximal (extending it by one block breaks the property).
+func TestProperty_CommonPrefixIsPrefixOfBoth(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ca := make(Chain, len(a))
+		for i, v := range a {
+			ca[i] = BlockRef(string(rune('a' + v%4)))
+		}
+		cb := make(Chain, len(b))
+		for i, v := range b {
+			cb[i] = BlockRef(string(rune('a' + v%4)))
+		}
+		cp := ca.CommonPrefix(cb)
+		if !ca.HasPrefix(cp) || !cb.HasPrefix(cp) {
+			return false
+		}
+		// Maximality.
+		if len(cp) < len(ca) && len(cp) < len(cb) && ca[len(cp)] == cb[len(cp)] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProperty_PrefixUltrametric: lcp(a,c) ≥ min(lcp(a,b), lcp(b,c)), the
+// inequality the EventualPrefix checker's suffix optimization relies on.
+func TestProperty_PrefixUltrametric(t *testing.T) {
+	mk := func(v []uint8) Chain {
+		c := make(Chain, len(v))
+		for i, x := range v {
+			c[i] = BlockRef(string(rune('a' + x%3)))
+		}
+		return c
+	}
+	f := func(a, b, c []uint8) bool {
+		ca, cb, cc := mk(a), mk(b), mk(c)
+		lab := len(ca.CommonPrefix(cb))
+		lbc := len(cb.CommonPrefix(cc))
+		lac := len(ca.CommonPrefix(cc))
+		minv := lab
+		if lbc < minv {
+			minv = lbc
+		}
+		return lac >= minv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderBasicOps(t *testing.T) {
+	r := NewRecorder()
+	id := r.Invoke(0, Label{Kind: KindRead})
+	r.Respond(id, Label{Kind: KindRead, Chain: chainOf("b0", "1")})
+	r.Record(1, Label{Kind: KindSend, Block: "1", Parent: "b0", Origin: 1})
+	h := r.Snapshot()
+
+	if h.Len() != 4 {
+		t.Fatalf("events = %d, want 4 (inv+rsp, send collapsed pair)", h.Len())
+	}
+	reads := h.Reads()
+	if len(reads) != 1 {
+		t.Fatalf("reads = %d, want 1", len(reads))
+	}
+	if reads[0].Chain.String() != "b0⌢1" {
+		t.Fatalf("read chain = %s", reads[0].Chain)
+	}
+	sends := h.OpsOfKind(KindSend)
+	if len(sends) != 1 || sends[0].Label.Origin != 1 {
+		t.Fatalf("sends = %+v", sends)
+	}
+}
+
+func TestRecorderPendingOperation(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(0, Label{Kind: KindAppend, Block: "1"})
+	h := r.Snapshot()
+	if got := len(h.Appends()); got != 0 {
+		t.Fatalf("incomplete append counted: %d", got)
+	}
+	ops := h.Ops()
+	if len(ops) != 1 || ops[0].Complete {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestSuccessfulAppendsPurge(t *testing.T) {
+	r := NewRecorder()
+	a := r.Invoke(0, Label{Kind: KindAppend, Block: "x"})
+	r.Respond(a, Label{Kind: KindAppend, Block: "x", OK: false})
+	b := r.Invoke(0, Label{Kind: KindAppend, Block: "y"})
+	r.Respond(b, Label{Kind: KindAppend, Block: "y", OK: true})
+	h := r.Snapshot()
+	if got := len(h.Appends()); got != 2 {
+		t.Fatalf("appends = %d, want 2", got)
+	}
+	ok := h.SuccessfulAppends()
+	if len(ok) != 1 || ok[0].Block != "y" {
+		t.Fatalf("successful appends = %+v", ok)
+	}
+}
+
+func TestOrders(t *testing.T) {
+	r := NewRecorder()
+	op1 := r.Invoke(0, Label{Kind: KindRead})
+	r.Respond(op1, Label{Kind: KindRead, Chain: chainOf("b0")})
+	op2 := r.Invoke(1, Label{Kind: KindRead})
+	r.Respond(op2, Label{Kind: KindRead, Chain: chainOf("b0")})
+	h := r.Snapshot()
+	ev := h.Events()
+
+	// Process order: events 0,1 belong to proc 0; 2,3 to proc 1.
+	if !ProcessOrdered(ev[0], ev[1]) {
+		t.Fatal("invocation should process-precede own response")
+	}
+	if ProcessOrdered(ev[0], ev[2]) {
+		t.Fatal("different processes are never process-ordered")
+	}
+	// Operation order: inv ≺ rsp of same op; rsp(op1) ≺ inv(op2) since
+	// op1 responded before op2 was invoked.
+	if !OperationOrdered(ev[0], ev[1]) {
+		t.Fatal("inv should operation-precede its response")
+	}
+	if !OperationOrdered(ev[1], ev[2]) {
+		t.Fatal("earlier response should operation-precede later invocation")
+	}
+	if OperationOrdered(ev[2], ev[1]) {
+		t.Fatal("operation order must not be symmetric")
+	}
+	// Program order is their union.
+	if !ProgramOrdered(ev[0], ev[1]) || !ProgramOrdered(ev[1], ev[2]) {
+		t.Fatal("program order must contain both orders")
+	}
+
+	ops := h.Ops()
+	if !RespondedBefore(ops[0], ops[1]) {
+		t.Fatal("op1 responded before op2 invoked")
+	}
+	if RespondedBefore(ops[1], ops[0]) {
+		t.Fatal("RespondedBefore must not be symmetric")
+	}
+}
+
+func TestRecorderConcurrentSafety(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	const procs, opsPerProc = 8, 50
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p ProcID) {
+			defer wg.Done()
+			for i := 0; i < opsPerProc; i++ {
+				id := r.Invoke(p, Label{Kind: KindRead})
+				r.Respond(id, Label{Kind: KindRead, Chain: chainOf("b0")})
+			}
+		}(ProcID(p))
+	}
+	wg.Wait()
+	h := r.Snapshot()
+	if got := len(h.Reads()); got != procs*opsPerProc {
+		t.Fatalf("reads = %d, want %d", got, procs*opsPerProc)
+	}
+	// Per-process invariants: events strictly ordered, times
+	// non-decreasing.
+	last := map[ProcID]int{}
+	for _, e := range h.Events() {
+		if prev, ok := last[e.Proc]; ok && e.Seq <= prev {
+			t.Fatal("per-process sequence not increasing")
+		}
+		last[e.Proc] = e.Seq
+	}
+}
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	r := NewRecorder()
+	id := r.Invoke(0, Label{Kind: KindRead})
+	h1 := r.Snapshot()
+	r.Respond(id, Label{Kind: KindRead, Chain: chainOf("b0")})
+	if h1.Ops()[0].Complete {
+		t.Fatal("snapshot mutated by later Respond")
+	}
+	h2 := r.Snapshot()
+	if !h2.Ops()[0].Complete {
+		t.Fatal("second snapshot missing the response")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRead.String() != "read" || KindConsumeToken.String() != "consumeToken" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must render something")
+	}
+}

@@ -1,0 +1,279 @@
+// Package ledger instantiates the paper's application-dependent validity
+// predicate P with the example Section 3.1 gives for Bitcoin: "a block is
+// considered valid if it can be connected to the current blockchain and
+// does not contain transactions that double spend a previous transaction".
+//
+// The package provides a minimal account/transfer transaction model, block
+// payload encoding (encoding/json — stdlib only), deterministic workload
+// generation, and the Predicate constructor that plugs into the BlockTree:
+// P(b) = the block's transactions apply without double spends to the state
+// reached by replaying the chain b connects to.
+package ledger
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/prng"
+)
+
+// Account identifies a balance holder.
+type Account string
+
+// Tx is a transfer of Amount from From to To. Nonce orders the transfers of
+// a single account; a transaction is a double spend when it reuses a nonce
+// the account has already consumed on the chain (the classic replay form of
+// double spending).
+type Tx struct {
+	From   Account `json:"from"`
+	To     Account `json:"to"`
+	Amount uint64  `json:"amount"`
+	Nonce  uint64  `json:"nonce"`
+}
+
+// ID returns the canonical identity of the transaction.
+func (t Tx) ID() string {
+	return fmt.Sprintf("%s->%s#%d@%d", t.From, t.To, t.Nonce, t.Amount)
+}
+
+// Payload is a block's transaction content.
+type Payload struct {
+	Txs []Tx `json:"txs"`
+}
+
+// Encode serializes the payload for embedding into blocktree.Block.Payload.
+func (p Payload) Encode() ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// DecodePayload parses a block payload. A nil/empty payload decodes to an
+// empty transaction list (blocks without application content are valid).
+func DecodePayload(b []byte) (Payload, error) {
+	if len(b) == 0 {
+		return Payload{}, nil
+	}
+	var p Payload
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Payload{}, fmt.Errorf("ledger: decode payload: %w", err)
+	}
+	return p, nil
+}
+
+// State is the replayed account state of a chain: balances plus the next
+// expected nonce per account.
+type State struct {
+	balances map[Account]uint64
+	nonces   map[Account]uint64
+}
+
+// NewState returns a state with the given genesis allocation.
+func NewState(genesis map[Account]uint64) *State {
+	s := &State{balances: map[Account]uint64{}, nonces: map[Account]uint64{}}
+	for a, v := range genesis {
+		s.balances[a] = v
+	}
+	return s
+}
+
+// Clone returns an independent copy.
+func (s *State) Clone() *State {
+	c := &State{
+		balances: make(map[Account]uint64, len(s.balances)),
+		nonces:   make(map[Account]uint64, len(s.nonces)),
+	}
+	for a, v := range s.balances {
+		c.balances[a] = v
+	}
+	for a, v := range s.nonces {
+		c.nonces[a] = v
+	}
+	return c
+}
+
+// Balance returns the account's balance.
+func (s *State) Balance(a Account) uint64 { return s.balances[a] }
+
+// Nonce returns the next expected nonce of the account.
+func (s *State) Nonce(a Account) uint64 { return s.nonces[a] }
+
+// Accounts returns the accounts with a non-zero balance, sorted.
+func (s *State) Accounts() []Account {
+	out := make([]Account, 0, len(s.balances))
+	for a, v := range s.balances {
+		if v > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Errors returned by Apply.
+var (
+	// ErrDoubleSpend reports a reused (or skipped) nonce — the paper's
+	// double-spend example.
+	ErrDoubleSpend = errors.New("ledger: double spend (nonce reuse)")
+	// ErrInsufficient reports an overdraft.
+	ErrInsufficient = errors.New("ledger: insufficient balance")
+	// ErrSelfTransfer reports a transfer to the sending account.
+	ErrSelfTransfer = errors.New("ledger: self transfer")
+)
+
+// Apply executes the transaction, mutating the state, or returns an error
+// leaving the state unchanged.
+func (s *State) Apply(t Tx) error {
+	if t.From == t.To {
+		return ErrSelfTransfer
+	}
+	if t.Nonce != s.nonces[t.From] {
+		return fmt.Errorf("%w: account %s nonce %d, expected %d", ErrDoubleSpend, t.From, t.Nonce, s.nonces[t.From])
+	}
+	if s.balances[t.From] < t.Amount {
+		return fmt.Errorf("%w: account %s has %d, needs %d", ErrInsufficient, t.From, s.balances[t.From], t.Amount)
+	}
+	s.balances[t.From] -= t.Amount
+	s.balances[t.To] += t.Amount
+	s.nonces[t.From]++
+	return nil
+}
+
+// Total returns the sum of all balances (conserved by Apply).
+func (s *State) Total() uint64 {
+	var sum uint64
+	for _, v := range s.balances {
+		sum += v
+	}
+	return sum
+}
+
+// Replay computes the state after applying every block of the chain in
+// order from the genesis allocation. It fails on the first invalid
+// transaction — a chain that replays cleanly is exactly a chain of valid
+// blocks under the Predicate below.
+func Replay(genesis map[Account]uint64, chain blocktree.Chain) (*State, error) {
+	s := NewState(genesis)
+	for _, b := range chain {
+		if b.ID == blocktree.GenesisID {
+			continue
+		}
+		p, err := DecodePayload(b.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("block %s: %w", b.ID, err)
+		}
+		for _, t := range p.Txs {
+			if err := s.Apply(t); err != nil {
+				return nil, fmt.Errorf("block %s tx %s: %w", b.ID, t.ID(), err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Validator builds the application-dependent predicate P of Section 3.1 for
+// a tree: a block is valid iff it connects to the tree and its transactions
+// apply, without double spends or overdrafts, to the state reached by
+// replaying the chain from genesis to its parent.
+type Validator struct {
+	genesis map[Account]uint64
+	tree    *blocktree.Tree
+}
+
+// NewValidator returns a validator bound to the tree.
+func NewValidator(genesis map[Account]uint64, tree *blocktree.Tree) *Validator {
+	g := make(map[Account]uint64, len(genesis))
+	for a, v := range genesis {
+		g[a] = v
+	}
+	return &Validator{genesis: g, tree: tree}
+}
+
+// Predicate returns the blocktree.Predicate P.
+func (v *Validator) Predicate() blocktree.Predicate {
+	return func(b blocktree.Block) bool {
+		return v.Check(b) == nil
+	}
+}
+
+// Check explains why a block is invalid (nil = valid).
+func (v *Validator) Check(b blocktree.Block) error {
+	chain, ok := v.tree.ChainTo(b.Parent)
+	if !ok {
+		return fmt.Errorf("ledger: block %s does not connect: unknown parent %s", b.ID, b.Parent)
+	}
+	state, err := Replay(v.genesis, chain)
+	if err != nil {
+		return fmt.Errorf("ledger: parent chain invalid: %w", err)
+	}
+	p, err := DecodePayload(b.Payload)
+	if err != nil {
+		return err
+	}
+	for _, t := range p.Txs {
+		if err := state.Apply(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workload deterministically generates valid transaction batches against an
+// evolving expected state — the block-content generator the simulators and
+// examples use.
+type Workload struct {
+	rng      *prng.Source
+	state    *State
+	genesis  map[Account]uint64
+	accounts []Account
+}
+
+// NewWorkload returns a generator over nAccounts accounts each funded with
+// initial balance.
+func NewWorkload(seed uint64, nAccounts int, initial uint64) *Workload {
+	gen := map[Account]uint64{}
+	accounts := make([]Account, nAccounts)
+	for i := range accounts {
+		a := Account(fmt.Sprintf("acct-%02d", i))
+		accounts[i] = a
+		gen[a] = initial
+	}
+	return &Workload{rng: prng.New(seed), state: NewState(gen), genesis: gen, accounts: accounts}
+}
+
+// Genesis returns the initial allocation.
+func (w *Workload) Genesis() map[Account]uint64 {
+	out := make(map[Account]uint64, len(w.genesis))
+	for a, v := range w.genesis {
+		out[a] = v
+	}
+	return out
+}
+
+// NextBatch produces n valid transfers and advances the expected state.
+func (w *Workload) NextBatch(n int) Payload {
+	var txs []Tx
+	for len(txs) < n {
+		fi := w.rng.Intn(len(w.accounts))
+		ti := w.rng.Intn(len(w.accounts))
+		if fi == ti {
+			continue
+		}
+		from, to := w.accounts[fi], w.accounts[ti]
+		bal := w.state.Balance(from)
+		if bal == 0 {
+			continue
+		}
+		amt := 1 + uint64(w.rng.Int63n(int64(bal)))
+		t := Tx{From: from, To: to, Amount: amt, Nonce: w.state.Nonce(from)}
+		if err := w.state.Apply(t); err != nil {
+			continue
+		}
+		txs = append(txs, t)
+	}
+	return Payload{Txs: txs}
+}
+
+// ExpectedState exposes the state the workload has advanced to.
+func (w *Workload) ExpectedState() *State { return w.state.Clone() }

@@ -1,0 +1,248 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"blockadt/internal/blocktree"
+)
+
+func genesisAlloc() map[Account]uint64 {
+	return map[Account]uint64{"alice": 100, "bob": 50}
+}
+
+func TestApplyTransfers(t *testing.T) {
+	s := NewState(genesisAlloc())
+	if err := s.Apply(Tx{From: "alice", To: "bob", Amount: 30, Nonce: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance("alice") != 70 || s.Balance("bob") != 80 {
+		t.Fatalf("balances = %d/%d", s.Balance("alice"), s.Balance("bob"))
+	}
+	if s.Nonce("alice") != 1 {
+		t.Fatalf("nonce = %d", s.Nonce("alice"))
+	}
+}
+
+func TestApplyDoubleSpend(t *testing.T) {
+	s := NewState(genesisAlloc())
+	tx := Tx{From: "alice", To: "bob", Amount: 10, Nonce: 0}
+	if err := s.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same nonce is the double spend.
+	if err := s.Apply(tx); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("err = %v, want ErrDoubleSpend", err)
+	}
+	// Skipping a nonce is also rejected.
+	if err := s.Apply(Tx{From: "alice", To: "bob", Amount: 10, Nonce: 5}); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("err = %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestApplyOverdraftAndSelfTransfer(t *testing.T) {
+	s := NewState(genesisAlloc())
+	if err := s.Apply(Tx{From: "bob", To: "alice", Amount: 51, Nonce: 0}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Apply(Tx{From: "bob", To: "bob", Amount: 1, Nonce: 0}); !errors.Is(err, ErrSelfTransfer) {
+		t.Fatalf("err = %v", err)
+	}
+	// Failed applications leave the state unchanged.
+	if s.Balance("bob") != 50 || s.Nonce("bob") != 0 {
+		t.Fatal("failed apply mutated state")
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	p := Payload{Txs: []Tx{{From: "a", To: "b", Amount: 1, Nonce: 0}, {From: "b", To: "a", Amount: 2, Nonce: 0}}}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Txs) != 2 || dec.Txs[0] != p.Txs[0] || dec.Txs[1] != p.Txs[1] {
+		t.Fatalf("round trip: %+v", dec)
+	}
+}
+
+func TestDecodePayloadEmptyAndBad(t *testing.T) {
+	if p, err := DecodePayload(nil); err != nil || len(p.Txs) != 0 {
+		t.Fatal("empty payload must decode to no txs")
+	}
+	if _, err := DecodePayload([]byte("{garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func mustPayload(t *testing.T, txs ...Tx) []byte {
+	t.Helper()
+	enc, err := Payload{Txs: txs}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestReplayChain(t *testing.T) {
+	tree := blocktree.New()
+	b1 := blocktree.Block{ID: "x", Parent: blocktree.GenesisID,
+		Payload: mustPayload(t, Tx{From: "alice", To: "bob", Amount: 40, Nonce: 0})}
+	if err := tree.Insert(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := blocktree.Block{ID: "y", Parent: "x",
+		Payload: mustPayload(t, Tx{From: "bob", To: "alice", Amount: 90, Nonce: 0})}
+	if err := tree.Insert(b2); err != nil {
+		t.Fatal(err)
+	}
+	chain, _ := tree.ChainTo("y")
+	s, err := Replay(genesisAlloc(), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Balance("alice") != 150 || s.Balance("bob") != 0 {
+		t.Fatalf("balances = %d/%d", s.Balance("alice"), s.Balance("bob"))
+	}
+	if s.Total() != 150 {
+		t.Fatalf("total = %d (not conserved)", s.Total())
+	}
+}
+
+func TestValidatorPredicateP(t *testing.T) {
+	tree := blocktree.New()
+	v := NewValidator(genesisAlloc(), tree)
+	p := v.Predicate()
+
+	good := blocktree.Block{ID: "g", Parent: blocktree.GenesisID,
+		Payload: mustPayload(t, Tx{From: "alice", To: "bob", Amount: 10, Nonce: 0})}
+	if !p(good) {
+		t.Fatalf("valid block rejected: %v", v.Check(good))
+	}
+	if err := tree.Insert(good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Double spend against the parent chain: nonce 0 already consumed.
+	dbl := blocktree.Block{ID: "d", Parent: "g",
+		Payload: mustPayload(t, Tx{From: "alice", To: "bob", Amount: 10, Nonce: 0})}
+	if p(dbl) {
+		t.Fatal("double-spending block accepted")
+	}
+	if err := v.Check(dbl); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("check = %v", err)
+	}
+
+	// The same transaction is fine on a sibling branch (no double spend
+	// there): validity is per-chain, the essence of fork semantics.
+	sib := blocktree.Block{ID: "s", Parent: blocktree.GenesisID,
+		Payload: mustPayload(t, Tx{From: "alice", To: "bob", Amount: 10, Nonce: 0})}
+	if !p(sib) {
+		t.Fatalf("sibling-branch block rejected: %v", v.Check(sib))
+	}
+
+	// A block that does not connect is invalid ("can be connected" half
+	// of the paper's example).
+	orphan := blocktree.Block{ID: "o", Parent: "nowhere"}
+	if p(orphan) {
+		t.Fatal("unconnected block accepted")
+	}
+}
+
+func TestValidatorOverdraft(t *testing.T) {
+	tree := blocktree.New()
+	v := NewValidator(genesisAlloc(), tree)
+	over := blocktree.Block{ID: "v", Parent: blocktree.GenesisID,
+		Payload: mustPayload(t, Tx{From: "bob", To: "alice", Amount: 9999, Nonce: 0})}
+	if err := v.Check(over); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("check = %v", err)
+	}
+}
+
+func TestWorkloadGeneratesValidBatches(t *testing.T) {
+	w := NewWorkload(7, 6, 1000)
+	tree := blocktree.New()
+	v := NewValidator(w.Genesis(), tree)
+	parent := blocktree.GenesisID
+	for i := 0; i < 10; i++ {
+		batch := w.NextBatch(5)
+		enc, err := batch.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := blocktree.Block{ID: blocktree.BlockID(string(rune('A' + i))), Parent: parent, Payload: enc}
+		if err := v.Check(b); err != nil {
+			t.Fatalf("workload batch %d invalid: %v", i, err)
+		}
+		if err := tree.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+		parent = b.ID
+	}
+	chain, _ := tree.ChainTo(parent)
+	s, err := Replay(w.Genesis(), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replayed chain state matches the workload's expected state.
+	exp := w.ExpectedState()
+	for _, a := range exp.Accounts() {
+		if s.Balance(a) != exp.Balance(a) {
+			t.Fatalf("account %s: replay %d, expected %d", a, s.Balance(a), exp.Balance(a))
+		}
+	}
+	if s.Total() != 6*1000 {
+		t.Fatalf("total = %d (not conserved)", s.Total())
+	}
+}
+
+// TestProperty_ConservationAndNonceMonotonicity: any sequence of applied
+// transactions conserves the total supply, and nonces only move forward.
+func TestProperty_ConservationAndNonceMonotonicity(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		w := NewWorkload(seed, 4, 500)
+		s := NewState(w.Genesis())
+		total := s.Total()
+		for i := 0; i < int(n%20)+1; i++ {
+			batch := w.NextBatch(3)
+			for _, tx := range batch.Txs {
+				before := s.Nonce(tx.From)
+				if err := s.Apply(tx); err != nil {
+					return false
+				}
+				if s.Nonce(tx.From) != before+1 {
+					return false
+				}
+			}
+			if s.Total() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateCloneIndependence(t *testing.T) {
+	s := NewState(genesisAlloc())
+	c := s.Clone()
+	if err := s.Apply(Tx{From: "alice", To: "bob", Amount: 10, Nonce: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Balance("alice") != 100 || c.Nonce("alice") != 0 {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestTxID(t *testing.T) {
+	id := Tx{From: "a", To: "b", Amount: 5, Nonce: 2}.ID()
+	if id != "a->b#2@5" {
+		t.Fatalf("id = %s", id)
+	}
+}

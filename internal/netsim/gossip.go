@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"blockadt/internal/history"
+)
+
+// Gossiper implements the Light Reliable Communication abstraction
+// (Definition 4.4) as a protocol rather than a simulator guarantee: every
+// process relays the first copy of each message it receives to every peer.
+// This is the flooding dissemination the paper attributes to Bitcoin and
+// Ethereum ("valid blocks are flooded in the system", Sections 5.1–5.2).
+//
+// Relaying buys the Agreement property under sender failure: if any
+// correct process receives m, its relays deliver m to every correct
+// process even when the original sender crashed mid-broadcast — the case a
+// direct broadcast cannot cover. The gossip tests demonstrate exactly that
+// separation.
+type Gossiper struct {
+	id history.ProcID
+	// seen de-duplicates by message identity.
+	seen map[gossipKey]bool
+	// Deliver is invoked exactly once per distinct message.
+	Deliver func(s *Sim, m Message)
+}
+
+// gossipKey identifies a message independent of its relay path.
+type gossipKey struct {
+	kind   string
+	parent history.BlockRef
+	block  history.BlockRef
+	origin history.ProcID
+	round  int
+}
+
+func keyOf(m Message) gossipKey {
+	return gossipKey{kind: m.Kind, parent: m.Parent, block: m.Block, origin: m.Origin, round: m.Round}
+}
+
+// GossipKind marks messages carried by the gossip layer.
+const GossipKind = "gossip"
+
+// NewGossiper returns a gossiper for process id.
+func NewGossiper(id history.ProcID, deliver func(s *Sim, m Message)) *Gossiper {
+	return &Gossiper{id: id, seen: map[gossipKey]bool{}, Deliver: deliver}
+}
+
+// Publish originates a message: it is delivered locally (LRC Validity) and
+// sent to all peers. Unlike Sim.Broadcast, the copies are individual sends
+// the caller's process could crash between — the relays, not the
+// primitive, provide Agreement.
+func (g *Gossiper) Publish(s *Sim, m Message) {
+	m.From = g.id
+	k := keyOf(m)
+	if g.seen[k] {
+		return
+	}
+	g.seen[k] = true
+	if g.Deliver != nil {
+		g.Deliver(s, m)
+	}
+	g.relay(s, m)
+}
+
+// PublishPartial originates a message but sends it only to the given peers
+// before "crashing" — the failure-injection entry point of the gossip
+// tests.
+func (g *Gossiper) PublishPartial(s *Sim, m Message, peers []history.ProcID) {
+	m.From = g.id
+	g.seen[keyOf(m)] = true
+	for _, p := range peers {
+		cp := m
+		cp.To = p
+		s.Send(cp)
+	}
+}
+
+// OnMessage handles a delivery: first copies are delivered and relayed,
+// duplicates are dropped. It reports whether the message was fresh.
+func (g *Gossiper) OnMessage(s *Sim, m Message) bool {
+	k := keyOf(m)
+	if g.seen[k] {
+		return false
+	}
+	g.seen[k] = true
+	if g.Deliver != nil {
+		g.Deliver(s, m)
+	}
+	g.relay(s, m)
+	return true
+}
+
+func (g *Gossiper) relay(s *Sim, m Message) {
+	for _, p := range s.Procs() {
+		if p == g.id {
+			continue
+		}
+		cp := m
+		cp.From = g.id
+		cp.To = p
+		s.Send(cp)
+	}
+}
+
+// Seen reports whether the gossiper has already delivered the message.
+func (g *Gossiper) Seen(m Message) bool { return g.seen[keyOf(m)] }

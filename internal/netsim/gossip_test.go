@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"testing"
+
+	"blockadt/internal/history"
+)
+
+// gossipNet wires n gossipers, each recording its deliveries.
+func gossipNet(n int, links LinkModel, seed uint64) (*Sim, []*Gossiper, []int) {
+	s := New(links, seed)
+	gs := make([]*Gossiper, n)
+	delivered := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		g := NewGossiper(history.ProcID(i), func(*Sim, Message) { delivered[i]++ })
+		gs[i] = g
+		s.Register(history.ProcID(i), HandlerFuncs{
+			Message: func(sim *Sim, m Message) { g.OnMessage(sim, m) },
+		})
+	}
+	return s, gs, delivered
+}
+
+func TestGossipDeliversToAll(t *testing.T) {
+	s, gs, delivered := gossipNet(6, Synchronous{Delta: 4}, 1)
+	gs[0].Publish(s, Message{Kind: GossipKind, Block: "b1", Origin: 0})
+	s.Run(500)
+	for i, d := range delivered {
+		if d != 1 {
+			t.Fatalf("process %d delivered %d times, want exactly 1", i, d)
+		}
+	}
+}
+
+func TestGossipDeduplicates(t *testing.T) {
+	s, gs, delivered := gossipNet(4, Synchronous{Delta: 4}, 2)
+	m := Message{Kind: GossipKind, Block: "b1", Origin: 0}
+	gs[0].Publish(s, m)
+	gs[0].Publish(s, m) // duplicate origination
+	s.Run(500)
+	for i, d := range delivered {
+		if d != 1 {
+			t.Fatalf("process %d delivered %d times", i, d)
+		}
+	}
+	if !gs[1].Seen(m) {
+		t.Fatal("Seen() after delivery")
+	}
+}
+
+func TestGossipDistinctMessagesBothDeliver(t *testing.T) {
+	s, gs, delivered := gossipNet(4, Synchronous{Delta: 4}, 3)
+	gs[0].Publish(s, Message{Kind: GossipKind, Block: "b1", Origin: 0})
+	gs[1].Publish(s, Message{Kind: GossipKind, Block: "b2", Origin: 1})
+	s.Run(500)
+	for i, d := range delivered {
+		if d != 2 {
+			t.Fatalf("process %d delivered %d, want 2", i, d)
+		}
+	}
+}
+
+// TestGossipAgreementUnderSenderCrash: the sender reaches only one peer
+// before crashing; the relay closes the gap and every correct process
+// still delivers — the Agreement property a direct broadcast loses.
+func TestGossipAgreementUnderSenderCrash(t *testing.T) {
+	s, gs, delivered := gossipNet(6, Synchronous{Delta: 4}, 4)
+	m := Message{Kind: GossipKind, Block: "b1", Origin: 0}
+	gs[0].PublishPartial(s, m, []history.ProcID{3}) // only p3 hears it
+	s.Crash(0)
+	s.Run(1000)
+	for i := 1; i < 6; i++ {
+		if delivered[i] != 1 {
+			t.Fatalf("correct process %d delivered %d times, want 1 (relay must cover the crash)", i, delivered[i])
+		}
+	}
+}
+
+// TestDirectSendWithoutRelayViolatesAgreement: the control experiment —
+// the same partial send with relaying disabled leaves the other processes
+// without the message, which is exactly the LRC-violating scenario of the
+// necessity theorems.
+func TestDirectSendWithoutRelayViolatesAgreement(t *testing.T) {
+	s := New(Synchronous{Delta: 4}, 5)
+	delivered := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Register(history.ProcID(i), HandlerFuncs{
+			Message: func(*Sim, Message) { delivered[i]++ }, // no relay
+		})
+	}
+	s.Send(Message{From: 0, To: 2, Kind: GossipKind, Block: "b1", Origin: 0})
+	s.Crash(0)
+	s.Run(1000)
+	if delivered[2] != 1 {
+		t.Fatalf("p2 delivered %d", delivered[2])
+	}
+	if delivered[1] != 0 || delivered[3] != 0 {
+		t.Fatal("agreement held without relay — control experiment broken")
+	}
+}
+
+// TestGossipUnderAsynchrony: relaying still terminates and delivers to all
+// over asynchronous links.
+func TestGossipUnderAsynchrony(t *testing.T) {
+	s, gs, delivered := gossipNet(5, Asynchronous{MaxDelay: 50, TailProb: 0.2}, 6)
+	gs[2].Publish(s, Message{Kind: GossipKind, Block: "x", Origin: 2})
+	s.Run(1 << 16)
+	for i, d := range delivered {
+		if d != 1 {
+			t.Fatalf("process %d delivered %d", i, d)
+		}
+	}
+}
+
+// TestGossipMessageComplexity: n processes each relay once, so the wire
+// carries at most n·(n-1) copies per message — flooding, not broadcast
+// storms (dedup bounds the relays).
+func TestGossipMessageComplexity(t *testing.T) {
+	const n = 8
+	s, gs, _ := gossipNet(n, Synchronous{Delta: 2}, 7)
+	gs[0].Publish(s, Message{Kind: GossipKind, Block: "b", Origin: 0})
+	s.Run(2000)
+	maxCopies := n * (n - 1)
+	if s.Delivered > maxCopies {
+		t.Fatalf("delivered %d copies > bound %d", s.Delivered, maxCopies)
+	}
+}

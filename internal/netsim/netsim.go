@@ -1,0 +1,365 @@
+// Package netsim is the deterministic message-passing substrate of
+// Section 4.2 of "Blockchain Abstract Data Type" (Anceaume et al.): an
+// arbitrary large but finite set of n processes exchanging messages over
+// channels that are synchronous (delivery within δ), weakly synchronous
+// (synchronous after an unknown global stabilization time), or asynchronous
+// (no delivery bound), with optional message dropping and crash/Byzantine
+// fault injection.
+//
+// The simulator runs in virtual time from a single priority queue, so every
+// execution is a deterministic function of (topology, link model, seed).
+// The fictional global clock the paper postulates is the simulator's `now`;
+// processes never read it except through message delivery order, matching
+// the paper's "processes do not have access to the fictional global time".
+//
+// The package also provides the two broadcast primitives the paper's
+// necessity results revolve around: a Light Reliable Communication (LRC)
+// broadcast satisfying Definition 4.4 (Validity + Agreement among correct
+// processes), and a lossy broadcast whose per-destination drops construct
+// the counterexample histories of Lemmas 4.4–4.5 and Theorem 4.7.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"blockadt/internal/history"
+	"blockadt/internal/prng"
+)
+
+// Message is a network message. The blockchain protocols of this
+// repository propagate block updates, so messages carry the (predecessor,
+// block, origin) triple of Definition 4.3 plus a protocol-defined kind and
+// optional payload.
+type Message struct {
+	From history.ProcID
+	To   history.ProcID
+	// Kind is a protocol-defined discriminator ("update", "vote", …).
+	Kind string
+	// Parent and Block are the (bg, b) of block-update messages.
+	Parent history.BlockRef
+	Block  history.BlockRef
+	// Origin is the process that generated Block.
+	Origin history.ProcID
+	// Round tags protocol rounds (votes, proposals).
+	Round int
+	// Payload carries protocol-specific extra data.
+	Payload any
+}
+
+// Handler reacts to deliveries and scheduled timers at one process.
+type Handler interface {
+	// OnMessage is called when a message is delivered to the process.
+	OnMessage(s *Sim, m Message)
+	// OnTimer is called when a timer scheduled via Sim.TimerAt fires.
+	OnTimer(s *Sim, tag string)
+}
+
+// HandlerFuncs adapts plain functions to Handler.
+type HandlerFuncs struct {
+	Message func(s *Sim, m Message)
+	Timer   func(s *Sim, tag string)
+}
+
+// OnMessage implements Handler.
+func (h HandlerFuncs) OnMessage(s *Sim, m Message) {
+	if h.Message != nil {
+		h.Message(s, m)
+	}
+}
+
+// OnTimer implements Handler.
+func (h HandlerFuncs) OnTimer(s *Sim, tag string) {
+	if h.Timer != nil {
+		h.Timer(s, tag)
+	}
+}
+
+// LinkModel decides delivery delay and loss per message.
+type LinkModel interface {
+	// Plan returns the delivery delay for the message sent at time now
+	// and whether the message is dropped instead. Implementations must
+	// be deterministic given the rng stream.
+	Plan(rng *prng.Source, m Message, now int64) (delay int64, drop bool)
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Synchronous delivers every message within [Min, Delta] (Section 4.2's
+// synchronous channels: sent at t ⇒ delivered by t+δ).
+type Synchronous struct {
+	// Delta is the inclusive delivery bound δ (≥ 1).
+	Delta int64
+	// Min is the minimum delay (≥ 1; 0 defaults to 1).
+	Min int64
+}
+
+// Name implements LinkModel.
+func (l Synchronous) Name() string { return fmt.Sprintf("synchronous(δ=%d)", l.Delta) }
+
+// Plan implements LinkModel.
+func (l Synchronous) Plan(rng *prng.Source, _ Message, _ int64) (int64, bool) {
+	lo := l.Min
+	if lo < 1 {
+		lo = 1
+	}
+	hi := l.Delta
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Int63n(hi-lo+1), false
+}
+
+// Asynchronous delivers every message eventually but with no bound: delays
+// are drawn from [1, MaxDelay] with occasional long-tail stragglers, which
+// is the executable stand-in for unbounded delay on finite runs.
+type Asynchronous struct {
+	// MaxDelay bounds common-case delays (default 64).
+	MaxDelay int64
+	// TailProb is the probability of a straggler delayed 10×MaxDelay.
+	TailProb float64
+}
+
+// Name implements LinkModel.
+func (l Asynchronous) Name() string { return "asynchronous" }
+
+// Plan implements LinkModel.
+func (l Asynchronous) Plan(rng *prng.Source, _ Message, _ int64) (int64, bool) {
+	maxd := l.MaxDelay
+	if maxd <= 0 {
+		maxd = 64
+	}
+	if l.TailProb > 0 && rng.Bool(l.TailProb) {
+		return 1 + rng.Int63n(10*maxd), false
+	}
+	return 1 + rng.Int63n(maxd), false
+}
+
+// WeaklySynchronous behaves asynchronously before the global stabilization
+// time GST and synchronously (bound Delta) after it — the paper's weakly
+// synchronous channels.
+type WeaklySynchronous struct {
+	GST    int64
+	Delta  int64
+	PreMax int64
+}
+
+// Name implements LinkModel.
+func (l WeaklySynchronous) Name() string {
+	return fmt.Sprintf("weakly-synchronous(GST=%d,δ=%d)", l.GST, l.Delta)
+}
+
+// Plan implements LinkModel.
+func (l WeaklySynchronous) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
+	if now >= l.GST {
+		return Synchronous{Delta: l.Delta}.Plan(rng, m, now)
+	}
+	pre := l.PreMax
+	if pre <= 0 {
+		pre = 8 * l.Delta
+	}
+	d, _ := Asynchronous{MaxDelay: pre}.Plan(rng, m, now)
+	// Delivery never lands before GST+1 unless the draw already says so;
+	// leave as drawn — eventual delivery suffices pre-GST.
+	return d, false
+}
+
+// DropRule decides whether a particular message is lost.
+type DropRule func(m Message, now int64) bool
+
+// Lossy wraps a link model with a drop rule, producing the non-reliable
+// channels used by the necessity counterexamples (Theorem 4.7: "it is
+// impossible to implement Eventual Prefix if even only one message sent by
+// a correct process is dropped").
+type Lossy struct {
+	Inner LinkModel
+	Rule  DropRule
+}
+
+// Name implements LinkModel.
+func (l Lossy) Name() string { return "lossy(" + l.Inner.Name() + ")" }
+
+// Plan implements LinkModel.
+func (l Lossy) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
+	if l.Rule != nil && l.Rule(m, now) {
+		return 0, true
+	}
+	return l.Inner.Plan(rng, m, now)
+}
+
+// event is a queue entry: either a delivery or a timer.
+type event struct {
+	at    int64
+	seq   int64 // FIFO tie-break for determinism
+	msg   Message
+	timer bool
+	tag   string
+	proc  history.ProcID
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+func (h eventHeap) Peek() *event    { return h[0] }
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// Sim is the discrete-event simulator. It is single-goroutine: handlers run
+// sequentially in virtual-time order.
+type Sim struct {
+	now      int64
+	seq      int64
+	queue    eventHeap
+	handlers map[history.ProcID]Handler
+	crashed  map[history.ProcID]bool
+	links    LinkModel
+	rng      *prng.Source
+	rec      *history.Recorder
+	// Delivered counts delivered messages; Dropped counts planned drops.
+	Delivered int
+	Dropped   int
+}
+
+// New returns a simulator over the given link model, seeded for
+// reproducibility. The recorder (for histories of Definition 4.2) is
+// created with the simulator's virtual clock.
+func New(links LinkModel, seed uint64) *Sim {
+	s := &Sim{
+		handlers: map[history.ProcID]Handler{},
+		crashed:  map[history.ProcID]bool{},
+		links:    links,
+		rng:      prng.New(seed),
+	}
+	s.rec = history.NewRecorderWithClock(simClock{s})
+	return s
+}
+
+// simClock exposes virtual time to the history recorder.
+type simClock struct{ s *Sim }
+
+// Now implements history.Clock.
+func (c simClock) Now() int64 { return c.s.now }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() int64 { return s.now }
+
+// Recorder returns the history recorder stamped by virtual time.
+func (s *Sim) Recorder() *history.Recorder { return s.rec }
+
+// Rng returns the simulator's deterministic random source.
+func (s *Sim) Rng() *prng.Source { return s.rng }
+
+// Register installs the handler for a process.
+func (s *Sim) Register(p history.ProcID, h Handler) {
+	s.handlers[p] = h
+}
+
+// Procs returns the registered process ids in ascending order.
+func (s *Sim) Procs() []history.ProcID {
+	out := make([]history.ProcID, 0, len(s.handlers))
+	for p := range s.handlers {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Crash marks the process faulty from the current instant: pending and
+// future deliveries and timers to it are discarded.
+func (s *Sim) Crash(p history.ProcID) { s.crashed[p] = true }
+
+// Crashed reports whether the process has crashed.
+func (s *Sim) Crashed(p history.ProcID) bool { return s.crashed[p] }
+
+// Send transmits m (with From/To already set) through the link model. Loss
+// and delay are decided at send time; the send itself is not recorded here —
+// protocol code records send events explicitly, because the paper's send
+// event belongs to the protocol history, not the wire.
+func (s *Sim) Send(m Message) {
+	delay, drop := s.links.Plan(s.rng, m, s.now)
+	if drop {
+		s.Dropped++
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, msg: m, proc: m.To})
+}
+
+// TimerAt schedules Handler.OnTimer(tag) at process p at absolute virtual
+// time at (clamped to now+1 if in the past).
+func (s *Sim) TimerAt(p history.ProcID, at int64, tag string) {
+	if at <= s.now {
+		at = s.now + 1
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, timer: true, tag: tag, proc: p})
+}
+
+// Run processes events until the queue drains or virtual time exceeds
+// until. It returns the number of events processed.
+func (s *Sim) Run(until int64) int {
+	n := 0
+	for len(s.queue) > 0 {
+		if s.queue.Peek().at > until {
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		if s.crashed[ev.proc] {
+			continue
+		}
+		h, ok := s.handlers[ev.proc]
+		if !ok {
+			continue
+		}
+		n++
+		if ev.timer {
+			h.OnTimer(s, ev.tag)
+		} else {
+			s.Delivered++
+			h.OnMessage(s, ev.msg)
+		}
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// Broadcast sends m from `from` to every registered process including the
+// sender itself (self-delivery is how LRC Validity — "if a correct process
+// i sends m then i eventually receives m" — is realized). Each copy goes
+// through the link model independently, so a Lossy model can drop
+// individual copies: that is exactly the misbehaviour the Update Agreement
+// experiments inject. Under a loss-free model this primitive satisfies the
+// LRC properties of Definition 4.4 among correct processes.
+func (s *Sim) Broadcast(from history.ProcID, m Message) {
+	m.From = from
+	for _, p := range s.Procs() {
+		cp := m
+		cp.To = p
+		if p == from {
+			// Self-delivery bypasses the wire: local, next instant.
+			s.seq++
+			heap.Push(&s.queue, &event{at: s.now + 1, seq: s.seq, msg: cp, proc: p})
+			continue
+		}
+		s.Send(cp)
+	}
+}

@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"blockadt/internal/blocktree"
+	"blockadt/internal/history"
+)
+
+// Replica is the generic replicated BT-ADT implementation of Section 4.2:
+// each process i maintains a local copy bt_i of the BlockTree; an update
+// related to a block b generated at process i is applied locally with
+// update_i(bg, b), communicated with send_i(bg, b), and takes effect on a
+// remote replica bt_j when receive_j(bg, b) triggers update_j(bg, b).
+//
+// All three event kinds are recorded into the simulator's history, which is
+// what the Update Agreement (Definition 4.3) and LRC (Definition 4.4)
+// checkers consume. Updates whose predecessor has not arrived yet are
+// buffered and applied when the gap fills, preserving R2's receive-before-
+// update order.
+type Replica struct {
+	id  history.ProcID
+	bt  *blocktree.SeqBlockTree
+	rec *history.Recorder
+	// pending[parent] = blocks waiting for parent to arrive.
+	pending map[blocktree.BlockID][]pendingBlock
+	// UpdateKind is the message kind replicas react to ("update").
+}
+
+type pendingBlock struct {
+	block  blocktree.Block
+	origin history.ProcID
+}
+
+// UpdateMsg is the message kind replicas exchange.
+const UpdateMsg = "update"
+
+// NewReplica returns a replica for process id using selection function f.
+// The predicate is RequireToken-free here: validity is enforced upstream by
+// the oracle (only validated blocks are ever broadcast, per Definition 4.2
+// which restricts histories to appends of valid blocks).
+func NewReplica(id history.ProcID, f blocktree.Selector, rec *history.Recorder) *Replica {
+	return &Replica{
+		id:      id,
+		bt:      blocktree.NewSeq(f, blocktree.AcceptAll),
+		rec:     rec,
+		pending: map[blocktree.BlockID][]pendingBlock{},
+	}
+}
+
+// ID returns the replica's process id.
+func (r *Replica) ID() history.ProcID { return r.id }
+
+// Tree exposes the local BlockTree copy bt_i. The returned tree is the
+// replica's live structure, shared for efficiency: callers that mutate or
+// retain it across steps must Clone() it.
+func (r *Replica) Tree() *blocktree.Tree { return r.bt.Tree() }
+
+// CreateAndBroadcast applies update_i(parent, b) for a locally generated
+// block and sends it to all processes via the simulator's broadcast
+// (send_i(parent, b)). It records the update and send events.
+func (r *Replica) CreateAndBroadcast(s *Sim, parent blocktree.BlockID, b blocktree.Block) {
+	r.applyUpdate(parent, b, r.id)
+	r.rec.Record(r.id, history.Label{Kind: history.KindSend, Parent: parent, Block: b.ID, Origin: r.id})
+	s.Broadcast(r.id, Message{Kind: UpdateMsg, Parent: parent, Block: b.ID, Origin: r.id, Payload: b})
+}
+
+// OnMessage handles an update delivery: records receive_j(bg, b) and applies
+// update_j(bg, b), deferring it if the predecessor is unknown.
+func (r *Replica) OnMessage(s *Sim, m Message) {
+	if m.Kind != UpdateMsg {
+		return
+	}
+	b, ok := m.Payload.(blocktree.Block)
+	if !ok {
+		return
+	}
+	r.rec.Record(r.id, history.Label{Kind: history.KindReceive, Parent: m.Parent, Block: m.Block, Origin: m.Origin})
+	if m.Origin == r.id {
+		// Self-delivery: update already applied at creation.
+		return
+	}
+	r.applyUpdate(m.Parent, b, m.Origin)
+}
+
+func (r *Replica) applyUpdate(parent blocktree.BlockID, b blocktree.Block, origin history.ProcID) {
+	if !r.bt.Tree().Has(parent) {
+		r.pending[parent] = append(r.pending[parent], pendingBlock{block: b, origin: origin})
+		return
+	}
+	if r.bt.Update(parent, b) {
+		r.rec.Record(r.id, history.Label{Kind: history.KindUpdate, Parent: parent, Block: b.ID, Origin: origin})
+	}
+	// Drain blocks that were waiting for b.
+	waiting := r.pending[b.ID]
+	delete(r.pending, b.ID)
+	for _, w := range waiting {
+		r.applyUpdate(b.ID, w.block, w.origin)
+	}
+}
+
+// OnTimer implements Handler; replicas have no timers of their own.
+func (r *Replica) OnTimer(*Sim, string) {}
+
+// Read performs the read() operation on the local replica, recording
+// invocation and response.
+func (r *Replica) Read() blocktree.Chain {
+	op := r.rec.Invoke(r.id, history.Label{Kind: history.KindRead})
+	c := r.bt.Read()
+	r.rec.Respond(op, history.Label{Kind: history.KindRead, Chain: c.IDs()})
+	return c
+}
+
+// ApplyDecided applies a block this replica learned through an agreement
+// protocol (rather than a network update message): the decision
+// certificate replaces the wire hop, so the block is inserted directly and
+// recorded as an update event. Used by the PBFT-committed chains.
+func (r *Replica) ApplyDecided(parent blocktree.BlockID, b blocktree.Block, origin history.ProcID) {
+	r.applyUpdate(parent, b, origin)
+}
+
+// Selected applies the replica's selection function f to the local tree
+// without recording a read event — the protocol-internal chain selection
+// miners use to choose the block to extend (distinct from the ADT's read()
+// operation, which belongs to the application-facing history).
+func (r *Replica) Selected() blocktree.Chain { return r.bt.Read() }
+
+// Resync re-broadcasts every non-genesis block of the local tree — a
+// one-shot anti-entropy pass. Partition-prone systems need it: updates
+// broadcast during a partition are lost for the other side, and the LRC
+// abstraction (whose necessity Theorem 4.7 proves) must be re-established
+// after healing by exchanging the missed blocks. Receivers deduplicate
+// through the ordinary update path, so resync is idempotent.
+func (r *Replica) Resync(s *Sim) {
+	t := r.bt.Tree()
+	// Breadth-first from genesis so parents precede children on the wire.
+	queue := []blocktree.BlockID{blocktree.GenesisID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, child := range t.Children(id) {
+			b, ok := t.Get(child)
+			if !ok {
+				continue
+			}
+			// Relay under the block's original creator so the
+			// (b_g, b_i) naming of Definition 4.3 stays accurate.
+			origin := r.id
+			if b.Proposer >= 0 {
+				origin = history.ProcID(b.Proposer)
+			}
+			r.rec.Record(r.id, history.Label{Kind: history.KindSend, Parent: b.Parent, Block: b.ID, Origin: origin})
+			s.Broadcast(r.id, Message{Kind: UpdateMsg, Parent: b.Parent, Block: b.ID, Origin: origin, Payload: b})
+			queue = append(queue, child)
+		}
+	}
+}
+
+// PendingCount returns the number of buffered out-of-order blocks, useful
+// to assert quiescence at the end of a run.
+func (r *Replica) PendingCount() int {
+	n := 0
+	for _, v := range r.pending {
+		n += len(v)
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package oracle_test
+
+import (
+	"fmt"
+
+	"blockadt/internal/oracle"
+)
+
+// Example walks the Figure 6 transition path: getToken pops the invoking
+// merit's tape and consumeToken inserts the validated object into K[h].
+func Example() {
+	// Two merits: α0 always wins the tape draw, α1 never does.
+	o := oracle.New(oracle.Config{K: 2, Merits: []float64{1, 0}, Seed: 42})
+
+	tok, granted := o.GetToken(0, "obj1", "objK")
+	fmt.Println("α0 granted:", granted)
+
+	set, inserted, _ := o.ConsumeToken(tok)
+	fmt.Println("inserted:", inserted, "K[obj1]:", set)
+
+	_, granted = o.GetToken(1, "obj1", "objZ")
+	fmt.Println("α1 granted:", granted)
+	// Output:
+	// α0 granted: true
+	// inserted: true K[obj1]: [objK]
+	// α1 granted: false
+}
+
+// ExampleOracle_ConsumeToken shows the frugal bound: the k+1-th
+// consumption on the same object is refused but still returns K[h].
+func ExampleOracle_ConsumeToken() {
+	o := oracle.NewFrugal(1, 7, 1, 1)
+	t1, _ := o.GetToken(0, "b0", "first")
+	t2, _ := o.GetToken(1, "b0", "second")
+	_, ok1, _ := o.ConsumeToken(t1)
+	set, ok2, _ := o.ConsumeToken(t2)
+	fmt.Println(ok1, ok2, set)
+	// Output:
+	// true false [first]
+}
+
+// ExampleTape shows the deterministic pseudorandom tape backing each merit.
+func ExampleTape() {
+	a := oracle.NewTape(1, 0, 0.5)
+	b := oracle.NewTape(1, 0, 0.5)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Pop() != b.Pop() {
+			same = false
+		}
+	}
+	fmt.Println("tapes with identical parameters agree:", same)
+	// Output:
+	// tapes with identical parameters agree: true
+}

@@ -1,0 +1,45 @@
+package oracle
+
+import "blockadt/internal/prng"
+
+// Tape is the per-merit infinite pseudorandom tape of Figure 5, exposed for
+// direct inspection in tests and experiments. Cells hold tkn with
+// probability pα and ⊥ otherwise; the sequence is a pure function of
+// (seed, merit), so two tapes with the same parameters are identical and
+// tapes with different merits are independent.
+type Tape struct {
+	seed  uint64
+	merit int
+	p     float64
+	pos   uint64
+}
+
+// NewTape returns the tape for the given merit index with probability p in
+// the tape family identified by seed.
+func NewTape(seed uint64, merit int, p float64) *Tape {
+	return &Tape{seed: seed, merit: merit, p: p}
+}
+
+// Head reports whether the current head cell contains tkn (the paper's
+// head(tape) = tkn test) without consuming it.
+func (t *Tape) Head() bool {
+	return prng.Bernoulli(prng.Cell(t.seed, t.merit, t.pos), t.p)
+}
+
+// Pop consumes the head cell and reports whether it contained tkn.
+func (t *Tape) Pop() bool {
+	v := t.Head()
+	t.pos++
+	return v
+}
+
+// Pos returns the number of cells popped so far.
+func (t *Tape) Pos() uint64 { return t.pos }
+
+// At reports the content of cell i without moving the head.
+func (t *Tape) At(i uint64) bool {
+	return prng.Bernoulli(prng.Cell(t.seed, t.merit, i), t.p)
+}
+
+// Probability returns pα.
+func (t *Tape) Probability() float64 { return t.p }

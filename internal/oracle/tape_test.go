@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTapeDeterministicReplay(t *testing.T) {
+	a := NewTape(9, 0, 0.3)
+	b := NewTape(9, 0, 0.3)
+	for i := 0; i < 200; i++ {
+		if a.Pop() != b.Pop() {
+			t.Fatal("identical tapes diverged")
+		}
+	}
+	if a.Pos() != 200 {
+		t.Fatalf("pos = %d", a.Pos())
+	}
+}
+
+func TestTapeHeadDoesNotConsume(t *testing.T) {
+	tp := NewTape(9, 1, 0.5)
+	h1 := tp.Head()
+	h2 := tp.Head()
+	if h1 != h2 {
+		t.Fatal("Head consumed the cell")
+	}
+	if tp.Pop() != h1 {
+		t.Fatal("Pop disagrees with Head")
+	}
+}
+
+func TestTapeAtRandomAccess(t *testing.T) {
+	tp := NewTape(5, 2, 0.4)
+	// At must agree with sequential Pop.
+	vals := make([]bool, 50)
+	for i := range vals {
+		vals[i] = tp.At(uint64(i))
+	}
+	for i := range vals {
+		if tp.Pop() != vals[i] {
+			t.Fatalf("At(%d) disagrees with Pop", i)
+		}
+	}
+}
+
+func TestTapeFrequency(t *testing.T) {
+	p := 0.25
+	tp := NewTape(123, 0, p)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if tp.Pop() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 5*math.Sqrt(p*(1-p)/n) {
+		t.Fatalf("tape frequency %v, want ~%v", got, p)
+	}
+	if tp.Probability() != p {
+		t.Fatal("Probability()")
+	}
+}
+
+func TestTapesDifferAcrossMeritsAndSeeds(t *testing.T) {
+	base := NewTape(1, 0, 0.5)
+	otherMerit := NewTape(1, 1, 0.5)
+	otherSeed := NewTape(2, 0, 0.5)
+	agreeM, agreeS := 0, 0
+	for i := uint64(0); i < 200; i++ {
+		if base.At(i) == otherMerit.At(i) {
+			agreeM++
+		}
+		if base.At(i) == otherSeed.At(i) {
+			agreeS++
+		}
+	}
+	// ~50% agreement expected for independent fair tapes.
+	if agreeM > 140 || agreeM < 60 {
+		t.Fatalf("merit tapes suspiciously correlated: %d/200", agreeM)
+	}
+	if agreeS > 140 || agreeS < 60 {
+		t.Fatalf("seed tapes suspiciously correlated: %d/200", agreeS)
+	}
+}
+
+// TestFig6OraclePath replays Figure 6's transition path: a getToken that
+// pops a tkn cell and returns a valid object, followed by a consumeToken
+// that inserts it into K[1] (|K[1]| < k).
+func TestFig6OraclePath(t *testing.T) {
+	o := New(Config{K: 2, Merits: []float64{1, 0}, Seed: 42})
+	// ξ0 → ξ1: getToken(obj1, objk) pops tape α1 and grants.
+	tok, ok := o.GetToken(0, "obj1", "objk")
+	if !ok {
+		t.Fatal("Figure 6 getToken must grant (tape α1 head = tkn)")
+	}
+	// ξ1 → ξ2: consumeToken(obj_k^tkn1) inserts into K[1].
+	set, inserted, err := o.ConsumeToken(tok)
+	if err != nil || !inserted {
+		t.Fatalf("consume: inserted=%v err=%v", inserted, err)
+	}
+	if len(set) != 1 || set[0] != "objk" {
+		t.Fatalf("K[1] = %v, want {objk}", set)
+	}
+	// The α2 tape (p=0) never grants: its cells are all ⊥.
+	if _, ok := o.GetToken(1, "obj1", "objz"); ok {
+		t.Fatal("tape α2 with p=0 granted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package pbft implements a PBFT-style Byzantine-tolerant consensus over
+// the netsim message-passing substrate — the concrete agreement protocol
+// behind the frugal k=1 oracle of the consensus-based systems in Table 1
+// (ByzCoin and PeerCensus commit keyblocks "by a variant of PBFT [10]";
+// Red Belly and Hyperledger run a Byzantine consensus / ordering service).
+//
+// The protocol is the classic three-phase pattern per instance (one
+// instance per decision slot):
+//
+//	pre-prepare  the view's leader proposes a value;
+//	prepare      every replica echoes the first leader proposal it sees;
+//	             2f+1 matching prepares lock the (view, value) pair;
+//	commit       replicas broadcast commit after preparing; 2f+1 matching
+//	             commits decide the value.
+//
+// View changes are timeout-driven: a replica that has not decided by the
+// view deadline moves to view v+1, whose leader is (slot+v+1) mod n, and
+// the new leader proposes its own candidate (a prepared value is
+// re-proposed, preserving agreement across views). With n ≥ 3f+1 and the
+// synchronous/weakly-synchronous channels of Section 4.2, every correct
+// replica decides the same value, and Byzantine leaders cannot cause
+// conflicting decisions: two quorums of 2f+1 intersect in a correct
+// replica, which prepares at most one value per view.
+//
+// This package exists to show the "consumeToken = Byzantine commit"
+// abstraction of internal/chains discharging to a real protocol: the
+// chains tests verify that a chain committed through pbft yields the same
+// strongly consistent histories as one committed through Θ_F,k=1.
+package pbft
+
+import (
+	"fmt"
+	"sort"
+
+	"blockadt/internal/history"
+	"blockadt/internal/netsim"
+)
+
+// Value is a proposed/decided opaque value (block ids in this repository).
+type Value = string
+
+// Message kinds exchanged by replicas.
+const (
+	MsgPrePrepare = "pbft/pre-prepare"
+	MsgPrepare    = "pbft/prepare"
+	MsgCommit     = "pbft/commit"
+)
+
+// payload is the wire content of every PBFT message.
+type payload struct {
+	Slot  int
+	View  int
+	Value Value
+}
+
+// Config parameterizes a replica group.
+type Config struct {
+	// N is the number of replicas; tolerance is f = (N-1)/3.
+	N int
+	// ViewTimeout is the virtual-time budget of one view before a
+	// replica moves on (default 8·Delta is sensible).
+	ViewTimeout int64
+	// OnDecide is called exactly once per slot at each correct replica.
+	OnDecide func(r *Replica, slot int, v Value)
+}
+
+// Quorum returns the 2f+1 quorum size.
+func (c Config) Quorum() int {
+	f := (c.N - 1) / 3
+	return 2*f + 1
+}
+
+// Replica is one PBFT participant. Register it as the netsim handler for
+// its process (or embed it and forward OnMessage/OnTimer).
+type Replica struct {
+	id    history.ProcID
+	cfg   Config
+	slots map[int]*slotState
+	// proposals[slot] is this replica's own candidate, used when it
+	// becomes leader.
+	proposals map[int]Value
+	// Decisions records the decided value per slot.
+	Decisions map[int]Value
+}
+
+type slotState struct {
+	view     int
+	proposed bool
+	// preprepared[view] = value received from that view's leader.
+	preprepared map[int]Value
+	// prepares[view][value] = set of replicas that prepared it.
+	prepares map[int]map[Value]map[history.ProcID]bool
+	commits  map[int]map[Value]map[history.ProcID]bool
+	// prepared, if non-empty, is the value this replica locked.
+	prepared     Value
+	preparedView int
+	sentPrepare  map[int]bool
+	sentCommit   map[int]bool
+	decided      bool
+	deadline     int64
+}
+
+// NewReplica returns a PBFT replica for process id.
+func NewReplica(id history.ProcID, cfg Config) *Replica {
+	if cfg.ViewTimeout <= 0 {
+		cfg.ViewTimeout = 64
+	}
+	return &Replica{
+		id:        id,
+		cfg:       cfg,
+		slots:     map[int]*slotState{},
+		proposals: map[int]Value{},
+		Decisions: map[int]Value{},
+	}
+}
+
+// ID returns the replica's process id.
+func (r *Replica) ID() history.ProcID { return r.id }
+
+func (r *Replica) slot(s int) *slotState {
+	st, ok := r.slots[s]
+	if !ok {
+		st = &slotState{
+			preprepared: map[int]Value{},
+			prepares:    map[int]map[Value]map[history.ProcID]bool{},
+			commits:     map[int]map[Value]map[history.ProcID]bool{},
+			sentPrepare: map[int]bool{},
+			sentCommit:  map[int]bool{},
+		}
+		r.slots[s] = st
+	}
+	return st
+}
+
+// Leader returns the leader of (slot, view): (slot+view) mod n — a
+// deterministic rotation every replica computes locally.
+func (r *Replica) Leader(slot, view int) history.ProcID {
+	return history.ProcID((slot + view) % r.cfg.N)
+}
+
+// Propose submits this replica's candidate for the slot and starts the
+// protocol at this replica (arming the view timer; broadcasting the
+// pre-prepare if it is the view-0 leader).
+func (r *Replica) Propose(s *netsim.Sim, slot int, v Value) {
+	r.proposals[slot] = v
+	st := r.slot(slot)
+	if st.decided {
+		return
+	}
+	r.armTimer(s, slot, st)
+	if r.Leader(slot, st.view) == r.id && !st.proposed && v != "" {
+		st.proposed = true
+		r.broadcast(s, MsgPrePrepare, slot, st.view, v)
+	}
+}
+
+func (r *Replica) armTimer(s *netsim.Sim, slot int, st *slotState) {
+	st.deadline = s.Now() + r.cfg.ViewTimeout
+	s.TimerAt(r.id, st.deadline, fmt.Sprintf("pbft/%d/%d", slot, st.view))
+}
+
+func (r *Replica) broadcast(s *netsim.Sim, kind string, slot, view int, v Value) {
+	s.Broadcast(r.id, netsim.Message{
+		Kind:    kind,
+		Round:   slot,
+		Payload: payload{Slot: slot, View: view, Value: v},
+	})
+}
+
+// OnMessage implements the netsim handler protocol for PBFT traffic;
+// non-PBFT messages are ignored so Replica can share a process with other
+// protocol layers.
+func (r *Replica) OnMessage(s *netsim.Sim, m netsim.Message) {
+	p, ok := m.Payload.(payload)
+	if !ok {
+		return
+	}
+	st := r.slot(p.Slot)
+	if st.decided {
+		return
+	}
+	switch m.Kind {
+	case MsgPrePrepare:
+		// Accept only from the leader of the claimed view, once.
+		if m.From != r.Leader(p.Slot, p.View) {
+			return
+		}
+		if _, dup := st.preprepared[p.View]; dup {
+			return
+		}
+		st.preprepared[p.View] = p.Value
+		// Prepare for the current view only; a locked replica echoes
+		// its lock instead of the leader's value (agreement across
+		// views).
+		if p.View == st.view && !st.sentPrepare[p.View] {
+			v := p.Value
+			if st.prepared != "" {
+				v = st.prepared
+			}
+			st.sentPrepare[p.View] = true
+			r.broadcast(s, MsgPrepare, p.Slot, p.View, v)
+		}
+	case MsgPrepare:
+		set := bucket(st.prepares, p.View, p.Value)
+		set[m.From] = true
+		if len(set) >= r.cfg.Quorum() && !st.sentCommit[p.View] {
+			st.prepared = p.Value
+			st.preparedView = p.View
+			st.sentCommit[p.View] = true
+			r.broadcast(s, MsgCommit, p.Slot, p.View, p.Value)
+		}
+	case MsgCommit:
+		set := bucket(st.commits, p.View, p.Value)
+		set[m.From] = true
+		if len(set) >= r.cfg.Quorum() {
+			st.decided = true
+			r.Decisions[p.Slot] = p.Value
+			if r.cfg.OnDecide != nil {
+				r.cfg.OnDecide(r, p.Slot, p.Value)
+			}
+		}
+	}
+}
+
+func bucket(m map[int]map[Value]map[history.ProcID]bool, view int, v Value) map[history.ProcID]bool {
+	byVal, ok := m[view]
+	if !ok {
+		byVal = map[Value]map[history.ProcID]bool{}
+		m[view] = byVal
+	}
+	set, ok := byVal[v]
+	if !ok {
+		set = map[history.ProcID]bool{}
+		byVal[v] = set
+	}
+	return set
+}
+
+// OnTimer drives view changes: if the slot's deadline passed without a
+// decision, move to the next view; the new leader proposes (its lock, or
+// its own candidate).
+func (r *Replica) OnTimer(s *netsim.Sim, tag string) {
+	var slot, view int
+	if _, err := fmt.Sscanf(tag, "pbft/%d/%d", &slot, &view); err != nil {
+		return
+	}
+	st := r.slot(slot)
+	if st.decided || view != st.view || s.Now() < st.deadline {
+		return
+	}
+	st.view++
+	r.armTimer(s, slot, st)
+	if r.Leader(slot, st.view) == r.id {
+		v := st.prepared
+		if v == "" {
+			v = r.proposals[slot]
+		}
+		if v == "" {
+			return // nothing to propose yet; a later Propose will retry
+		}
+		r.broadcast(s, MsgPrePrepare, slot, st.view, v)
+	}
+	// Re-prepare in the new view if a pre-prepare already arrived.
+	if v, ok := st.preprepared[st.view]; ok && !st.sentPrepare[st.view] {
+		if st.prepared != "" {
+			v = st.prepared
+		}
+		st.sentPrepare[st.view] = true
+		r.broadcast(s, MsgPrepare, slot, st.view, v)
+	}
+}
+
+// Decided returns the decided value for the slot, if any.
+func (r *Replica) Decided(slot int) (Value, bool) {
+	v, ok := r.Decisions[slot]
+	return v, ok
+}
+
+// DecidedSlots returns the decided slots in ascending order.
+func (r *Replica) DecidedSlots() []int {
+	out := make([]int, 0, len(r.Decisions))
+	for s := range r.Decisions {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

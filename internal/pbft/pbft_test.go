@@ -1,0 +1,227 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"blockadt/internal/history"
+	"blockadt/internal/netsim"
+)
+
+// group wires n PBFT replicas into a simulator.
+func group(n int, links netsim.LinkModel, seed uint64) (*netsim.Sim, []*Replica) {
+	s := netsim.New(links, seed)
+	reps := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		r := NewReplica(history.ProcID(i), Config{N: n, ViewTimeout: 64})
+		reps[i] = r
+		s.Register(r.ID(), r)
+	}
+	return s, reps
+}
+
+func checkAgreement(t *testing.T, reps []*Replica, slot int, alive func(int) bool) Value {
+	t.Helper()
+	var decided Value
+	count := 0
+	for i, r := range reps {
+		if alive != nil && !alive(i) {
+			continue
+		}
+		v, ok := r.Decided(slot)
+		if !ok {
+			t.Fatalf("replica %d did not decide slot %d", i, slot)
+		}
+		if decided == "" {
+			decided = v
+		} else if v != decided {
+			t.Fatalf("disagreement at slot %d: %q vs %q", slot, v, decided)
+		}
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no live replicas")
+	}
+	return decided
+}
+
+// TestHappyPathDecides: 4 replicas (f=1), view-0 leader proposes, everyone
+// decides the leader's value.
+func TestHappyPathDecides(t *testing.T) {
+	s, reps := group(4, netsim.Synchronous{Delta: 3}, 1)
+	for _, r := range reps {
+		r.Propose(s, 0, fmt.Sprintf("v%d", r.ID()))
+	}
+	s.Run(500)
+	v := checkAgreement(t, reps, 0, nil)
+	if v != "v0" {
+		t.Fatalf("decided %q, want the slot-0 leader's v0", v)
+	}
+}
+
+// TestMultipleSlotsIndependent: slots decide independently, each led by its
+// rotation leader.
+func TestMultipleSlotsIndependent(t *testing.T) {
+	s, reps := group(4, netsim.Synchronous{Delta: 3}, 2)
+	for slot := 0; slot < 5; slot++ {
+		for _, r := range reps {
+			r.Propose(s, slot, fmt.Sprintf("s%d-v%d", slot, r.ID()))
+		}
+	}
+	s.Run(2000)
+	for slot := 0; slot < 5; slot++ {
+		v := checkAgreement(t, reps, slot, nil)
+		leader := (slot) % 4
+		want := fmt.Sprintf("s%d-v%d", slot, leader)
+		if v != want {
+			t.Fatalf("slot %d decided %q, want %q", slot, v, want)
+		}
+	}
+	if got := len(reps[0].DecidedSlots()); got != 5 {
+		t.Fatalf("decided slots = %d", got)
+	}
+}
+
+// TestCrashedLeaderViewChange: the view-0 leader crashes before proposing;
+// the timeout rotates to the view-1 leader, whose value is decided by the
+// survivors.
+func TestCrashedLeaderViewChange(t *testing.T) {
+	s, reps := group(4, netsim.Synchronous{Delta: 3}, 3)
+	s.Crash(0) // slot-0, view-0 leader
+	for _, r := range reps[1:] {
+		r.Propose(s, 0, fmt.Sprintf("v%d", r.ID()))
+	}
+	s.Run(2000)
+	v := checkAgreement(t, reps, 0, func(i int) bool { return i != 0 })
+	if v != "v1" {
+		t.Fatalf("decided %q, want the view-1 leader's v1", v)
+	}
+}
+
+// TestLeaderCrashAfterPartialPrePrepare: the leader's pre-prepare reaches
+// only some replicas before it crashes; the view change still converges
+// without conflicting decisions.
+func TestLeaderCrashAfterPartialPrePrepare(t *testing.T) {
+	// Drop the leader's messages to replicas 2 and 3 — only replica 1
+	// hears the original proposal.
+	rule := func(m netsim.Message, _ int64) bool {
+		return m.From == 0 && (m.To == 2 || m.To == 3)
+	}
+	s := netsim.New(netsim.Lossy{Inner: netsim.Synchronous{Delta: 3}, Rule: rule}, 4)
+	reps := make([]*Replica, 4)
+	for i := 0; i < 4; i++ {
+		r := NewReplica(history.ProcID(i), Config{N: 4, ViewTimeout: 64})
+		reps[i] = r
+		s.Register(r.ID(), r)
+	}
+	for _, r := range reps {
+		r.Propose(s, 0, fmt.Sprintf("v%d", r.ID()))
+	}
+	s.Run(100) // let the partial pre-prepare land
+	s.Crash(0)
+	s.Run(3000)
+	checkAgreement(t, reps, 0, func(i int) bool { return i != 0 })
+}
+
+// byzantineEquivocator is a leader that sends different pre-prepares to
+// different replicas — the classic safety attack PBFT's prepare quorum
+// neutralizes.
+func TestByzantineLeaderEquivocationSafe(t *testing.T) {
+	const n = 4
+	s := netsim.New(netsim.Synchronous{Delta: 3}, 5)
+	reps := make([]*Replica, n)
+	for i := 1; i < n; i++ {
+		r := NewReplica(history.ProcID(i), Config{N: n, ViewTimeout: 64})
+		reps[i] = r
+		s.Register(r.ID(), r)
+	}
+	// Process 0 (slot-0 leader) equivocates: "evil-a" to 1, "evil-b" to
+	// 2 and 3.
+	s.Register(0, netsim.HandlerFuncs{Timer: func(sim *netsim.Sim, tag string) {
+		send := func(to history.ProcID, v Value) {
+			sim.Send(netsim.Message{From: 0, To: to, Kind: MsgPrePrepare, Round: 0,
+				Payload: payload{Slot: 0, View: 0, Value: v}})
+		}
+		send(1, "evil-a")
+		send(2, "evil-b")
+		send(3, "evil-b")
+	}})
+	s.TimerAt(0, 1, "equivocate")
+	for i := 1; i < n; i++ {
+		reps[i].Propose(s, 0, fmt.Sprintf("v%d", i))
+	}
+	s.Run(3000)
+
+	// Safety: no two correct replicas decide different values. (The
+	// split 1 vs 2 prepares cannot both reach the 2f+1 = 3 quorum.)
+	var first Value
+	for i := 1; i < n; i++ {
+		if v, ok := reps[i].Decided(0); ok {
+			if first == "" {
+				first = v
+			} else if v != first {
+				t.Fatalf("conflicting decisions: %q vs %q", v, first)
+			}
+		}
+	}
+	// Liveness: the view change around the Byzantine leader lets the
+	// correct replicas decide something.
+	decided := 0
+	for i := 1; i < n; i++ {
+		if _, ok := reps[i].Decided(0); ok {
+			decided++
+		}
+	}
+	if decided < 3 {
+		t.Fatalf("only %d correct replicas decided", decided)
+	}
+}
+
+// TestSevenReplicasTolerateTwoCrashes: n=7, f=2 — crash two replicas
+// including a leader; the rest decide.
+func TestSevenReplicasTolerateTwoCrashes(t *testing.T) {
+	s, reps := group(7, netsim.Synchronous{Delta: 3}, 6)
+	s.Crash(0)
+	s.Crash(1)
+	for _, r := range reps[2:] {
+		r.Propose(s, 0, fmt.Sprintf("v%d", r.ID()))
+	}
+	s.Run(4000)
+	checkAgreement(t, reps, 0, func(i int) bool { return i >= 2 })
+}
+
+// TestWeaklySynchronousDecides: decisions survive a pre-GST asynchronous
+// phase (the semi-synchrony ByzCoin/PeerCensus assume).
+func TestWeaklySynchronousDecides(t *testing.T) {
+	links := netsim.WeaklySynchronous{GST: 300, Delta: 3, PreMax: 100}
+	s, reps := group(4, links, 7)
+	for _, r := range reps {
+		r.Propose(s, 0, fmt.Sprintf("v%d", r.ID()))
+	}
+	s.Run(5000)
+	checkAgreement(t, reps, 0, nil)
+}
+
+func TestQuorumSizes(t *testing.T) {
+	cases := map[int]int{4: 3, 7: 5, 10: 7}
+	for n, want := range cases {
+		if got := (Config{N: n}).Quorum(); got != want {
+			t.Fatalf("quorum(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	r := NewReplica(0, Config{N: 4})
+	if r.Leader(0, 0) != 0 || r.Leader(0, 1) != 1 || r.Leader(3, 2) != 1 {
+		t.Fatal("leader rotation formula")
+	}
+}
+
+func TestIgnoresForeignMessages(t *testing.T) {
+	s, reps := group(4, netsim.Synchronous{Delta: 3}, 8)
+	reps[0].OnMessage(s, netsim.Message{Kind: "update", Payload: "not-pbft"})
+	if len(reps[0].Decisions) != 0 {
+		t.Fatal("foreign message caused a decision")
+	}
+}

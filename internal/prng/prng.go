@@ -1,0 +1,113 @@
+// Package prng provides the deterministic pseudorandomness used across the
+// reproduction: a SplitMix64 sequential generator and a stateless PRF for
+// the oracle's merit tapes.
+//
+// The paper's token oracles own, per merit αᵢ, an infinite tape of
+// pseudorandom cells "mostly indistinguishable from a Bernoulli sequence"
+// (Section 3.2.1, footnote 3). We realize a tape cell as a pure function of
+// (seed, merit, index), so tapes are reproducible, independent across
+// merits, and never need to be materialized.
+package prng
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+// generators" (the standard gamma 0x9E3779B97F4A7C15).
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return state, z ^ (z >> 31)
+}
+
+// Mix hashes the inputs into a single well-distributed 64-bit value; it is
+// the stateless PRF behind Cell.
+func Mix(vals ...uint64) uint64 {
+	acc := uint64(0x2545F4914F6CDD1D)
+	for _, v := range vals {
+		acc ^= v
+		_, acc = splitmix64(acc)
+	}
+	return acc
+}
+
+// Cell returns the pseudorandom 64-bit value of cell (merit, index) of the
+// tape family identified by seed.
+func Cell(seed uint64, merit int, index uint64) uint64 {
+	return Mix(seed, uint64(merit)+0x9E37, index+0xC2B2)
+}
+
+// Bernoulli reports whether the value v (interpreted as uniform on
+// [0, 2^64)) falls below probability p ∈ [0, 1].
+func Bernoulli(v uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	// Compare against p·2^64 without overflowing: split the scale.
+	threshold := uint64(p * (1 << 63) * 2)
+	return v < threshold
+}
+
+// Source is a seeded sequential generator with convenience helpers. The
+// zero value is a valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source with the given seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next pseudorandom value.
+func (s *Source) Uint64() uint64 {
+	var out uint64
+	s.state, out = splitmix64(s.state)
+	return out
+}
+
+// Intn returns a pseudorandom int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive bound")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a pseudorandom int64 in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("prng: Int63n with non-positive bound")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudorandom float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return Bernoulli(s.Uint64(), p)
+}
+
+// Perm returns a pseudorandom permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork returns an independent Source derived from this one and a label,
+// used to give subsystems (links, processes, tapes) their own streams.
+func (s *Source) Fork(label uint64) *Source {
+	return New(Mix(s.state, label, 0xF0CC))
+}

@@ -1,0 +1,179 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincide on %d/100 draws", same)
+	}
+}
+
+func TestCellIsPure(t *testing.T) {
+	if Cell(7, 3, 11) != Cell(7, 3, 11) {
+		t.Fatal("Cell must be a pure function")
+	}
+	if Cell(7, 3, 11) == Cell(7, 3, 12) || Cell(7, 3, 11) == Cell(7, 4, 11) || Cell(7, 3, 11) == Cell(8, 3, 11) {
+		t.Fatal("Cell must separate its arguments")
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	if Bernoulli(0, 0) {
+		t.Fatal("p=0 must never fire")
+	}
+	if !Bernoulli(^uint64(0), 1) {
+		t.Fatal("p=1 must always fire")
+	}
+	if Bernoulli(^uint64(0), 0.999999) {
+		t.Fatal("max draw must not fire below p=1")
+	}
+	if !Bernoulli(0, 1e-9) {
+		t.Fatal("zero draw must fire for any positive p")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.9} {
+		src := New(1234)
+		const n = 200000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if Bernoulli(src.Uint64(), p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// 5σ bound on the binomial proportion.
+		tol := 5 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("p=%v: frequency %v beyond %v", p, got, tol)
+		}
+	}
+}
+
+func TestTapeCellFrequency(t *testing.T) {
+	// The oracle's merit tapes must hit close to their probability.
+	const n = 100000
+	p := 0.1
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		if Bernoulli(Cell(99, 2, i), p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("tape frequency %v, want ~%v", got, p)
+	}
+}
+
+func TestTapeIndependenceAcrossMerits(t *testing.T) {
+	// Cells of different merits at the same index must be uncorrelated:
+	// count agreements of the Bernoulli(0.5) projections.
+	const n = 50000
+	agree := 0
+	for i := uint64(0); i < n; i++ {
+		a := Bernoulli(Cell(5, 0, i), 0.5)
+		b := Bernoulli(Cell(5, 1, i), 0.5)
+		if a == b {
+			agree++
+		}
+	}
+	got := float64(agree) / n
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("cross-merit agreement %v, want ~0.5", got)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestInt63nBounds(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63n(5); v < 0 || v >= 5 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := s.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%64) + 1
+		p := New(seed).Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	s := New(11)
+	a := s.Fork(1)
+	b := s.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams coincide on %d/100 draws", same)
+	}
+}
+
+func TestMixVariadicSeparation(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix must be order-sensitive")
+	}
+	if Mix(1) == Mix(1, 0) {
+		t.Fatal("Mix must be length-sensitive")
+	}
+}

@@ -1,0 +1,170 @@
+package registers
+
+import (
+	"sync"
+)
+
+// This file implements the object reductions of Section 4.1.
+//
+// The paper works with consumeToken as a standalone shared object: for
+// Θ_F,k=1, consumeToken(b^tknh_ℓ) writes b into K[h] iff K[h] = {} and in
+// every case returns the content of K[h] (Figure 9, right). For Θ_P,
+// consumeToken_h(tkn_m) writes tkn_m into its own register R_{h,m} and
+// returns an atomic read of all registers (Figure 12).
+
+// ConsumeTokenK1 is the consumeToken() shared object of Figure 9 for
+// Θ_F,k=1: per object h a single-slot set K[h]. It is linearizable and
+// wait-free (one mutex-protected step per call models the atomic step of
+// the shared object).
+type ConsumeTokenK1 struct {
+	mu sync.Mutex
+	k  map[string]string // K[h], "" = {}
+}
+
+// NewConsumeTokenK1 returns an empty consumeToken object.
+func NewConsumeTokenK1() *ConsumeTokenK1 {
+	return &ConsumeTokenK1{k: map[string]string{}}
+}
+
+// Consume implements consumeToken(b^tknh_ℓ) per Figure 9: if K[h] = {} then
+// K[h] ← {b}; in every case returns K[h]'s content ("" when still empty,
+// which cannot happen here since b is written first).
+func (c *ConsumeTokenK1) Consume(h, b string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.k[h] == "" {
+		c.k[h] = b
+	}
+	return c.k[h]
+}
+
+// Get returns K[h]'s content without modifying it.
+func (c *ConsumeTokenK1) Get(h string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.k[h]
+}
+
+// CASFromCT implements compare&swap(K[h], {}, b) from consumeToken,
+// following Figure 10 (Theorem 4.1): invoke consumeToken(b^tknh_ℓ); if the
+// returned value is b the CAS succeeded and the register's prior value was
+// {} (returned as ""); otherwise the returned value is the register's
+// unchanged content. Input values must be valid blocks (non-empty strings).
+type CASFromCT struct {
+	ct *ConsumeTokenK1
+}
+
+// NewCASFromCT wraps a consumeToken object as a CAS object.
+func NewCASFromCT(ct *ConsumeTokenK1) *CASFromCT {
+	return &CASFromCT{ct: ct}
+}
+
+// CompareAndSwapEmpty performs compare&swap(K[h], {}, b): it returns ""
+// (the old value {}) when this call installed b, and the current occupant
+// otherwise. It panics on an empty b, mirroring the theorem's hypothesis
+// that inputs are valid blocks in B′.
+func (c *CASFromCT) CompareAndSwapEmpty(h, b string) string {
+	if b == "" {
+		panic("registers: CASFromCT requires a valid (non-empty) block")
+	}
+	returned := c.ct.Consume(h, b)
+	if returned == b {
+		return ""
+	}
+	return returned
+}
+
+// CTFromCAS implements the consumeToken object from a Compare&Swap object
+// per object (the inverse direction implicit in Figure 9's side-by-side
+// presentation): Consume(h, b) CASes b into K[h] if empty and returns the
+// resulting content.
+type CTFromCAS struct {
+	mu  sync.Mutex
+	cas map[string]*CAS
+}
+
+// NewCTFromCAS returns an empty object.
+func NewCTFromCAS() *CTFromCAS {
+	return &CTFromCAS{cas: map[string]*CAS{}}
+}
+
+func (c *CTFromCAS) obj(h string) *CAS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.cas[h]
+	if !ok {
+		o = &CAS{}
+		c.cas[h] = o
+	}
+	return o
+}
+
+// Consume implements consumeToken(b^tknh_ℓ) on top of CAS: returns K[h]'s
+// content after the (attempted) insertion.
+func (c *CTFromCAS) Consume(h, b string) string {
+	o := c.obj(h)
+	prev := o.CompareAndSwap("", b)
+	if prev == "" {
+		return b
+	}
+	return prev
+}
+
+// CTFromSnapshot implements the prodigal consumeToken from an Atomic
+// Snapshot per Figure 12 (Theorem 4.3): consumeToken_h(tkn_m) updates the
+// register R_{h,m} assigned to token m and returns a scan of all registers
+// for h — the consumed set including the last written token. Because Θ_P
+// never refuses an insertion (k = ∞), a register per token always exists.
+type CTFromSnapshot struct {
+	mu    sync.Mutex
+	snaps map[string]*Snapshot
+	// slot[h][token] is the register index R_{h,m}; tokens are uniquely
+	// identified (assumption (i) of Section 4.1.2) and the cardinality n
+	// of T is finite but not known a priori (assumption (ii)), so slots
+	// are assigned on first use within the fixed capacity.
+	slot map[string]map[string]int
+	n    int
+}
+
+// NewCTFromSnapshot returns the object with capacity n tokens per object h
+// (the paper's finite-but-unknown n; callers choose a bound large enough
+// for the run).
+func NewCTFromSnapshot(n int) *CTFromSnapshot {
+	return &CTFromSnapshot{snaps: map[string]*Snapshot{}, slot: map[string]map[string]int{}, n: n}
+}
+
+func (c *CTFromSnapshot) registers(h, token string) (*Snapshot, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.snaps[h]
+	if !ok {
+		s = NewSnapshot(c.n)
+		c.snaps[h] = s
+		c.slot[h] = map[string]int{}
+	}
+	m, ok := c.slot[h][token]
+	if !ok {
+		m = len(c.slot[h])
+		if m >= c.n {
+			panic("registers: CTFromSnapshot capacity exceeded")
+		}
+		c.slot[h][token] = m
+	}
+	return s, m
+}
+
+// Consume implements Figure 12's consumeToken_h(tkn_m): update R_{h,m} then
+// scan. The returned slice is the consumed set K[h] (empty strings
+// filtered), which includes tkn_m.
+func (c *CTFromSnapshot) Consume(h, token string) []string {
+	s, m := c.registers(h, token)
+	s.Update(m, token)
+	scan := s.Scan()
+	out := make([]string, 0, len(scan))
+	for _, v := range scan {
+		if v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

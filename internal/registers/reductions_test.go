@@ -1,0 +1,192 @@
+package registers
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestFig9ConsumeTokenSemantics checks the consumeToken() shared object of
+// Figure 9 (Θ_F,k=1): the first consume installs, every consume returns
+// K[h]'s content.
+func TestFig9ConsumeTokenSemantics(t *testing.T) {
+	ct := NewConsumeTokenK1()
+	if got := ct.Consume("h", "b1"); got != "b1" {
+		t.Fatalf("first consume = %q", got)
+	}
+	if got := ct.Consume("h", "b2"); got != "b1" {
+		t.Fatalf("second consume = %q, want the installed b1", got)
+	}
+	if got := ct.Get("h"); got != "b1" {
+		t.Fatalf("get = %q", got)
+	}
+	// Independent objects are independent.
+	if got := ct.Consume("h2", "b9"); got != "b9" {
+		t.Fatalf("independent object consume = %q", got)
+	}
+}
+
+// TestFig10Theorem41 checks the CAS-from-consumeToken implementation of
+// Figure 10 (Theorem 4.1): compare&swap(K[h], {}, b) returns {} ("")
+// exactly when this call installed b.
+func TestFig10Theorem41(t *testing.T) {
+	cas := NewCASFromCT(NewConsumeTokenK1())
+	if prev := cas.CompareAndSwapEmpty("h", "b1"); prev != "" {
+		t.Fatalf("winning CAS prev = %q, want empty", prev)
+	}
+	if prev := cas.CompareAndSwapEmpty("h", "b2"); prev != "b1" {
+		t.Fatalf("losing CAS prev = %q, want b1", prev)
+	}
+	// Theorem 4.1's hypothesis: inputs must be valid blocks.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty block must be rejected")
+		}
+	}()
+	cas.CompareAndSwapEmpty("h", "")
+}
+
+// TestFig10ConcurrentAgreement: under contention exactly one CAS-from-CT
+// caller wins and every caller learns the same winner — the property that
+// gives consumeToken consensus number ∞ (Theorem 4.2).
+func TestFig10ConcurrentAgreement(t *testing.T) {
+	cas := NewCASFromCT(NewConsumeTokenK1())
+	const n = 24
+	var wg sync.WaitGroup
+	outcome := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("b%d", i)
+			prev := cas.CompareAndSwapEmpty("h", mine)
+			if prev == "" {
+				outcome[i] = mine
+			} else {
+				outcome[i] = prev
+			}
+		}(i)
+	}
+	wg.Wait()
+	winners := 0
+	for i := 0; i < n; i++ {
+		if outcome[i] == fmt.Sprintf("b%d", i) {
+			winners++
+		}
+		if outcome[i] != outcome[0] {
+			t.Fatalf("disagreement: %q vs %q", outcome[i], outcome[0])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want 1", winners)
+	}
+}
+
+// TestCTFromCASRoundTrip: the inverse reduction matches the consumeToken
+// specification.
+func TestCTFromCASRoundTrip(t *testing.T) {
+	ct := NewCTFromCAS()
+	if got := ct.Consume("h", "x"); got != "x" {
+		t.Fatalf("first = %q", got)
+	}
+	if got := ct.Consume("h", "y"); got != "x" {
+		t.Fatalf("second = %q", got)
+	}
+	if got := ct.Consume("g", "z"); got != "z" {
+		t.Fatalf("other object = %q", got)
+	}
+}
+
+// TestProperty_CTandCASReductionsAgree: for arbitrary schedules of
+// (object, block) consumptions, the Figure 9 object and the CAS-backed
+// object produce identical return values — the two implementations are
+// observationally equivalent.
+func TestProperty_CTandCASReductionsAgree(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewConsumeTokenK1()
+		b := NewCTFromCAS()
+		for _, op := range ops {
+			h := fmt.Sprintf("h%d", op%3)
+			blk := fmt.Sprintf("b%d", op%7+1)
+			if a.Consume(h, blk) != b.Consume(h, blk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig12Theorem43 checks the snapshot-based prodigal consumeToken of
+// Figure 12: every consumption is accepted (k = ∞) and the returned scan
+// contains the consumed token and every previously consumed one.
+func TestFig12Theorem43(t *testing.T) {
+	ct := NewCTFromSnapshot(16)
+	set := ct.Consume("h", "t1")
+	if len(set) != 1 || set[0] != "t1" {
+		t.Fatalf("first consume = %v", set)
+	}
+	set = ct.Consume("h", "t2")
+	if len(set) != 2 {
+		t.Fatalf("second consume = %v", set)
+	}
+	found := map[string]bool{}
+	for _, v := range set {
+		found[v] = true
+	}
+	if !found["t1"] || !found["t2"] {
+		t.Fatalf("scan misses a token: %v", set)
+	}
+	// Distinct objects use distinct snapshots.
+	if got := ct.Consume("g", "t9"); len(got) != 1 || got[0] != "t9" {
+		t.Fatalf("other object = %v", got)
+	}
+}
+
+// TestFig12ConcurrentInclusion: concurrent consumers each see their own
+// token in the returned scan (the "read includes the last written token"
+// clause of Section 4.1.2), and the final scan holds all tokens — the
+// unbounded-insertion behaviour that keeps Θ_P at consensus number 1.
+func TestFig12ConcurrentInclusion(t *testing.T) {
+	const n = 16
+	ct := NewCTFromSnapshot(n + 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("t%02d", i)
+			set := ct.Consume("h", mine)
+			for _, v := range set {
+				if v == mine {
+					return
+				}
+			}
+			errs <- fmt.Errorf("consumer %d missing own token in %v", i, set)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	final := ct.Consume("h", "t99")
+	if len(final) < n {
+		t.Fatalf("final set size = %d, want ≥ %d (prodigal never refuses)", len(final), n)
+	}
+}
+
+func TestCTFromSnapshotCapacity(t *testing.T) {
+	ct := NewCTFromSnapshot(1)
+	ct.Consume("h", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity overflow must panic")
+		}
+	}()
+	ct.Consume("h", "b")
+}
