@@ -7,6 +7,7 @@ package blockadt_bench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"blockadt/internal/adt"
@@ -26,7 +27,34 @@ import (
 	"blockadt/internal/pbft"
 	"blockadt/internal/prng"
 	"blockadt/internal/registers"
+	"blockadt/internal/sweep"
 )
+
+// BenchmarkSweepMatrix measures the scenario-sweep engine on a 28-config
+// matrix (7 systems × 4 seeds) at parallelism 1, 4 and NumCPU. The runs
+// are embarrassingly parallel and independent, so on a c-core machine the
+// wall-clock time at parallelism min(4, c) drops by ~min(4, c)× versus
+// parallelism 1 while the results stay byte-identical (the determinism
+// regression test in internal/sweep pins that).
+func BenchmarkSweepMatrix(b *testing.B) {
+	matrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30}
+	if configs, err := matrix.Configs(); err != nil || len(configs) < 28 {
+		b.Fatalf("matrix expanded to %d configs (err=%v), want >= 28", len(configs), err)
+	}
+	for _, par := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := sweep.Run(matrix, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Matched != rep.Total {
+					b.Fatalf("%d/%d configurations mismatched", rep.Total-rep.Matched, rep.Total)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkTable1Classify regenerates Table 1: simulate all seven systems
 // and classify their histories.

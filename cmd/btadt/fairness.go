@@ -17,7 +17,9 @@ import (
 func cmdFairness(args []string) error {
 	fs := flag.NewFlagSet("fairness", flag.ExitOnError)
 	blocks := fs.Int("blocks", 150, "target chain length")
-	seed := fs.Uint64("seed", 13, "simulation seed")
+	seed := fs.Uint64("seed", 13, "simulation seed (root seed with -seeds > 1)")
+	seeds := fs.Int("seeds", 1, "number of derived seeds to sweep")
+	parallelism := fs.Int("parallel", 0, "worker pool size for the seed sweep (0 = NumCPU)")
 	meritsFlag := fs.String("merits", "0.16,0.04,0.04,0.04,0.04", "comma-separated per-miner token probabilities")
 	tol := fs.Float64("tol", 0.15, "total-variation-distance tolerance for the fairness verdict")
 	if err := fs.Parse(args); err != nil {
@@ -31,6 +33,23 @@ func cmdFairness(args []string) error {
 		}
 		merits = append(merits, v)
 	}
+	if *seeds > 1 {
+		reports := fairness.SweepSeeds(*seed, *seeds, *parallelism, func(s uint64) fairness.Report {
+			p := chains.Params{N: len(merits), TargetBlocks: *blocks, Seed: s, Merits: merits}
+			return fairness.Analyze(chains.Bitcoin{}.Run(p).History, merits)
+		})
+		agg := fairness.AggregateReports(reports, *tol)
+		fmt.Printf("Bitcoin seed sweep: %d miners, %d runs from root seed %d\n", len(merits), agg.Runs, *seed)
+		fmt.Printf("%d blocks total; TVD mean %.4f max %.4f; %d/%d runs fair at tolerance %.2f\n",
+			agg.TotalBlocks, agg.MeanTVD, agg.MaxTVD, agg.FairRuns, agg.Runs, *tol)
+		if agg.FairRuns < agg.Runs {
+			fmt.Printf("verdict: UNFAIR in %d runs\n", agg.Runs-agg.FairRuns)
+		} else {
+			fmt.Println("verdict: fair in every run")
+		}
+		return nil
+	}
+
 	p := chains.Params{N: len(merits), TargetBlocks: *blocks, Seed: *seed, Merits: merits}
 	res := chains.Bitcoin{}.Run(p)
 	rep := fairness.Analyze(res.History, merits)

@@ -20,6 +20,12 @@
 //
 //	btadt consensus  [-n 16] [-seed 1]
 //	    Solve consensus from the frugal k=1 oracle (Protocol A, Fig 11).
+//
+//	btadt sweep      [-systems a,b] [-links sync,async] [-adversaries none,selfish]
+//	                 [-n 8,16] [-seeds 4] [-seed 42] [-parallel 0] [-json]
+//	    Expand and run a scenario matrix across the worker pool; every
+//	    configuration gets an independent derived prng stream, so the
+//	    output is identical at any -parallel value.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"blockadt/internal/experiments"
 	"blockadt/internal/figures"
 	"blockadt/internal/oracle"
+	"blockadt/internal/parallel"
 )
 
 func main() {
@@ -58,6 +65,8 @@ func main() {
 		err = cmdFairness(os.Args[2:])
 	case "selfish":
 		err = cmdSelfish(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -81,7 +90,8 @@ commands:
   figures      check the example histories of Figures 2-4
   consensus    solve consensus from the frugal k=1 oracle (Figure 11)
   fairness     analyze proposer fairness against the merit parameter
-  selfish      run the selfish-mining chain-quality experiment`)
+  selfish      run the selfish-mining chain-quality experiment
+  sweep        run a concurrent scenario matrix (system × link × adversary × n × seed)`)
 }
 
 func cmdClassify(args []string) error {
@@ -172,13 +182,14 @@ func cmdFigures(args []string) error {
 		return err
 	}
 	opts := consistency.Options{GraceWindow: 8}
-	report := func(name string, cls consistency.Classification) {
-		fmt.Printf("%s: classified %s\n", name, cls.Level)
-		fmt.Printf("  %s  %s", cls.SC, cls.EC)
+	figs := figures.All(*tail)
+	classifications := parallel.Map(figs, 0, func(_ int, f figures.Named) consistency.Classification {
+		return consistency.Classify(f.History, opts)
+	})
+	for i, f := range figs {
+		fmt.Printf("%s: classified %s\n", f.Name, classifications[i].Level)
+		fmt.Printf("  %s  %s", classifications[i].SC, classifications[i].EC)
 	}
-	report("Figure 2", consistency.Classify(figures.Fig2(*tail), opts))
-	report("Figure 3", consistency.Classify(figures.Fig3(*tail), opts))
-	report("Figure 4", consistency.Classify(figures.Fig4(*tail), opts))
 	return nil
 }
 

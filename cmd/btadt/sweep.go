@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blockadt/internal/sweep"
+)
+
+// cmdSweep runs the concurrent scenario-matrix engine: expand a
+// (system × link × adversary × n × seed) matrix, fan it out across the
+// worker pool, and print the per-configuration verdict table or the
+// canonical JSON consumed by BENCH_*.json trend tracking.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	systems := fs.String("systems", "", "comma-separated system names (default: all of Table 1)")
+	links := fs.String("links", "sync", "comma-separated link models: sync,async")
+	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
+	ns := fs.String("n", "8", "comma-separated process counts")
+	seeds := fs.Int("seeds", 1, "seed indices per matrix point")
+	rootSeed := fs.Uint64("seed", 42, "root seed every per-config stream derives from")
+	blocks := fs.Int("blocks", 30, "target committed blocks per run")
+	alpha := fs.Float64("alpha", 0.34, "selfish adversary merit share")
+	parallelism := fs.Int("parallel", 0, "worker pool size (0 = NumCPU)")
+	jsonOut := fs.Bool("json", false, "emit canonical JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := sweep.Matrix{
+		Systems:      splitList(*systems),
+		Links:        splitList(*links),
+		Adversaries:  splitList(*adversaries),
+		Seeds:        *seeds,
+		RootSeed:     *rootSeed,
+		TargetBlocks: *blocks,
+		Alpha:        *alpha,
+	}
+	for _, s := range splitList(*ns) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad process count %q", s)
+		}
+		m.Ns = append(m.Ns, n)
+	}
+
+	rep, err := sweep.Run(m, *parallelism)
+	if err != nil {
+		return err
+	}
+	if rep.Total == 0 {
+		return fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (async/selfish are only implemented for Bitcoin's PoW path)")
+	}
+	if *jsonOut {
+		enc, err := rep.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(enc)
+	} else {
+		fmt.Print(sweep.FormatTable(rep.Results))
+		fmt.Printf("\n%d/%d configurations matched; %d virtual ticks in %.1fms across %d workers\n",
+			rep.Matched, rep.Total, rep.Ticks, float64(rep.WallNS)/1e6, rep.Parallelism)
+	}
+	if rep.Matched != rep.Total {
+		return fmt.Errorf("%d configurations missed their expected consistency level", rep.Total-rep.Matched)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module blockadt
+
+go 1.21

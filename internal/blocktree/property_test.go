@@ -1,0 +1,157 @@
+package blocktree
+
+import (
+	"fmt"
+	"testing"
+
+	"blockadt/internal/prng"
+)
+
+// randomTree grows a tree with count random appends: each block attaches
+// to a uniformly chosen existing block (random fork pattern) with random
+// work in [1,4].
+func randomTree(t *testing.T, src *prng.Source, count int) (*Tree, []BlockID) {
+	t.Helper()
+	tree := New()
+	ids := []BlockID{GenesisID}
+	for i := 0; i < count; i++ {
+		parent := ids[src.Intn(len(ids))]
+		id := BlockID(fmt.Sprintf("r%04d", i))
+		if err := tree.Insert(Block{ID: id, Parent: parent, Work: 1 + src.Intn(4)}); err != nil {
+			t.Fatalf("insert %s under %s: %v", id, parent, err)
+		}
+		ids = append(ids, id)
+	}
+	return tree, ids
+}
+
+// allSelectors is the full selector family under test.
+func allSelectors() []Selector {
+	return []Selector{LongestChain{}, HeaviestChain{}, GHOST{}, SingleChain{}}
+}
+
+// TestPropertySelectorInvariants drives random append sequences and
+// asserts, for every selector, the structural invariants every read
+// relies on: the selected chain starts at genesis, is parent-linked with
+// strictly increasing heights (so the LongestChain score is monotone
+// along it), ends at a leaf reachable from genesis, and is deterministic.
+func TestPropertySelectorInvariants(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		src := prng.New(uint64(1000 + trial))
+		tree, _ := randomTree(t, src, 40+src.Intn(80))
+		for _, sel := range allSelectors() {
+			chain := sel.Select(tree)
+			if len(chain) == 0 || chain[0].ID != GenesisID {
+				t.Fatalf("trial %d %s: selection does not start at genesis: %v", trial, sel.Name(), chain.IDs())
+			}
+			for i := 1; i < len(chain); i++ {
+				if chain[i].Parent != chain[i-1].ID {
+					t.Fatalf("trial %d %s: chain link %d broken: %s's parent is %s, predecessor is %s",
+						trial, sel.Name(), i, chain[i].ID, chain[i].Parent, chain[i-1].ID)
+				}
+				if chain[i].Height != chain[i-1].Height+1 {
+					t.Fatalf("trial %d %s: height not monotone at %d: %d after %d",
+						trial, sel.Name(), i, chain[i].Height, chain[i-1].Height)
+				}
+			}
+			tip := chain[len(chain)-1].ID
+			walked, ok := tree.ChainTo(tip)
+			if !ok {
+				t.Fatalf("trial %d %s: selected tip %s not reachable from genesis", trial, sel.Name(), tip)
+			}
+			if len(walked) != len(chain) {
+				t.Fatalf("trial %d %s: ChainTo(%s) has length %d, selection %d",
+					trial, sel.Name(), tip, len(walked), len(chain))
+			}
+			// Determinism: an identical tree yields an identical selection.
+			again := sel.Select(tree.Clone())
+			if chain.String() != again.String() {
+				t.Fatalf("trial %d %s: selection not deterministic:\n%s\nvs\n%s",
+					trial, sel.Name(), chain, again)
+			}
+		}
+	}
+}
+
+// TestPropertyLongestChainMaximal asserts the LongestChain score is
+// maximal: no leaf's chain is strictly longer than the selected one, and
+// ties break toward the lexicographically largest tip.
+func TestPropertyLongestChainMaximal(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		src := prng.New(uint64(2000 + trial))
+		tree, _ := randomTree(t, src, 60)
+		chain := LongestChain{}.Select(tree)
+		tip := chain[len(chain)-1].ID
+		for _, leaf := range tree.Leaves() {
+			c, _ := tree.ChainTo(leaf)
+			if len(c) > len(chain) {
+				t.Fatalf("trial %d: leaf %s has length %d > selected %d", trial, leaf, len(c), len(chain))
+			}
+			if len(c) == len(chain) && leaf > tip {
+				t.Fatalf("trial %d: tie-break violated: leaf %s > selected tip %s", trial, leaf, tip)
+			}
+		}
+	}
+}
+
+// TestPropertyAppendOnlyNeverOrphans asserts the append-only contract:
+// once a prefix is committed (observed via a selector), later inserts
+// never remove it — every block of the old selection is still present,
+// still reachable, and its genesis-rooted chain is unchanged.
+func TestPropertyAppendOnlyNeverOrphans(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		src := prng.New(uint64(3000 + trial))
+		tree, ids := randomTree(t, src, 50)
+		committed := LongestChain{}.Select(tree)
+		before := committed.String()
+		tipBefore := committed[len(committed)-1].ID
+
+		// Grow the tree further, forking anywhere.
+		for i := 0; i < 50; i++ {
+			parent := ids[src.Intn(len(ids))]
+			id := BlockID(fmt.Sprintf("x%04d", i))
+			if err := tree.Insert(Block{ID: id, Parent: parent, Work: 1 + src.Intn(4)}); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+
+		for _, b := range committed {
+			if !tree.Has(b.ID) {
+				t.Fatalf("trial %d: committed block %s vanished", trial, b.ID)
+			}
+		}
+		after, ok := tree.ChainTo(tipBefore)
+		if !ok {
+			t.Fatalf("trial %d: old tip %s no longer reachable", trial, tipBefore)
+		}
+		if after.String() != before {
+			t.Fatalf("trial %d: committed prefix rewritten:\nbefore: %s\nafter:  %s", trial, before, after)
+		}
+		// The new selection may move to a longer branch, but it can only
+		// be at least as long as the old one: score never regresses.
+		if now := (LongestChain{}).Select(tree); len(now) < len(committed) {
+			t.Fatalf("trial %d: selection shrank from %d to %d after appends", trial, len(committed), len(now))
+		}
+	}
+}
+
+// TestPropertyGHOSTFollowsHeaviestSubtree asserts GHOST's defining
+// invariant on random trees: at every step of the selected chain, the
+// chosen child carries maximal subtree work among its siblings.
+func TestPropertyGHOSTFollowsHeaviestSubtree(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		src := prng.New(uint64(4000 + trial))
+		tree, _ := randomTree(t, src, 70)
+		chain := GHOST{}.Select(tree)
+		for i := 1; i < len(chain); i++ {
+			chosen := chain[i].ID
+			for _, sib := range tree.Children(chain[i-1].ID) {
+				if tree.SubtreeWork(sib) > tree.SubtreeWork(chosen) {
+					t.Fatalf("trial %d: GHOST chose %s (work %d) over heavier sibling %s (work %d)",
+						trial, chosen, tree.SubtreeWork(chosen), sib, tree.SubtreeWork(sib))
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"blockadt/internal/consistency"
+	"blockadt/internal/parallel"
 )
 
 // Row is one row of the regenerated Table 1.
@@ -31,13 +32,19 @@ type Row struct {
 }
 
 // Classify runs every system of Table 1 with the given parameters and
-// returns the regenerated table.
+// returns the regenerated table. The seven runs fan out across all CPUs;
+// each simulator owns its network, oracle and recorder, so the rows are
+// identical to a serial pass (ClassifyParallel(p, 1)).
 func Classify(p Params) []Row {
-	rows := make([]Row, 0, len(All()))
-	for _, sys := range All() {
-		rows = append(rows, ClassifyOne(sys, p))
-	}
-	return rows
+	return ClassifyParallel(p, 0)
+}
+
+// ClassifyParallel is Classify with an explicit worker bound (<1 selects
+// NumCPU). Rows come back in Table 1 order regardless of scheduling.
+func ClassifyParallel(p Params, parallelism int) []Row {
+	return parallel.Map(All(), parallelism, func(_ int, sys System) Row {
+		return ClassifyOne(sys, p)
+	})
 }
 
 // ClassifyOne simulates a single system and checks its history.

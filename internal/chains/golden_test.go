@@ -1,0 +1,59 @@
+package chains
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// TestFormatTableGolden pins the full rendered Table 1 — every system's
+// verdict, oracle, selector and run summary at the canonical seed —
+// against a golden file, so a refactor cannot silently flip a consistency
+// verdict or perturb a deterministic simulation. Regenerate deliberately
+// with: go test ./internal/chains -run TestFormatTableGolden -update
+func TestFormatTableGolden(t *testing.T) {
+	got := FormatTable(Classify(Params{N: 8, TargetBlocks: 30, Seed: 42}))
+	path := filepath.Join("testdata", "table1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("Table 1 drifted from golden file %s.\n--- got ---\n%s--- want ---\n%s(if the change is intentional, rerun with -update)",
+			path, got, want)
+	}
+}
+
+// TestClassifyParallelMatchesSerial asserts the parallel Table 1 fan-out
+// is row-for-row identical to the serial pass, including the detailed SC
+// and EC report strings. Parallelism is pinned at 4 (not NumCPU) so the
+// goroutines really interleave even on a 1-core CI runner.
+func TestClassifyParallelMatchesSerial(t *testing.T) {
+	p := Params{N: 8, TargetBlocks: 20, Seed: 7}
+	serial := ClassifyParallel(p, 1)
+	concurrent := ClassifyParallel(p, 4)
+	if len(serial) != len(concurrent) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(concurrent))
+	}
+	for i := range serial {
+		a, b := serial[i], concurrent[i]
+		if a.System != b.System || a.Measured != b.Measured || a.Blocks != b.Blocks ||
+			a.Forks != b.Forks || a.Ticks != b.Ticks || a.Match != b.Match {
+			t.Errorf("row %d differs:\nserial:   %+v\nparallel: %+v", i, a, b)
+		}
+		if a.SC.String() != b.SC.String() || a.EC.String() != b.EC.String() {
+			t.Errorf("row %d detailed reports differ between serial and parallel", i)
+		}
+	}
+}

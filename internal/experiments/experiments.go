@@ -18,6 +18,7 @@ import (
 	"blockadt/internal/figures"
 	"blockadt/internal/history"
 	"blockadt/internal/oracle"
+	"blockadt/internal/parallel"
 	"blockadt/internal/registers"
 )
 
@@ -57,26 +58,35 @@ func (r Runner) seed() uint64 {
 	return r.Seed
 }
 
-// All runs every experiment in index order.
+// All runs every experiment and returns the results in index order. The
+// experiments are mutually independent (each builds its own simulators,
+// oracles and recorders from the shared seed), so they fan out across all
+// CPUs; AllParallel(1) forces the old serial pass and returns identical
+// results.
 func (r Runner) All() []Result {
-	return []Result{
-		r.F1SequentialSpec(),
-		r.F2StrongHistory(),
-		r.F3EventualHistory(),
-		r.F4InconsistentHistory(),
-		r.F5F6OracleTransitions(),
-		r.F7AppendRefinement(),
-		r.F8F14Hierarchy(),
-		r.T31SCSubsetEC(),
-		r.T32KForkCoherence(),
-		r.T33T34FrugalInclusions(),
-		r.T41CASFromConsumeToken(),
-		r.T42ConsensusFromFrugal(),
-		r.T43ProdigalFromSnapshot(),
-		r.T46T47UpdateAgreementNecessity(),
-		r.T48ForkImpossibility(),
-		r.Table1Classification(),
-	}
+	return r.AllParallel(0)
+}
+
+// AllParallel is All with an explicit worker bound (<1 selects NumCPU).
+func (r Runner) AllParallel(parallelism int) []Result {
+	return parallel.Map([]func() Result{
+		r.F1SequentialSpec,
+		r.F2StrongHistory,
+		r.F3EventualHistory,
+		r.F4InconsistentHistory,
+		r.F5F6OracleTransitions,
+		r.F7AppendRefinement,
+		r.F8F14Hierarchy,
+		r.T31SCSubsetEC,
+		r.T32KForkCoherence,
+		r.T33T34FrugalInclusions,
+		r.T41CASFromConsumeToken,
+		r.T42ConsensusFromFrugal,
+		r.T43ProdigalFromSnapshot,
+		r.T46T47UpdateAgreementNecessity,
+		r.T48ForkImpossibility,
+		r.Table1Classification,
+	}, parallelism, func(_ int, exp func() Result) Result { return exp() })
 }
 
 // F1SequentialSpec replays Figure 1's transition path through the BT-ADT
@@ -372,9 +382,12 @@ func (r Runner) T48ForkImpossibility() Result {
 	}
 }
 
-// Table1Classification regenerates Table 1.
+// Table1Classification regenerates Table 1. The seven system runs stay
+// serial here: this experiment already executes inside the runner's
+// worker pool, and a nested NumCPU fan-out would only oversubscribe the
+// CPUs (and break AllParallel(1)'s one-worker guarantee).
 func (r Runner) Table1Classification() Result {
-	rows := chains.Classify(chains.Params{N: 8, TargetBlocks: 30, Seed: r.seed()})
+	rows := chains.ClassifyParallel(chains.Params{N: 8, TargetBlocks: 30, Seed: r.seed()}, 1)
 	mismatches := []string{}
 	for _, row := range rows {
 		if !row.Match {

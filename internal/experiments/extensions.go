@@ -9,6 +9,7 @@ import (
 	"blockadt/internal/fairness"
 	"blockadt/internal/figures"
 	"blockadt/internal/ledger"
+	"blockadt/internal/parallel"
 )
 
 // Extensions runs the experiments that go beyond the paper's published
@@ -16,18 +17,25 @@ import (
 // explicitly deferred future work (fairness, asynchrony), and its
 // related-work mapping (MPC). They are reported separately from All()
 // because the paper states them as examples or conjectures, not theorems.
+// Like All, the extensions are independent and fan out across all CPUs.
 func (r Runner) Extensions() []Result {
-	return []Result{
-		r.X1LedgerPredicate(),
-		r.X2Fairness(),
-		r.X3AsyncEventualPrefix(),
-		r.X4MPCMapping(),
-		r.X5FinalityGadget(),
-		r.X6PBFTDischarge(),
-		r.X7SelfishMining(),
-		r.X8PartitionProne(),
-		r.X9FruitChain(),
-	}
+	return r.ExtensionsParallel(0)
+}
+
+// ExtensionsParallel is Extensions with an explicit worker bound (<1
+// selects NumCPU).
+func (r Runner) ExtensionsParallel(parallelism int) []Result {
+	return parallel.Map([]func() Result{
+		r.X1LedgerPredicate,
+		r.X2Fairness,
+		r.X3AsyncEventualPrefix,
+		r.X4MPCMapping,
+		r.X5FinalityGadget,
+		r.X6PBFTDischarge,
+		r.X7SelfishMining,
+		r.X8PartitionProne,
+		r.X9FruitChain,
+	}, parallelism, func(_ int, exp func() Result) Result { return exp() })
 }
 
 // X1LedgerPredicate instantiates the paper's Section 3.1 example of the

@@ -1,0 +1,71 @@
+package fairness
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"blockadt/internal/history"
+	"blockadt/internal/prng"
+)
+
+// fakeRun builds a deterministic report from the seed alone, standing in
+// for a full chain simulation.
+func fakeRun(seed uint64) Report {
+	src := prng.New(seed)
+	counts := map[history.ProcID]int{}
+	for p := 0; p < 4; p++ {
+		counts[history.ProcID(p)] = 1 + src.Intn(20)
+	}
+	return FromCounts(counts, []float64{1, 1, 1, 1})
+}
+
+func TestSweepSeedsDeterministicAcrossParallelism(t *testing.T) {
+	// Fixed pool of 4: real goroutine interleaving even on a 1-core
+	// runner, where NumCPU would compare serial against serial.
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	serial := SweepSeeds(7, 16, 1, fakeRun)
+	concurrent := SweepSeeds(7, 16, workers, fakeRun)
+	if !reflect.DeepEqual(serial, concurrent) {
+		t.Fatalf("seed sweep differs across parallelism:\n%v\nvs\n%v", serial, concurrent)
+	}
+}
+
+func TestSweepSeedsDerivesDistinctStreams(t *testing.T) {
+	reports := SweepSeeds(7, 8, 0, fakeRun)
+	if len(reports) != 8 {
+		t.Fatalf("got %d reports, want 8", len(reports))
+	}
+	distinct := false
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all seeds produced identical reports — streams are not independent")
+	}
+}
+
+func TestAggregateReports(t *testing.T) {
+	reports := []Report{
+		{Total: 10, TVD: 0.1},
+		{Total: 20, TVD: 0.3},
+	}
+	agg := AggregateReports(reports, 0.15)
+	if agg.Runs != 2 || agg.TotalBlocks != 30 {
+		t.Fatalf("bad counts: %+v", agg)
+	}
+	if agg.FairRuns != 1 {
+		t.Fatalf("FairRuns = %d, want 1", agg.FairRuns)
+	}
+	if agg.MaxTVD != 0.3 || agg.MeanTVD != 0.2 {
+		t.Fatalf("bad TVD stats: %+v", agg)
+	}
+	if empty := AggregateReports(nil, 0.1); empty.Runs != 0 || empty.MeanTVD != 0 {
+		t.Fatalf("empty aggregate: %+v", empty)
+	}
+}

@@ -216,3 +216,20 @@ func (c *Custom) Record(p history.ProcID, l history.Label) *Custom {
 
 // History returns the built history.
 func (c *Custom) History() *history.History { return c.b.done() }
+
+// Named pairs a figure's paper name with its constructed history.
+type Named struct {
+	Name    string
+	History *history.History
+}
+
+// All returns the three example histories with the given convergence
+// tail, in figure order — the iteration target for drivers that check or
+// classify every figure in one pass.
+func All(tail int) []Named {
+	return []Named{
+		{Name: "Figure 2", History: Fig2(tail)},
+		{Name: "Figure 3", History: Fig3(tail)},
+		{Name: "Figure 4", History: Fig4(tail)},
+	}
+}

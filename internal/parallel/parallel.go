@@ -1,0 +1,73 @@
+// Package parallel provides the bounded fork-join pool shared by every
+// fan-out driver in the reproduction (the Table 1 classifier, the
+// experiment runner, the fairness seed sweeps and the scenario-sweep
+// engine of internal/sweep).
+//
+// The contract every caller relies on: Map preserves input order in its
+// output, runs each item exactly once, and shares nothing between items —
+// so for pure per-item work the result is bit-identical regardless of the
+// worker count or the goroutine schedule. Determinism therefore reduces to
+// the per-item function being deterministic, which the simulators
+// guarantee by deriving an independent prng stream per item.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested parallelism: values < 1 select NumCPU.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// Map applies fn to every item using at most workers concurrent
+// goroutines and returns the results in input order. fn receives the
+// item's index and value. workers < 1 selects NumCPU. With exactly
+// workers == 1 (or a single item) the items run sequentially on the
+// calling goroutine (no spawn), which keeps single-threaded callers
+// allocation-light and trivially race-free.
+func Map[T, R any](items []T, workers int, fn func(int, T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i, it := range items {
+			out[i] = fn(i, it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// ForEach is Map for side-effecting work without results.
+func ForEach[T any](items []T, workers int, fn func(int, T)) {
+	Map(items, workers, func(i int, it T) struct{} {
+		fn(i, it)
+		return struct{}{}
+	})
+}

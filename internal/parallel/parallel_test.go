@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, runtime.NumCPU(), 0} {
+		got := Map(items, workers, func(_ int, v int) int { return v * v })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRunsEachItemOnce(t *testing.T) {
+	const n = 500
+	var calls [n]int64
+	items := make([]int, n)
+	Map(items, 8, func(i int, _ int) struct{} {
+		atomic.AddInt64(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int64
+	items := make([]int, 64)
+	Map(items, workers, func(int, int) struct{} {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		atomic.AddInt64(&cur, -1)
+		return struct{}{}
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent workers, limit %d", peak, workers)
+	}
+}
+
+func TestMapEmptyAndWorkersClamp(t *testing.T) {
+	if got := Map(nil, 4, func(int, int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("empty input returned %d results", len(got))
+	}
+	if w := Workers(0); w != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU", w)
+	}
+	if w := Workers(3); w != 3 {
+		t.Fatalf("Workers(3) = %d", w)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach([]int{1, 2, 3, 4}, 2, func(_ int, v int) { atomic.AddInt64(&sum, int64(v)) })
+	if sum != 10 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

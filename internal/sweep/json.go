@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// EncodeJSON renders the report in its canonical form: indented JSON with
+// struct-declaration field order and wall-clock fields omitted. Two sweeps
+// of the same matrix produce byte-identical encodings regardless of
+// parallelism — this is the representation the determinism regression
+// test compares and the BENCH_*.json trend tracking ingests.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FormatTable renders the results as an aligned text table, one row per
+// configuration.
+func FormatTable(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-6s %-8s %3s %5s %-9s %-9s %6s %6s %6s %8s %6s\n",
+		"system", "link", "adv", "n", "seed", "expected", "measured", "blocks", "forks", "reorg", "fairTVD", "match")
+	fmt.Fprintln(&b, strings.Repeat("-", 100))
+	for _, r := range results {
+		match := "yes"
+		if !r.Match {
+			match = "NO"
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %-8s %3d %5d %-9s %-9s %6d %6d %6d %8.4f %6s\n",
+			r.Config.System, r.Config.Link, r.Config.Adversary, r.Config.N, r.Config.SeedIndex,
+			r.Expected, r.Level, r.Blocks, r.Forks, r.MaxReorg, r.FairnessTVD, match)
+	}
+	return b.String()
+}

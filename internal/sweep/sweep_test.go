@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// testMatrix is a small but multi-dimensional matrix: 7 systems ×
+// {sync,async} × {none,selfish} × 2 seeds with the unsupported combos
+// pruned — 18 configurations.
+func testMatrix() Matrix {
+	return Matrix{
+		Links:        []string{LinkSync, LinkAsync},
+		Adversaries:  []string{AdvNone, AdvSelfish},
+		Seeds:        2,
+		TargetBlocks: 20,
+	}
+}
+
+// TestDeterminismAcrossParallelism is the determinism regression test of
+// the refactor: the same matrix swept serially and across a real worker
+// pool must produce byte-identical canonical JSON. Any shared-state leak
+// between worker goroutines (a shared oracle, recorder, or prng stream)
+// shows up here as a diff. The concurrent side uses max(4, NumCPU), not
+// NumCPU alone: goroutines interleave (and the race detector watches
+// them) even on a 1-core CI runner, where NumCPU would degenerate to the
+// serial path and verify nothing.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	m := testMatrix()
+	serial, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	concurrent, err := Run(m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := serial.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := concurrent.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jc) {
+		t.Fatalf("sweep output differs between parallelism 1 and %d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			workers, js, jc)
+	}
+}
+
+func TestConfigsExpansion(t *testing.T) {
+	configs, err := testMatrix().Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 systems sync/none ×2 seeds = 14, plus Bitcoin sync/selfish ×2
+	// and Bitcoin async/none ×2.
+	if len(configs) != 18 {
+		t.Fatalf("expanded %d configs, want 18", len(configs))
+	}
+	seen := map[string]bool{}
+	seeds := map[uint64]bool{}
+	for _, c := range configs {
+		if seen[c.Key()] {
+			t.Fatalf("duplicate config key %s", c.Key())
+		}
+		seen[c.Key()] = true
+		if seeds[c.Seed] {
+			t.Fatalf("seed collision at %s", c.Key())
+		}
+		seeds[c.Seed] = true
+		if c.Link == LinkAsync && c.System != "Bitcoin" {
+			t.Fatalf("async leaked to %s", c.System)
+		}
+		if c.Adversary == AdvSelfish && c.System != "Bitcoin" {
+			t.Fatalf("selfish leaked to %s", c.System)
+		}
+	}
+}
+
+func TestConfigsRejectUnknownDimensions(t *testing.T) {
+	if _, err := (Matrix{Systems: []string{"Dogecoin"}}).Configs(); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if _, err := (Matrix{Links: []string{"wormhole"}}).Configs(); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if _, err := (Matrix{Adversaries: []string{"gremlin"}}).Configs(); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestDeriveSeedStability(t *testing.T) {
+	c := Config{System: "Bitcoin", Link: LinkSync, Adversary: AdvNone, N: 8, Blocks: 30}
+	if c.DeriveSeed(42) != c.DeriveSeed(42) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+	if c.DeriveSeed(42) == c.DeriveSeed(43) {
+		t.Fatal("root seed does not influence the stream")
+	}
+	d := c
+	d.SeedIndex = 1
+	if c.DeriveSeed(42) == d.DeriveSeed(42) {
+		t.Fatal("seed index does not influence the stream")
+	}
+}
+
+// TestTable1MatrixMatchesPaper sweeps the Table 1 matrix at the canonical
+// seed and asserts every system classifies at the paper's level.
+func TestTable1MatrixMatchesPaper(t *testing.T) {
+	rep, err := Run(Table1(8, 30, 42), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 7 {
+		t.Fatalf("Table 1 sweep ran %d configs, want 7", rep.Total)
+	}
+	for _, r := range rep.Results {
+		if !r.Match {
+			t.Errorf("%s measured %s, expected %s", r.Config.System, r.Level, r.Expected)
+		}
+	}
+}
+
+// TestResultsOrderIndependentOfParallelism pins the expansion-order
+// guarantee separately from JSON encoding.
+func TestResultsOrderIndependentOfParallelism(t *testing.T) {
+	m := Matrix{Seeds: 2, TargetBlocks: 15}
+	a, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i].Config != b.Results[i].Config {
+			t.Fatalf("result %d reordered: %v vs %v", i, a.Results[i].Config, b.Results[i].Config)
+		}
+	}
+}
