@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
-	"blockadt/internal/chains"
-	"blockadt/internal/fairness"
+	"blockadt/pkg/blockadt"
 )
 
 // cmdFairness runs a PoW simulation with configurable per-miner merits and
@@ -20,6 +20,7 @@ func cmdFairness(args []string) error {
 	seed := fs.Uint64("seed", 13, "simulation seed (root seed with -seeds > 1)")
 	seeds := fs.Int("seeds", 1, "number of derived seeds to sweep")
 	parallelism := fs.Int("parallel", 0, "worker pool size for the seed sweep (0 = NumCPU)")
+	system := fs.String("system", "Bitcoin", "registered PoW system to simulate")
 	meritsFlag := fs.String("merits", "0.16,0.04,0.04,0.04,0.04", "comma-separated per-miner token probabilities")
 	tol := fs.Float64("tol", 0.15, "total-variation-distance tolerance for the fairness verdict")
 	if err := fs.Parse(args); err != nil {
@@ -33,13 +34,32 @@ func cmdFairness(args []string) error {
 		}
 		merits = append(merits, v)
 	}
+	simulate := func(s uint64) (blockadt.SimResult, error) {
+		return blockadt.Simulate(*system,
+			blockadt.WithN(len(merits)), blockadt.WithBlocks(*blocks),
+			blockadt.WithSeed(s), blockadt.WithMerits(merits...))
+	}
 	if *seeds > 1 {
-		reports := fairness.SweepSeeds(*seed, *seeds, *parallelism, func(s uint64) fairness.Report {
-			p := chains.Params{N: len(merits), TargetBlocks: *blocks, Seed: s, Merits: merits}
-			return fairness.Analyze(chains.Bitcoin{}.Run(p).History, merits)
+		// Workers share nothing but the first error: capture it once and
+		// skip the analysis for failed runs instead of feeding a nil
+		// history to the analyzer.
+		var (
+			simErr  error
+			errOnce sync.Once
+		)
+		reports := blockadt.SweepFairnessSeeds(*seed, *seeds, *parallelism, func(s uint64) blockadt.FairnessReport {
+			res, err := simulate(s)
+			if err != nil {
+				errOnce.Do(func() { simErr = err })
+				return blockadt.FairnessReport{}
+			}
+			return blockadt.AnalyzeFairness(res.History, merits)
 		})
-		agg := fairness.AggregateReports(reports, *tol)
-		fmt.Printf("Bitcoin seed sweep: %d miners, %d runs from root seed %d\n", len(merits), agg.Runs, *seed)
+		if simErr != nil {
+			return simErr
+		}
+		agg := blockadt.AggregateFairness(reports, *tol)
+		fmt.Printf("%s seed sweep: %d miners, %d runs from root seed %d\n", *system, len(merits), agg.Runs, *seed)
 		fmt.Printf("%d blocks total; TVD mean %.4f max %.4f; %d/%d runs fair at tolerance %.2f\n",
 			agg.TotalBlocks, agg.MeanTVD, agg.MaxTVD, agg.FairRuns, agg.Runs, *tol)
 		if agg.FairRuns < agg.Runs {
@@ -50,10 +70,12 @@ func cmdFairness(args []string) error {
 		return nil
 	}
 
-	p := chains.Params{N: len(merits), TargetBlocks: *blocks, Seed: *seed, Merits: merits}
-	res := chains.Bitcoin{}.Run(p)
-	rep := fairness.Analyze(res.History, merits)
-	fmt.Printf("Bitcoin run: %d miners, %d blocks committed, %d forks\n\n", len(merits), res.Blocks, res.Forks)
+	res, err := simulate(*seed)
+	if err != nil {
+		return err
+	}
+	rep := blockadt.AnalyzeFairness(res.History, merits)
+	fmt.Printf("%s run: %d miners, %d blocks committed, %d forks\n\n", *system, len(merits), res.Blocks, res.Forks)
 	fmt.Print(rep)
 	if rep.Fair(*tol) {
 		fmt.Printf("verdict: fair within TVD tolerance %.2f\n", *tol)

@@ -1,7 +1,13 @@
 // Command btadt is the reproduction driver for "Blockchain Abstract Data
-// Type" (Anceaume et al., PPoPP'19 poster / arXiv:1802.09877).
+// Type" (Anceaume et al., PPoPP'19 poster / arXiv:1802.09877). It is built
+// entirely on the public façade (blockadt/pkg/blockadt); the `internal/`
+// packages are not a supported import path, and CI rejects any direct use.
 //
 // Usage:
+//
+//	btadt list
+//	    Print every registered system, oracle, selector, link and
+//	    adversary with one-line descriptions.
 //
 //	btadt classify   [-n 8] [-blocks 30] [-seed 42] [-system NAME] [-v]
 //	    Regenerate Table 1: simulate each blockchain system and classify
@@ -34,14 +40,7 @@ import (
 	"os"
 	"sync"
 
-	"blockadt/internal/chains"
-	"blockadt/internal/consensus"
-	"blockadt/internal/consistency"
-	"blockadt/internal/core"
-	"blockadt/internal/experiments"
-	"blockadt/internal/figures"
-	"blockadt/internal/oracle"
-	"blockadt/internal/parallel"
+	"blockadt/pkg/blockadt"
 )
 
 func main() {
@@ -51,6 +50,8 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
 	case "experiments":
@@ -84,6 +85,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: btadt <command> [flags]
 
 commands:
+  list         print every registered system, oracle, selector, link and adversary
   classify     regenerate Table 1 (system → consistency classification)
   experiments  run the per-figure/per-theorem experiment index
   hierarchy    sample the refinement hierarchy (Figures 8/14)
@@ -104,19 +106,19 @@ func cmdClassify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := chains.Params{N: *n, TargetBlocks: *blocks, Seed: *seed}
+	p := blockadt.SimParams{N: *n, TargetBlocks: *blocks, Seed: *seed}
 
-	var rows []chains.Row
+	var rows []blockadt.Table1Row
 	if *system != "" {
-		sys, err := chains.ByName(*system)
+		row, err := blockadt.ClassifySystem(*system, p)
 		if err != nil {
 			return err
 		}
-		rows = []chains.Row{chains.ClassifyOne(sys, p)}
+		rows = []blockadt.Table1Row{row}
 	} else {
-		rows = chains.Classify(p)
+		rows = blockadt.ClassifyTable(p)
 	}
-	fmt.Print(chains.FormatTable(rows))
+	fmt.Print(blockadt.FormatTable1(rows))
 	if *verbose {
 		for _, r := range rows {
 			fmt.Printf("\n── %s ──\n%s%s", r.System, r.SC, r.EC)
@@ -137,14 +139,13 @@ func cmdExperiments(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	runner := experiments.Runner{Seed: *seed}
-	results := runner.All()
+	results := blockadt.RunExperiments(*seed)
 	fmt.Println("paper artifacts:")
-	fmt.Print(experiments.Format(results))
+	fmt.Print(blockadt.FormatExperiments(results))
 	if *ext {
-		extResults := runner.Extensions()
+		extResults := blockadt.RunExtensions(*seed)
 		fmt.Println("\nextensions (worked examples, future work, related-work mapping):")
-		fmt.Print(experiments.Format(extResults))
+		fmt.Print(blockadt.FormatExperiments(extResults))
 		results = append(results, extResults...)
 	}
 	for _, r := range results {
@@ -167,9 +168,9 @@ func cmdHierarchy(args []string) error {
 	for _, e := range []struct {
 		label string
 		k     int
-	}{{"Θ_F,k=1", 1}, {"Θ_F,k=2", 2}, {"Θ_F,k=4", 4}, {"Θ_P", oracle.Unbounded}} {
-		res := core.ForkWorkload{K: e.k, Procs: *procs, Rounds: *rounds, Seed: *seed}.Run()
-		sc := consistency.CheckSC(res.History, consistency.Options{}).Satisfied()
+	}{{"Θ_F,k=1", 1}, {"Θ_F,k=2", 2}, {"Θ_F,k=4", 4}, {"Θ_P", blockadt.Unbounded}} {
+		res := blockadt.ForkWorkload{K: e.k, Procs: *procs, Rounds: *rounds, Seed: *seed}.Run()
+		sc := blockadt.CheckSC(res.History, blockadt.CheckOptions{}).Satisfied()
 		fmt.Printf("%-8s %10d %12d %10v\n", e.label, res.MaxFanout, res.SuccessfulAppends, sc)
 	}
 	return nil
@@ -181,11 +182,13 @@ func cmdFigures(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := consistency.Options{GraceWindow: 8}
-	figs := figures.All(*tail)
-	classifications := parallel.Map(figs, 0, func(_ int, f figures.Named) consistency.Classification {
-		return consistency.Classify(f.History, opts)
-	})
+	opts := blockadt.CheckOptions{GraceWindow: 8}
+	figs := blockadt.FigureHistories(*tail)
+	hs := make([]*blockadt.History, len(figs))
+	for i, f := range figs {
+		hs[i] = f.History
+	}
+	classifications := blockadt.ClassifyHistories(hs, opts, 0)
 	for i, f := range figs {
 		fmt.Printf("%s: classified %s\n", f.Name, classifications[i].Level)
 		fmt.Printf("  %s  %s", classifications[i].SC, classifications[i].EC)
@@ -204,19 +207,22 @@ func cmdConsensus(args []string) error {
 	for i := range merits {
 		merits[i] = 1
 	}
-	o := oracle.New(oracle.Config{K: 1, Merits: merits, Seed: *seed})
-	c, err := consensus.NewFromFrugal(o, "b0")
+	o, err := blockadt.NewOracleByName("frugal", blockadt.OracleConfig{K: 1, Merits: merits, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	c, err := blockadt.NewConsensusFromFrugal(o, "b0")
 	if err != nil {
 		return err
 	}
 	var wg sync.WaitGroup
-	decisions := make([]consensus.Value, *n)
+	decisions := make([]blockadt.ConsensusValue, *n)
 	errs := make([]error, *n)
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			decisions[i], errs[i] = c.Propose(i, consensus.Value(fmt.Sprintf("blk-%d", i)))
+			decisions[i], errs[i] = c.Propose(i, blockadt.ConsensusValue(fmt.Sprintf("blk-%d", i)))
 		}(i)
 	}
 	wg.Wait()

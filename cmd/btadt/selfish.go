@@ -4,7 +4,7 @@ import (
 	"flag"
 	"fmt"
 
-	"blockadt/internal/chains"
+	"blockadt/pkg/blockadt"
 )
 
 // cmdSelfish runs the selfish-mining experiment: an adversary holding a
@@ -17,13 +17,19 @@ func cmdSelfish(args []string) error {
 	alpha := fs.Float64("alpha", 0.34, "adversary's share of the mining power")
 	blocks := fs.Int("blocks", 120, "target chain length")
 	seed := fs.Uint64("seed", 31, "simulation seed")
+	system := fs.String("system", "Bitcoin", "registered system to attack")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *alpha <= 0 || *alpha >= 1 {
 		return fmt.Errorf("alpha must be in (0,1), got %v", *alpha)
 	}
-	stats := chains.RunSelfishMining(chains.Params{N: *n, TargetBlocks: *blocks, Seed: *seed}, *alpha)
+	stats, err := blockadt.SimulateAdversary(*system, "selfish",
+		blockadt.WithN(*n), blockadt.WithBlocks(*blocks),
+		blockadt.WithSeed(*seed), blockadt.WithAlpha(*alpha))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("selfish mining: %d miners, adversary power α=%.2f, seed %d\n\n", *n, *alpha, *seed)
 	fmt.Printf("blocks mined        adversary %d, honest %d\n", stats.AdversaryMined, stats.HonestMined)
 	fmt.Printf("main-chain share    adversary %.1f%% (entitled %.1f%%), honest %.1f%%\n",

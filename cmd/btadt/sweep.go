@@ -1,22 +1,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
-	"blockadt/internal/sweep"
+	"blockadt/pkg/blockadt"
 )
 
 // cmdSweep runs the concurrent scenario-matrix engine: expand a
 // (system × link × adversary × n × seed) matrix, fan it out across the
 // worker pool, and print the per-configuration verdict table or the
-// canonical JSON consumed by BENCH_*.json trend tracking.
+// canonical JSON consumed by BENCH_*.json trend tracking. The table path
+// streams: each row prints as its configuration completes, so arbitrarily
+// large sweeps run in bounded memory.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	systems := fs.String("systems", "", "comma-separated system names (default: all of Table 1)")
+	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
 	links := fs.String("links", "sync", "comma-separated link models: sync,async")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
 	ns := fs.String("n", "8", "comma-separated process counts")
@@ -30,7 +34,7 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
-	m := sweep.Matrix{
+	m := blockadt.Matrix{
 		Systems:      splitList(*systems),
 		Links:        splitList(*links),
 		Adversaries:  splitList(*adversaries),
@@ -47,29 +51,63 @@ func cmdSweep(args []string) error {
 		m.Ns = append(m.Ns, n)
 	}
 
-	rep, err := sweep.Run(m, *parallelism)
-	if err != nil {
-		return err
-	}
-	if rep.Total == 0 {
-		return fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (async/selfish are only implemented for Bitcoin's PoW path)")
-	}
 	if *jsonOut {
+		rep, err := blockadt.Run(m, *parallelism)
+		if err != nil {
+			return err
+		}
+		if rep.Total == 0 {
+			return errEmptyMatrix
+		}
 		enc, err := rep.EncodeJSON()
 		if err != nil {
 			return err
 		}
 		os.Stdout.Write(enc)
-	} else {
-		fmt.Print(sweep.FormatTable(rep.Results))
-		fmt.Printf("\n%d/%d configurations matched; %d virtual ticks in %.1fms across %d workers\n",
-			rep.Matched, rep.Total, rep.Ticks, float64(rep.WallNS)/1e6, rep.Parallelism)
+		if rep.Matched != rep.Total {
+			return fmt.Errorf("%d configurations missed their expected consistency level", rep.Total-rep.Matched)
+		}
+		return nil
 	}
-	if rep.Matched != rep.Total {
-		return fmt.Errorf("%d configurations missed their expected consistency level", rep.Total-rep.Matched)
+
+	// Validate the matrix before any table output reaches stdout: a typo
+	// or a fully pruned cross product must fail with a clean error, not a
+	// dangling header. Stream re-expands internally, but expansion is
+	// just validation plus key hashing — no simulation.
+	configs, err := m.Configs()
+	if err != nil {
+		return err
+	}
+	if len(configs) == 0 {
+		return errEmptyMatrix
+	}
+	var (
+		total, matched int
+		ticks          int64
+		start          = time.Now()
+	)
+	fmt.Print(blockadt.FormatTableHeader())
+	for r, err := range blockadt.Stream(context.Background(), m, *parallelism) {
+		if err != nil {
+			return err
+		}
+		fmt.Print(blockadt.FormatRow(r))
+		total++
+		if r.Match {
+			matched++
+		}
+		ticks += r.Ticks
+	}
+	fmt.Printf("\n%d/%d configurations matched; %d virtual ticks in %.1fms across %d workers\n",
+		matched, total, ticks, float64(time.Since(start).Nanoseconds())/1e6, blockadt.Parallelism(*parallelism))
+	if matched != total {
+		return fmt.Errorf("%d configurations missed their expected consistency level", total-matched)
 	}
 	return nil
 }
+
+// errEmptyMatrix reports a matrix whose every combination was pruned.
+var errEmptyMatrix = fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (async/selfish are only implemented for Bitcoin's PoW path)")
 
 // splitList splits a comma-separated flag, dropping empty entries.
 func splitList(s string) []string {

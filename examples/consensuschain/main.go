@@ -2,7 +2,7 @@
 // a consortium blockchain (Hyperledger-style ordering, Section 5.7) built
 // on the frugal oracle with k = 1, plus the underlying reduction — the same
 // oracle solving plain Consensus wait-free (Protocol A, Figure 11 /
-// Theorem 4.2).
+// Theorem 4.2). Both parts construct through the public façade by name.
 package main
 
 import (
@@ -11,9 +11,7 @@ import (
 	"os"
 	"sync"
 
-	"blockadt/internal/chains"
-	"blockadt/internal/consensus"
-	"blockadt/internal/oracle"
+	"blockadt/pkg/blockadt"
 )
 
 func main() {
@@ -25,12 +23,21 @@ func main() {
 
 	// Part 1 — the ordering-service blockchain: one block per height,
 	// strong consistency.
-	params := chains.Params{N: *n, Writers: *writers, TargetBlocks: *blocks, Seed: *seed}
-	res := chains.Hyperledger{}.Run(params)
-	cls := res.Classify(chains.Options(params, res.History))
+	res, cls, err := blockadt.ClassifySimulated("Hyperledger",
+		blockadt.WithN(*n), blockadt.WithWriters(*writers),
+		blockadt.WithBlocks(*blocks), blockadt.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec, err := blockadt.LookupSystem("Hyperledger")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("Hyperledger-style consortium: %d procs, %d writers\n", *n, *writers)
 	fmt.Printf("  committed %d blocks in %d ticks, %d forks\n", res.Blocks, res.Ticks, res.Forks)
-	fmt.Printf("  classified %s (paper: %s)\n\n", cls.Level, chains.Hyperledger{}.Refinement())
+	fmt.Printf("  classified %s (paper: %s)\n\n", cls.Level, spec.Refinement)
 	if cls.Level.String() != "SC" {
 		fmt.Fprintln(os.Stderr, "expected SC")
 		os.Exit(1)
@@ -43,19 +50,23 @@ func main() {
 	for i := range merits {
 		merits[i] = 1
 	}
-	orc := oracle.New(oracle.Config{K: 1, Merits: merits, Seed: *seed})
-	cons, err := consensus.NewFromFrugal(orc, "b0")
+	orc, err := blockadt.NewOracleByName("frugal", blockadt.OracleConfig{K: 1, Merits: merits, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cons, err := blockadt.NewConsensusFromFrugal(orc, "b0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	var wg sync.WaitGroup
-	decisions := make([]consensus.Value, *n)
+	decisions := make([]blockadt.ConsensusValue, *n)
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			decisions[i], _ = cons.Propose(i, consensus.Value(fmt.Sprintf("proposal-%d", i)))
+			decisions[i], _ = cons.Propose(i, blockadt.ConsensusValue(fmt.Sprintf("proposal-%d", i)))
 		}(i)
 	}
 	wg.Wait()

@@ -9,11 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
-	"blockadt/internal/blocktree"
-	"blockadt/internal/consistency"
-	"blockadt/internal/history"
-	"blockadt/internal/netsim"
+	"blockadt/pkg/blockadt"
 )
 
 func main() {
@@ -23,32 +21,36 @@ func main() {
 	seed := flag.Uint64("seed", 21, "simulation seed")
 	flag.Parse()
 
-	var links netsim.LinkModel = netsim.Synchronous{Delta: 5}
+	var links blockadt.NetLinkModel = blockadt.SynchronousLink{Delta: 5}
 	if *victim >= 0 {
-		v := history.ProcID(*victim)
-		links = netsim.Lossy{
-			Inner: netsim.Synchronous{Delta: 5},
-			Rule:  func(m netsim.Message, _ int64) bool { return m.Kind == netsim.UpdateMsg && m.To == v },
+		v := blockadt.ProcID(*victim)
+		links = blockadt.LossyLink{
+			Inner: blockadt.SynchronousLink{Delta: 5},
+			Rule:  func(m blockadt.NetMessage, _ int64) bool { return m.Kind == blockadt.UpdateMsg && m.To == v },
 		}
 		fmt.Printf("injecting fault: all updates to replica %d are dropped\n\n", *victim)
 	}
 
-	sim := netsim.New(links, *seed)
-	reps := make(map[history.ProcID]*netsim.Replica, *n)
+	sel, err := blockadt.NewSelector("longest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := blockadt.NewNetSim(links, *seed)
+	reps := make(map[blockadt.ProcID]*blockadt.NetReplica, *n)
 	count := 0
 	for i := 0; i < *n; i++ {
-		id := history.ProcID(i)
-		rep := netsim.NewReplica(id, blocktree.LongestChain{}, sim.Recorder())
+		id := blockadt.ProcID(i)
+		rep := blockadt.NewNetReplica(id, sel, sim.Recorder())
 		reps[id] = rep
 		creator := i == 0
-		sim.Register(id, netsim.HandlerFuncs{
-			Message: func(s *netsim.Sim, m netsim.Message) { rep.OnMessage(s, m) },
-			Timer: func(s *netsim.Sim, tag string) {
+		sim.Register(id, blockadt.NetHandlerFuncs{
+			Message: func(s *blockadt.NetSim, m blockadt.NetMessage) { rep.OnMessage(s, m) },
+			Timer: func(s *blockadt.NetSim, tag string) {
 				switch tag {
 				case "create":
 					if creator && count < *blocks {
 						parent := rep.Selected().Tip()
-						b := blocktree.Block{ID: blocktree.BlockID(fmt.Sprintf("c%03d", count)), Parent: parent.ID, Token: uint64(count + 1)}
+						b := blockadt.Block{ID: blockadt.BlockID(fmt.Sprintf("c%03d", count)), Parent: parent.ID, Token: uint64(count + 1)}
 						count++
 						rep.CreateAndBroadcast(s, parent.ID, b)
 						s.TimerAt(id, s.Now()+10, "create")
@@ -71,26 +73,26 @@ func main() {
 
 	fmt.Printf("run complete: %d messages delivered, %d dropped\n", sim.Delivered, sim.Dropped)
 	for i := 0; i < *n; i++ {
-		id := history.ProcID(i)
+		id := blockadt.ProcID(i)
 		fmt.Printf("  replica %d chain: %s\n", i, reps[id].Read())
 	}
 
-	procs := make([]history.ProcID, *n)
+	procs := make([]blockadt.ProcID, *n)
 	for i := range procs {
-		procs[i] = history.ProcID(i)
+		procs[i] = blockadt.ProcID(i)
 	}
 	h := sim.Recorder().Snapshot()
-	opts := consistency.Options{Procs: procs, GraceWindow: 8}
+	opts := blockadt.CheckOptions{Procs: procs, GraceWindow: 8}
 
 	fmt.Println("\naudit:")
-	for _, v := range []consistency.Verdict{
-		consistency.UpdateAgreement(h, opts),
-		consistency.LRC(h, opts),
-		consistency.EventualPrefix(h, opts),
+	for _, v := range []blockadt.Verdict{
+		blockadt.UpdateAgreement(h, opts),
+		blockadt.LRC(h, opts),
+		blockadt.EventualPrefix(h, opts),
 	} {
 		fmt.Printf("  %s\n", v)
 	}
-	fmt.Printf("\n%s", consistency.CheckEC(h, opts))
+	fmt.Printf("\n%s", blockadt.CheckEC(h, opts))
 	if *victim >= 0 {
 		fmt.Println("\nthe audit names the lost guarantee: without Update Agreement / LRC,")
 		fmt.Println("no protocol can provide BT Eventual Consistency (Theorems 4.6-4.7).")

@@ -7,7 +7,7 @@
 // generates a valid workload, demonstrates the predicate rejecting a
 // double-spending block, and replays the final chain into the account
 // state — showing the ADT, the oracle and the application predicate
-// composing end to end.
+// composing end to end, entirely through the public façade.
 package main
 
 import (
@@ -15,9 +15,7 @@ import (
 	"fmt"
 	"log"
 
-	"blockadt/internal/blocktree"
-	"blockadt/internal/ledger"
-	"blockadt/internal/oracle"
+	"blockadt/pkg/blockadt"
 )
 
 func main() {
@@ -27,15 +25,22 @@ func main() {
 	flag.Parse()
 
 	// The transaction workload and its genesis allocation.
-	w := ledger.NewWorkload(*seed, *nAccounts, 1000)
-	tree := blocktree.New()
-	validator := ledger.NewValidator(w.Genesis(), tree)
+	w := blockadt.NewLedgerWorkload(*seed, *nAccounts, 1000)
+	tree := blockadt.NewTree()
+	validator := blockadt.NewLedgerValidator(w.Genesis(), tree)
 	valid := validator.Predicate()
 
 	// The oracle grants the right to append; the predicate judges the
-	// content. A block enters the chain only if both agree.
-	orc := oracle.NewFrugal(1, *seed, 1)
-	sel := blocktree.LongestChain{}
+	// content. A block enters the chain only if both agree. Both come
+	// from the registry by name.
+	orc, err := blockadt.NewOracleByName("frugal", blockadt.OracleConfig{K: 1, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := blockadt.NewSelector("longest")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for i := 0; i < *nBlocks; i++ {
 		batch := w.NextBatch(3)
@@ -44,8 +49,8 @@ func main() {
 			log.Fatal(err)
 		}
 		parent := sel.Select(tree).Tip()
-		b := blocktree.Block{
-			ID:      blocktree.BlockID(fmt.Sprintf("blk-%02d", i)),
+		b := blockadt.Block{
+			ID:      blockadt.BlockID(fmt.Sprintf("blk-%02d", i)),
 			Parent:  parent.ID,
 			Payload: payload,
 		}
@@ -70,17 +75,17 @@ func main() {
 	// against the current tip — its nonce is long consumed.
 	tip := sel.Select(tree).Tip()
 	chain := sel.Select(tree)
-	firstPayload, err := ledger.DecodePayload(chain[1].Payload)
+	firstPayload, err := blockadt.DecodeLedgerPayload(chain[1].Payload)
 	if err != nil || len(firstPayload.Txs) == 0 {
 		log.Fatal("cannot extract a replayed tx")
 	}
-	replay, _ := ledger.Payload{Txs: firstPayload.Txs[:1]}.Encode()
-	evil := blocktree.Block{ID: "evil", Parent: tip.ID, Payload: replay}
+	replay, _ := blockadt.LedgerPayload{Txs: firstPayload.Txs[:1]}.Encode()
+	evil := blockadt.Block{ID: "evil", Parent: tip.ID, Payload: replay}
 	fmt.Printf("\ndouble-spend attempt (%s replayed): P(evil) = %v\n", firstPayload.Txs[0].ID(), valid(evil))
 	fmt.Printf("  reason: %v\n", validator.Check(evil))
 
 	// Replay the committed chain into the final account state.
-	state, err := ledger.Replay(w.Genesis(), sel.Select(tree))
+	state, err := blockadt.ReplayLedger(w.Genesis(), sel.Select(tree))
 	if err != nil {
 		log.Fatalf("committed chain does not replay: %v", err)
 	}

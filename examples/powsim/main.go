@@ -11,9 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
-	"blockadt/internal/chains"
+	"blockadt/pkg/blockadt"
 )
 
 func main() {
@@ -23,26 +24,32 @@ func main() {
 	ghost := flag.Bool("ghost", false, "use Ethereum's GHOST selection instead of heaviest-chain")
 	flag.Parse()
 
-	params := chains.Params{N: *n, TargetBlocks: *blocks, Seed: *seed}
-	var sys chains.System = chains.Bitcoin{}
+	sysName := "Bitcoin"
 	if *ghost {
-		sys = chains.Ethereum{}
+		sysName = "Ethereum"
 	}
-	fmt.Printf("simulating %s: %d miners, target %d blocks, seed %d\n", sys.Name(), *n, *blocks, *seed)
+	spec, err := blockadt.LookupSystem(sysName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulating %s: %d miners, target %d blocks, seed %d\n", spec.Name, *n, *blocks, *seed)
 
-	res := sys.Run(params)
+	res, cls, err := blockadt.ClassifySimulated(sysName,
+		blockadt.WithN(*n), blockadt.WithBlocks(*blocks), blockadt.WithSeed(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nvirtual time        %d ticks\n", res.Ticks)
 	fmt.Printf("committed blocks    %d\n", res.Blocks)
 	fmt.Printf("fork points         %d\n", res.Forks)
 	fmt.Printf("messages delivered  %d\n", res.Delivered)
 	fmt.Printf("oracle              %s, selector %s\n", res.OracleName, res.SelectorName)
 
-	cls := res.Classify(chains.Options(params, res.History))
-	fmt.Printf("\nconsistency level   %s   (paper: %s)\n", cls.Level, sys.Refinement())
+	fmt.Printf("\nconsistency level   %s   (paper: %s)\n", cls.Level, spec.Refinement)
 	fmt.Printf("\n%s\n%s", cls.SC, cls.EC)
 
-	if cls.Level != sys.Expected() {
-		fmt.Fprintf(os.Stderr, "unexpected classification: got %s want %s\n", cls.Level, sys.Expected())
+	if cls.Level != spec.Expected {
+		fmt.Fprintf(os.Stderr, "unexpected classification: got %s want %s\n", cls.Level, spec.Expected)
 		os.Exit(1)
 	}
 	if res.Forks == 0 {

@@ -1,33 +1,38 @@
 // Command quickstart is the five-minute tour of the blockadt library: build
-// a blockchain object as the paper's refinement R(BT-ADT, Θ), append blocks
-// through the token oracle, read chains, and check the recorded concurrent
-// history against the BT consistency criteria.
+// a blockchain object as the paper's refinement R(BT-ADT, Θ) through the
+// public façade, append blocks through the token oracle, read chains, and
+// check the recorded concurrent history against the BT consistency
+// criteria. Everything is constructed by registry name — the same names
+// `btadt list` prints and a scenario Matrix sweeps.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"blockadt/internal/blocktree"
-	"blockadt/internal/consistency"
-	"blockadt/internal/core"
-	"blockadt/internal/oracle"
+	"blockadt/pkg/blockadt"
 )
 
 func main() {
 	// 1. Pick an oracle: Θ_F,k=1 = "consensus-grade" validation (one
 	//    block per predecessor), the strongest model in the hierarchy.
-	orc := oracle.NewFrugal(1, 42, 1.0 /* merit α0: always grants */)
+	orc := blockadt.NewFrugalOracle(1, 42, 1.0 /* merit α0: always grants */)
 
-	// 2. Compose it with the BlockTree: R(BT-ADT, Θ_F,k=1). The selection
-	//    function f is longest-chain.
-	bc := core.New(core.Config{Oracle: orc, Selector: blocktree.LongestChain{}})
+	// 2. Compose it with a registered system profile: R(BT-ADT, Θ_F,k=1)
+	//    with longest-chain selection. The instance is injected so we can
+	//    inspect the oracle's state after the run.
+	sys, err := blockadt.New("Hyperledger",
+		blockadt.WithOracleInstance(orc),
+		blockadt.WithSelector("longest"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Append blocks. Each append internally loops getToken on the tip
 	//    of f(bt), consumes the token, and concatenates — atomically.
 	for i := 0; i < 5; i++ {
-		id := blocktree.BlockID(fmt.Sprintf("blk-%d", i))
-		ok, err := bc.Append(0, blocktree.Block{ID: id, Payload: []byte(fmt.Sprintf("tx-batch-%d", i))})
+		id := blockadt.BlockID(fmt.Sprintf("blk-%d", i))
+		ok, err := sys.Append(0, blockadt.Block{ID: id, Payload: []byte(fmt.Sprintf("tx-batch-%d", i))})
 		if err != nil {
 			log.Fatalf("append %s: %v", id, err)
 		}
@@ -35,12 +40,12 @@ func main() {
 	}
 
 	// 4. Read: {b0}⌢f(bt).
-	chain := bc.Read(0)
+	chain := sys.Read(0)
 	fmt.Printf("read() → %s (score %d)\n", chain, chain.Length())
 
 	// 5. The object recorded every operation as a concurrent history;
 	//    check it against the BT Strong Consistency criterion.
-	report := consistency.CheckSC(bc.History(), consistency.Options{})
+	report := blockadt.CheckSC(sys.History(), blockadt.CheckOptions{})
 	fmt.Printf("\n%s", report)
 
 	// 6. Inspect the oracle's synchronization state: exactly one block

@@ -1,3 +1,3 @@
 module blockadt
 
-go 1.21
+go 1.23

@@ -181,8 +181,12 @@ func bestReplica(reps map[history.ProcID]*netsim.Replica) (blocks, forks int) {
 
 // Options returns checker options sized for simulator runs: the process
 // universe is the full correct set and the grace window spans the
-// convergence tail (half the reads, capped).
+// convergence tail (half the reads, capped). Zero-valued params are
+// normalized the way the simulators normalize them, so an N=0 run is
+// checked against the 8 processes that actually ran instead of an empty
+// universe that satisfies the communication properties vacuously.
 func Options(p Params, h *history.History) consistency.Options {
+	p = p.withDefaults()
 	procs := make([]history.ProcID, p.N)
 	for i := range procs {
 		procs[i] = history.ProcID(i)

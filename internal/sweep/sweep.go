@@ -1,377 +1,57 @@
-// Package sweep is the concurrent scenario-matrix engine: it expands a
-// (system × link model × adversary × n × seed) matrix into fully resolved
-// configurations, fans them out across a bounded worker pool
-// (internal/parallel), and collects structured per-configuration results —
-// classification verdict, finality depth, fairness ratios, virtual and
-// wall time.
+// Package sweep is a compatibility shim over the scenario-matrix engine,
+// which now lives in the public façade (blockadt/pkg/blockadt) so that
+// systems, links and adversaries resolve through the name registries
+// instead of package-local switch statements. Every identifier here is an
+// alias; existing internal callers and the determinism/ordering regression
+// tests exercise the façade engine directly.
 //
-// Reproducibility contract: every configuration receives its own
-// deterministic prng stream, derived from the matrix root seed and a hash
-// of the configuration's canonical key (see Config.DeriveSeed). Because
+// Reproducibility contract (unchanged): every configuration receives its
+// own deterministic prng stream, derived from the matrix root seed and a
+// hash of the configuration's canonical key (Config.DeriveSeed). Because
 // configurations share no state and the pool preserves input order, a
-// sweep's canonical JSON output is byte-identical at any parallelism —
-// the determinism regression test pins exactly that.
+// sweep's canonical JSON output is byte-identical at any parallelism.
 package sweep
 
-import (
-	"fmt"
-	"time"
+import "blockadt/pkg/blockadt"
 
-	"blockadt/internal/chains"
-	"blockadt/internal/consistency"
-	"blockadt/internal/fairness"
-	"blockadt/internal/history"
-	"blockadt/internal/parallel"
-	"blockadt/internal/prng"
-)
-
-// Link models the matrix's network dimension.
+// Link models of the matrix's network dimension.
 const (
-	// LinkSync is the synchronous δ-bounded link model every Table 1
-	// simulator uses.
-	LinkSync = "sync"
-	// LinkAsync is the asynchronous regime of the Section 4.2 open
-	// issues (bounded common case with stragglers). Only the PoW
-	// systems implement it.
-	LinkAsync = "async"
+	LinkSync  = blockadt.LinkSync
+	LinkAsync = blockadt.LinkAsync
 )
 
-// Adversary models the matrix's fault dimension.
+// Adversary models of the matrix's fault dimension.
 const (
-	// AdvNone runs every process honestly.
-	AdvNone = "none"
-	// AdvSelfish replaces process 0 with an Eyal–Sirer selfish miner
-	// holding merit share Alpha. Only the PoW systems implement it.
-	AdvSelfish = "selfish"
+	AdvNone    = blockadt.AdvNone
+	AdvSelfish = blockadt.AdvSelfish
 )
 
-// asyncSystems and selfishSystems list the systems that implement the
-// non-default link and adversary dimensions; other combinations are
-// pruned from the cross product (documented in docs/sweep.md).
-var (
-	asyncSystems   = map[string]bool{"Bitcoin": true}
-	selfishSystems = map[string]bool{"Bitcoin": true}
+type (
+	// Config is one fully resolved scenario of the matrix.
+	Config = blockadt.Scenario
+	// Matrix spans a scenario cross product.
+	Matrix = blockadt.Matrix
+	// Result is the structured outcome of one configuration.
+	Result = blockadt.Result
+	// Report is a completed sweep.
+	Report = blockadt.Report
 )
 
-// Config is one fully resolved scenario of the matrix.
-type Config struct {
-	System    string `json:"system"`
-	Link      string `json:"link"`
-	Adversary string `json:"adversary"`
-	// Alpha is the adversary's merit share (selfish runs only).
-	Alpha float64 `json:"alpha,omitempty"`
-	N     int     `json:"n"`
-	// Blocks is the target committed chain length.
-	Blocks int `json:"blocks"`
-	// SeedIndex is the configuration's position along the matrix's seed
-	// dimension; Seed is the stream actually used, derived from the
-	// root seed and the canonical key (DeriveSeed).
-	SeedIndex int    `json:"seedIndex"`
-	Seed      uint64 `json:"seed"`
-}
-
-// Key returns the canonical identity of the configuration — everything
-// that distinguishes it within a matrix except the derived seed itself.
-func (c Config) Key() string {
-	return fmt.Sprintf("%s|%s|%s|a=%.4f|n=%d|b=%d|s=%d",
-		c.System, c.Link, c.Adversary, c.Alpha, c.N, c.Blocks, c.SeedIndex)
-}
-
-// DeriveSeed returns the configuration's independent prng stream:
-// prng.Mix(root, hash(Key)). Two configurations that differ in any matrix
-// coordinate get unrelated streams; the same configuration under the same
-// root always gets the same stream, regardless of where it sits in the
-// expansion order or which worker runs it.
-func (c Config) DeriveSeed(root uint64) uint64 {
-	return prng.Mix(root, hashString(c.Key()))
-}
-
-// hashString folds a string into a 64-bit value with the repository's
-// stateless mixer (an FNV-style byte fold finished by prng.Mix, so the
-// result is well distributed even for short keys).
-func hashString(s string) uint64 {
-	const prime = 0x100000001B3
-	h := uint64(0xCBF29CE484222325)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
-	}
-	return prng.Mix(h, uint64(len(s)))
-}
-
-// Matrix spans a scenario cross product. Zero-valued dimensions fall back
-// to defaults (all seven Table 1 systems, synchronous links, no
-// adversary, n=8, one seed).
-type Matrix struct {
-	// Systems are chains system names (chains.ByName); empty = all of
-	// Table 1.
-	Systems []string `json:"systems,omitempty"`
-	// Links ⊆ {sync, async}; empty = {sync}.
-	Links []string `json:"links,omitempty"`
-	// Adversaries ⊆ {none, selfish}; empty = {none}.
-	Adversaries []string `json:"adversaries,omitempty"`
-	// Ns are process counts; empty = {8}.
-	Ns []int `json:"ns,omitempty"`
-	// Seeds is the number of seed indices per point; 0 = 1.
-	Seeds int `json:"seeds,omitempty"`
-	// RootSeed drives every derived stream. Unlike the other knobs, 0
-	// is NOT remapped: it is a valid root and is used as-is, so an
-	// explicit `-seed 0` sweep is distinct from the CLI's default 42.
-	RootSeed uint64 `json:"rootSeed"`
-	// TargetBlocks is the committed-chain target per run; 0 = 30.
-	TargetBlocks int `json:"targetBlocks,omitempty"`
-	// Alpha is the selfish adversary's merit share; 0 = 0.34 (a
-	// zero-merit adversary is degenerate, so zero means unset here).
-	Alpha float64 `json:"alpha,omitempty"`
-}
-
-// Table1 returns the matrix regenerating Table 1: all seven systems, one
-// honest synchronous run each.
+// Table1 returns the matrix regenerating Table 1: every registered
+// system, one honest synchronous run each.
 func Table1(n, blocks int, seed uint64) Matrix {
-	return Matrix{Ns: []int{n}, TargetBlocks: blocks, RootSeed: seed}
-}
-
-func (m Matrix) withDefaults() Matrix {
-	if len(m.Systems) == 0 {
-		for _, sys := range chains.All() {
-			m.Systems = append(m.Systems, sys.Name())
-		}
-	}
-	if len(m.Links) == 0 {
-		m.Links = []string{LinkSync}
-	}
-	if len(m.Adversaries) == 0 {
-		m.Adversaries = []string{AdvNone}
-	}
-	if len(m.Ns) == 0 {
-		m.Ns = []int{8}
-	}
-	if m.Seeds <= 0 {
-		m.Seeds = 1
-	}
-	if m.TargetBlocks <= 0 {
-		m.TargetBlocks = 30
-	}
-	if m.Alpha == 0 {
-		m.Alpha = 0.34
-	}
-	return m
-}
-
-// Configs expands the matrix into its resolved configurations, in
-// deterministic (systems → links → adversaries → ns → seeds) order,
-// pruning combinations no simulator implements. It errors on unknown
-// systems, links or adversaries so a typo fails loudly instead of
-// silently sweeping nothing.
-func (m Matrix) Configs() ([]Config, error) {
-	m = m.withDefaults()
-	for _, name := range m.Systems {
-		if _, err := chains.ByName(name); err != nil {
-			return nil, err
-		}
-	}
-	var out []Config
-	for _, sys := range m.Systems {
-		for _, link := range m.Links {
-			switch link {
-			case LinkSync, LinkAsync:
-			default:
-				return nil, fmt.Errorf("sweep: unknown link model %q", link)
-			}
-			if link == LinkAsync && !asyncSystems[sys] {
-				continue
-			}
-			for _, adv := range m.Adversaries {
-				switch adv {
-				case AdvNone, AdvSelfish:
-				default:
-					return nil, fmt.Errorf("sweep: unknown adversary %q", adv)
-				}
-				if adv == AdvSelfish && (!selfishSystems[sys] || link != LinkSync) {
-					continue
-				}
-				for _, n := range m.Ns {
-					for s := 0; s < m.Seeds; s++ {
-						cfg := Config{
-							System: sys, Link: link, Adversary: adv,
-							N: n, Blocks: m.TargetBlocks, SeedIndex: s,
-						}
-						if adv == AdvSelfish {
-							cfg.Alpha = m.Alpha
-						}
-						cfg.Seed = cfg.DeriveSeed(m.RootSeed)
-						out = append(out, cfg)
-					}
-				}
-			}
-		}
-	}
-	return out, nil
-}
-
-// Result is the structured outcome of one configuration.
-type Result struct {
-	Config Config `json:"config"`
-	// Refinement is the simulator's claimed refinement (for honest
-	// Table 1 runs, the paper's row).
-	Refinement string `json:"refinement"`
-	// Expected and Level are the anticipated vs measured consistency
-	// levels; Match reports their agreement.
-	Expected string `json:"expected"`
-	Level    string `json:"level"`
-	Match    bool   `json:"match"`
-	// Blocks / Forks / Ticks / Delivered / Dropped summarize the run.
-	Blocks    int   `json:"blocks"`
-	Forks     int   `json:"forks"`
-	Ticks     int64 `json:"ticks"`
-	Delivered int   `json:"delivered"`
-	Dropped   int   `json:"dropped"`
-	// MaxReorg is the deepest rollback observed between consecutive
-	// reads of any single process; FinalityDepth = MaxReorg+1 is the
-	// smallest depth-d finality gadget that would have been safe on
-	// this run.
-	MaxReorg      int `json:"maxReorg"`
-	FinalityDepth int `json:"finalityDepth"`
-	// FairnessTVD is the total variation distance between realized and
-	// entitled block shares (chain quality for adversarial runs).
-	FairnessTVD float64 `json:"fairnessTVD"`
-	// AdversaryShare is the adversary's realized main-chain share
-	// (selfish runs only).
-	AdversaryShare float64 `json:"adversaryShare,omitempty"`
-	// WallNS is the measured wall-clock cost of the run. It is
-	// excluded from the canonical JSON: it is the one field that is
-	// not deterministic.
-	WallNS int64 `json:"-"`
-}
-
-// Report is a completed sweep.
-type Report struct {
-	RootSeed uint64   `json:"rootSeed"`
-	Results  []Result `json:"results"`
-	// Total / Matched aggregate the verdicts; Ticks totals virtual
-	// time across configurations.
-	Total   int   `json:"total"`
-	Matched int   `json:"matched"`
-	Ticks   int64 `json:"ticks"`
-	// WallNS is the sweep's wall-clock time (excluded from canonical
-	// JSON, like Result.WallNS).
-	WallNS int64 `json:"-"`
-	// Parallelism is the worker count actually used. Excluded from
-	// the canonical JSON so sweeps at different parallelism remain
-	// byte-comparable.
-	Parallelism int `json:"-"`
+	return blockadt.Table1(n, blocks, seed)
 }
 
 // Run expands the matrix and executes every configuration across a
 // bounded pool of the given parallelism (<1 selects NumCPU). Results are
 // in matrix-expansion order regardless of scheduling.
 func Run(m Matrix, parallelism int) (*Report, error) {
-	m = m.withDefaults()
-	configs, err := m.Configs()
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	results := parallel.Map(configs, parallelism, func(_ int, cfg Config) Result {
-		return runConfig(cfg)
-	})
-	rep := &Report{
-		RootSeed:    m.RootSeed,
-		Results:     results,
-		Total:       len(results),
-		WallNS:      time.Since(start).Nanoseconds(),
-		Parallelism: parallel.Workers(parallelism),
-	}
-	for _, r := range results {
-		if r.Match {
-			rep.Matched++
-		}
-		rep.Ticks += r.Ticks
-	}
-	return rep, nil
+	return blockadt.Run(m, parallelism)
 }
 
-// runConfig executes one configuration: simulate, classify, measure.
-func runConfig(cfg Config) Result {
-	p := chains.Params{N: cfg.N, TargetBlocks: cfg.Blocks, Seed: cfg.Seed}
-	start := time.Now()
-
-	var (
-		res      chains.Result
-		expected consistency.Level
-		out      Result
-	)
-	switch {
-	case cfg.Adversary == AdvSelfish:
-		stats := chains.RunSelfishMining(p, cfg.Alpha)
-		res = stats.Result
-		expected = consistency.LevelEC
-		out.AdversaryShare = stats.AdversaryShare
-		merits := make([]float64, cfg.N)
-		merits[0] = cfg.Alpha
-		for i := 1; i < cfg.N; i++ {
-			merits[i] = (1 - cfg.Alpha) / float64(cfg.N-1)
-		}
-		out.FairnessTVD = fairness.FromCounts(stats.MainChainByProc, merits).TVD
-	case cfg.Link == LinkAsync:
-		// Slow-mining asynchronous regime: common-case delay equal to
-		// the synchronous bound, no stragglers — the configuration the
-		// Section 4.2 conjecture predicts still converges to EC.
-		res = chains.RunBitcoinAsync(chains.AsyncParams{Params: p, MaxDelay: 8})
-		expected = consistency.LevelEC
-		out.FairnessTVD = fairness.Analyze(res.History, equalMerits(cfg.N)).TVD
-	default:
-		sys, err := chains.ByName(cfg.System)
-		if err != nil {
-			// Configs() validated the name; an error here is a bug.
-			panic(err)
-		}
-		res = sys.Run(p)
-		expected = sys.Expected()
-		out.FairnessTVD = fairness.Analyze(res.History, equalMerits(cfg.N)).TVD
-	}
-
-	cls := res.Classify(chains.Options(p, res.History))
-	out.Config = cfg
-	out.Refinement = res.Refinement
-	out.Expected = expected.String()
-	out.Level = cls.Level.String()
-	out.Match = cls.Level == expected
-	out.Blocks = res.Blocks
-	out.Forks = res.Forks
-	out.Ticks = res.Ticks
-	out.Delivered = res.Delivered
-	out.Dropped = res.Dropped
-	out.MaxReorg = maxReorg(res.History)
-	out.FinalityDepth = out.MaxReorg + 1
-	out.WallNS = time.Since(start).Nanoseconds()
-	return out
-}
-
-// equalMerits is the uniform entitlement used for honest runs.
-func equalMerits(n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = 1
-	}
-	return out
-}
-
-// maxReorg scans each process's read sequence and returns the deepest
-// observed rollback: the largest number of blocks a process saw leave its
-// selected chain between two consecutive reads.
-func maxReorg(h *history.History) int {
-	last := map[history.ProcID]history.Chain{}
-	deepest := 0
-	for _, r := range h.Reads() {
-		prev, ok := last[r.Op.Proc]
-		if ok {
-			cp := prev.CommonPrefix(r.Chain)
-			if d := len(prev) - len(cp); d > deepest {
-				deepest = d
-			}
-		}
-		last[r.Op.Proc] = r.Chain
-	}
-	return deepest
+// FormatTable renders the results as an aligned text table, one row per
+// configuration.
+func FormatTable(results []Result) string {
+	return blockadt.FormatTable(results)
 }

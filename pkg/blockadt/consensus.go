@@ -1,0 +1,16 @@
+package blockadt
+
+import "blockadt/internal/consensus"
+
+// ConsensusValue is a value proposed to and decided by Consensus.
+type ConsensusValue = consensus.Value
+
+// Consensus is the one-shot agreement object of Theorem 4.2.
+type Consensus = consensus.Consensus
+
+// NewConsensusFromFrugal builds Protocol A (Figure 11): wait-free
+// Consensus from a frugal k=1 oracle. The oracle must have K == 1 and a
+// merit tape per proposer.
+func NewConsensusFromFrugal(o *Oracle, base BlockRef) (Consensus, error) {
+	return consensus.NewFromFrugal(o, base)
+}

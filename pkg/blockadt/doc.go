@@ -1,0 +1,36 @@
+// Package blockadt is the public, supported surface of the repository: a
+// registry-driven façade over the reproduction of "Blockchain Abstract
+// Data Type" (Anceaume et al., PPoPP'19 / arXiv:1802.09877).
+//
+// The paper's whole point is composability — a blockchain is a refinement
+// R(BT-ADT, Θ) of the BlockTree abstract data type by a token oracle from
+// the Θ_P/Θ_F,k hierarchy, read through a selection function f, deployed
+// over a communication model. This package exposes exactly those axes as
+// name-based registries:
+//
+//   - systems    (Table 1 rows: Bitcoin, Ethereum, …, Hyperledger)
+//   - oracles    (prodigal Θ_P, frugal Θ_F,k)
+//   - selectors  (longest, heaviest, ghost, single)
+//   - links      (sync, async)
+//   - adversaries (none, selfish)
+//
+// Everything composes by name. blockadt.New(name, opts...) instantiates a
+// live System object — the refinement R(BT-ADT, Θ) with Append, Read,
+// History and Finality. Simulate(name, opts...) runs a full network
+// simulation of a registered system. Run and Stream execute whole scenario
+// matrices (system × link × adversary × n × seed) across a bounded worker
+// pool, deterministically: every configuration derives an independent prng
+// stream from the matrix root seed, so the canonical JSON report is
+// byte-identical at any parallelism.
+//
+// Extension happens through the same registries: RegisterSystem,
+// RegisterOracle, RegisterSelector, RegisterLink and RegisterAdversary
+// accept user-defined specs, after which the new name is constructible via
+// New/Simulate, sweepable in a Matrix, and listed by `btadt list` — no
+// switch statement to edit. See docs/api.md for a worked "add your own
+// adversary" example.
+//
+// The `internal/` packages remain the implementation and are not a
+// supported import path; examples/ and cmd/ import only this package (CI
+// enforces it).
+package blockadt

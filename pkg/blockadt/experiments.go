@@ -1,0 +1,24 @@
+package blockadt
+
+import "blockadt/internal/experiments"
+
+// ExperimentResult is the outcome of one per-figure/per-theorem
+// reproduction experiment.
+type ExperimentResult = experiments.Result
+
+// RunExperiments executes the paper-artifact experiment index with the
+// given base seed (0 = the canonical 42).
+func RunExperiments(seed uint64) []ExperimentResult {
+	return experiments.Runner{Seed: seed}.All()
+}
+
+// RunExtensions executes the beyond-the-paper extension experiments
+// (worked examples, future work, related-work mapping).
+func RunExtensions(seed uint64) []ExperimentResult {
+	return experiments.Runner{Seed: seed}.Extensions()
+}
+
+// FormatExperiments renders experiment results as an aligned report.
+func FormatExperiments(results []ExperimentResult) string {
+	return experiments.Format(results)
+}

@@ -1,0 +1,28 @@
+package blockadt
+
+import "blockadt/internal/fairness"
+
+// FairnessReport is the realized-vs-entitled block-share analysis of one
+// run — the executable reading of the paper's merit parameter.
+type FairnessReport = fairness.Report
+
+// FairnessAggregate summarizes a multi-seed fairness sweep.
+type FairnessAggregate = fairness.Aggregate
+
+// AnalyzeFairness computes per-process realized block shares against the
+// merit entitlement from a recorded history.
+func AnalyzeFairness(h *History, merits []float64) FairnessReport {
+	return fairness.Analyze(h, merits)
+}
+
+// SweepFairnessSeeds runs the per-seed analysis across the worker pool:
+// one derived seed per index, preserving seed order in the output.
+func SweepFairnessSeeds(rootSeed uint64, seeds, parallelism int, run func(seed uint64) FairnessReport) []FairnessReport {
+	return fairness.SweepSeeds(rootSeed, seeds, parallelism, run)
+}
+
+// AggregateFairness folds per-seed reports into a sweep summary at the
+// given TVD tolerance.
+func AggregateFairness(reports []FairnessReport, tolerance float64) FairnessAggregate {
+	return fairness.AggregateReports(reports, tolerance)
+}

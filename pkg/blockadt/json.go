@@ -1,4 +1,4 @@
-package sweep
+package blockadt
 
 import (
 	"bytes"
@@ -23,21 +23,33 @@ func (r *Report) EncodeJSON() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// FormatTable renders the results as an aligned text table, one row per
-// configuration.
-func FormatTable(results []Result) string {
+// FormatTableHeader renders the sweep table's header line and rule.
+func FormatTableHeader() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %-6s %-8s %3s %5s %-9s %-9s %6s %6s %6s %8s %6s\n",
 		"system", "link", "adv", "n", "seed", "expected", "measured", "blocks", "forks", "reorg", "fairTVD", "match")
 	fmt.Fprintln(&b, strings.Repeat("-", 100))
+	return b.String()
+}
+
+// FormatRow renders one result as a sweep-table row.
+func FormatRow(r Result) string {
+	match := "yes"
+	if !r.Match {
+		match = "NO"
+	}
+	return fmt.Sprintf("%-12s %-6s %-8s %3d %5d %-9s %-9s %6d %6d %6d %8.4f %6s\n",
+		r.Config.System, r.Config.Link, r.Config.Adversary, r.Config.N, r.Config.SeedIndex,
+		r.Expected, r.Level, r.Blocks, r.Forks, r.MaxReorg, r.FairnessTVD, match)
+}
+
+// FormatTable renders the results as an aligned text table, one row per
+// scenario.
+func FormatTable(results []Result) string {
+	var b strings.Builder
+	b.WriteString(FormatTableHeader())
 	for _, r := range results {
-		match := "yes"
-		if !r.Match {
-			match = "NO"
-		}
-		fmt.Fprintf(&b, "%-12s %-6s %-8s %3d %5d %-9s %-9s %6d %6d %6d %8.4f %6s\n",
-			r.Config.System, r.Config.Link, r.Config.Adversary, r.Config.N, r.Config.SeedIndex,
-			r.Expected, r.Level, r.Blocks, r.Forks, r.MaxReorg, r.FairnessTVD, match)
+		b.WriteString(FormatRow(r))
 	}
 	return b.String()
 }

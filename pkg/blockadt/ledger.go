@@ -1,0 +1,42 @@
+package blockadt
+
+import "blockadt/internal/ledger"
+
+// The account-transfer ledger of the paper's worked validity-predicate
+// example (Section 3.1), re-exported for façade consumers.
+type (
+	// LedgerAccount names an account.
+	LedgerAccount = ledger.Account
+	// LedgerTx is one transfer transaction.
+	LedgerTx = ledger.Tx
+	// LedgerPayload is the transaction batch a block carries.
+	LedgerPayload = ledger.Payload
+	// LedgerState is the replayed account state.
+	LedgerState = ledger.State
+	// LedgerValidator implements the double-spend-rejecting predicate P.
+	LedgerValidator = ledger.Validator
+	// LedgerWorkload generates deterministic valid transaction batches.
+	LedgerWorkload = ledger.Workload
+)
+
+// NewLedgerWorkload returns a deterministic transaction workload over
+// nAccounts accounts, each seeded with the initial balance.
+func NewLedgerWorkload(seed uint64, nAccounts int, initial uint64) *LedgerWorkload {
+	return ledger.NewWorkload(seed, nAccounts, initial)
+}
+
+// NewLedgerValidator builds the validity predicate P over the given
+// genesis allocation and tree.
+func NewLedgerValidator(genesis map[LedgerAccount]uint64, tree *Tree) *LedgerValidator {
+	return ledger.NewValidator(genesis, tree)
+}
+
+// DecodeLedgerPayload decodes a block payload back into its batch.
+func DecodeLedgerPayload(b []byte) (LedgerPayload, error) {
+	return ledger.DecodePayload(b)
+}
+
+// ReplayLedger replays a committed chain into the final account state.
+func ReplayLedger(genesis map[LedgerAccount]uint64, chain Chain) (*LedgerState, error) {
+	return ledger.Replay(genesis, chain)
+}

@@ -1,0 +1,41 @@
+package blockadt
+
+import "blockadt/internal/netsim"
+
+// The deterministic message-passing substrate of Section 4.2, re-exported
+// for façade consumers that build replicated deployments (the forkmonitor
+// example, fault-injection drivers).
+type (
+	// NetSim is the virtual-time network simulator.
+	NetSim = netsim.Sim
+	// NetMessage is a network message carrying a block update.
+	NetMessage = netsim.Message
+	// NetHandler reacts to deliveries and timers at one process.
+	NetHandler = netsim.Handler
+	// NetHandlerFuncs adapts plain functions to NetHandler.
+	NetHandlerFuncs = netsim.HandlerFuncs
+	// NetLinkModel decides delivery delay and loss per message.
+	NetLinkModel = netsim.LinkModel
+	// SynchronousLink delivers within [Min, Delta].
+	SynchronousLink = netsim.Synchronous
+	// AsynchronousLink has a bounded common case with stragglers.
+	AsynchronousLink = netsim.Asynchronous
+	// LossyLink wraps a link model with a per-message drop rule.
+	LossyLink = netsim.Lossy
+	// NetReplica is a BlockTree replica speaking the update protocol.
+	NetReplica = netsim.Replica
+)
+
+// UpdateMsg is the message kind replicas exchange.
+const UpdateMsg = netsim.UpdateMsg
+
+// NewNetSim returns a simulator over the given link model and seed.
+func NewNetSim(links NetLinkModel, seed uint64) *NetSim {
+	return netsim.New(links, seed)
+}
+
+// NewNetReplica returns a replica reading through selection function f
+// and recording into rec.
+func NewNetReplica(id ProcID, f Selector, rec *Recorder) *NetReplica {
+	return netsim.NewReplica(id, f, rec)
+}

@@ -1,0 +1,64 @@
+package blockadt
+
+import (
+	"blockadt/internal/chains"
+	"blockadt/internal/consistency"
+	"blockadt/internal/fairness"
+)
+
+// Adversary names of the scenario matrix's fault dimension.
+const (
+	// AdvNone runs every process honestly.
+	AdvNone = "none"
+	// AdvSelfish replaces process 0 with an Eyal–Sirer selfish miner
+	// holding merit share Alpha. Only the PoW systems implement it.
+	AdvSelfish = "selfish"
+)
+
+// The two fault models self-register. "none" is the honest default (nil
+// Run); "selfish" wraps the Eyal–Sirer withholding miner.
+func init() {
+	RegisterAdversary(AdversarySpec{
+		Name:        AdvNone,
+		Description: "every process follows the protocol",
+	})
+	selfishSystems := map[string]bool{"Bitcoin": true}
+	RegisterAdversary(AdversarySpec{
+		Name:        AdvSelfish,
+		Description: "Eyal–Sirer block-withholding miner at process 0 with merit share α",
+		Supports: func(system, link string) bool {
+			return selfishSystems[system] && link == LinkSync
+		},
+		Run: func(system, link string, p SimParams, alpha float64) AdversaryOutcome {
+			stats := chains.RunSelfishMining(p, alpha)
+			// Chain quality against this model's entitlement: the
+			// adversary at process 0 holds alpha, the honest miners
+			// split the remainder equally. Mirror RunSelfishMining's
+			// process-count normalization so the vectors line up.
+			n := p.N
+			if n == 0 {
+				n = 8
+			}
+			if n < 2 {
+				n = 2
+			}
+			merits := make([]float64, n)
+			merits[0] = alpha
+			for i := 1; i < n; i++ {
+				merits[i] = (1 - alpha) / float64(n-1)
+			}
+			return AdversaryOutcome{
+				SimResult:       stats.Result,
+				Expected:        consistency.LevelEC,
+				FairnessTVD:     fairness.FromCounts(stats.MainChainByProc, merits).TVD,
+				AdversaryMined:  stats.AdversaryMined,
+				HonestMined:     stats.HonestMined,
+				AdversaryShare:  stats.AdversaryShare,
+				HonestShare:     stats.HonestShare,
+				AdversaryMerit:  stats.AdversaryMerit,
+				Orphaned:        stats.Orphaned,
+				MainChainByProc: stats.MainChainByProc,
+			}
+		},
+	})
+}

@@ -1,0 +1,40 @@
+package blockadt
+
+import (
+	"blockadt/internal/chains"
+	"blockadt/internal/consistency"
+)
+
+// Link model names of the scenario matrix's network dimension.
+const (
+	// LinkSync is the synchronous δ-bounded link model every Table 1
+	// simulator uses.
+	LinkSync = "sync"
+	// LinkAsync is the asynchronous regime of the Section 4.2 open
+	// issues (bounded common case with stragglers). Only the PoW
+	// systems implement it.
+	LinkAsync = "async"
+)
+
+// The two scenario link models self-register. "sync" is the default (nil
+// Run: the system's own simulator is used); "async" carries its own
+// runner and the set of systems that implement it.
+func init() {
+	RegisterLink(LinkSpec{
+		Name:        LinkSync,
+		Description: "synchronous δ-bounded delivery — the Table 1 setting (Section 4.2)",
+	})
+	asyncSystems := map[string]bool{"Bitcoin": true}
+	RegisterLink(LinkSpec{
+		Name:        LinkAsync,
+		Description: "asynchronous slow-mining regime with bounded common case (Section 4.2 TBC)",
+		Supports:    func(system string) bool { return asyncSystems[system] },
+		Run: func(system string, p SimParams) SimResult {
+			// Slow-mining asynchronous regime: common-case delay equal to
+			// the synchronous bound, no stragglers — the configuration the
+			// Section 4.2 conjecture predicts still converges to EC.
+			return chains.RunBitcoinAsync(chains.AsyncParams{Params: p, MaxDelay: 8})
+		},
+		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
+	})
+}

@@ -1,0 +1,25 @@
+package blockadt
+
+import "blockadt/internal/oracle"
+
+// The two oracle families of the Θ hierarchy (Section 3.2) self-register.
+func init() {
+	RegisterOracle(OracleSpec{
+		Name:        "prodigal",
+		Description: "Θ_P: no bound on consumed tokens per block — PoW-style validation, forks allowed",
+		New: func(cfg OracleConfig) *Oracle {
+			cfg.K = oracle.Unbounded
+			return oracle.New(cfg)
+		},
+	})
+	RegisterOracle(OracleSpec{
+		Name:        "frugal",
+		Description: "Θ_F,k: at most k blocks consumed per predecessor — k=1 is consensus-grade",
+		New: func(cfg OracleConfig) *Oracle {
+			if cfg.K < 1 {
+				cfg.K = 1
+			}
+			return oracle.New(cfg)
+		},
+	})
+}

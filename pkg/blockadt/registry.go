@@ -1,0 +1,144 @@
+package blockadt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// registry is a name-keyed, registration-order-preserving store. Order
+// matters: the default scenario matrix expands systems in registration
+// order, which for the built-ins is the paper's Table 1 order — keeping
+// sweep reports byte-identical across refactors.
+type registry[T any] struct {
+	kind  string
+	mu    sync.RWMutex
+	order []string
+	byKey map[string]T
+}
+
+func newRegistry[T any](kind string) *registry[T] {
+	return &registry[T]{kind: kind, byKey: map[string]T{}}
+}
+
+func (r *registry[T]) register(name string, v T) {
+	if name == "" {
+		panic(fmt.Sprintf("blockadt: cannot register a %s with an empty name", r.kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byKey[name]; dup {
+		panic(fmt.Sprintf("blockadt: %s %q registered twice", r.kind, name))
+	}
+	r.order = append(r.order, name)
+	r.byKey[name] = v
+}
+
+func (r *registry[T]) lookup(name string) (T, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.byKey[name]
+	if !ok {
+		return v, fmt.Errorf("blockadt: unknown %s %q (registered: %s)",
+			r.kind, name, strings.Join(r.order, ", "))
+	}
+	return v, nil
+}
+
+func (r *registry[T]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+func (r *registry[T]) all() []T {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]T, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byKey[name])
+	}
+	return out
+}
+
+// The five registries backing the façade.
+var (
+	systemRegistry    = newRegistry[SystemSpec]("system")
+	oracleRegistry    = newRegistry[OracleSpec]("oracle")
+	selectorRegistry  = newRegistry[SelectorSpec]("selector")
+	linkRegistry      = newRegistry[LinkSpec]("link")
+	adversaryRegistry = newRegistry[AdversarySpec]("adversary")
+)
+
+// RegisterSystem adds a system to the registry. It panics on an empty or
+// duplicate name or a nil Run, mirroring database/sql's driver contract:
+// registration happens in init functions, where failing loudly beats
+// failing later by name lookup.
+func RegisterSystem(s SystemSpec) {
+	if s.Run == nil {
+		panic(fmt.Sprintf("blockadt: system %q registered without a Run function", s.Name))
+	}
+	systemRegistry.register(s.Name, s)
+}
+
+// RegisterOracle adds a token-oracle constructor to the registry.
+func RegisterOracle(o OracleSpec) {
+	if o.New == nil {
+		panic(fmt.Sprintf("blockadt: oracle %q registered without a constructor", o.Name))
+	}
+	oracleRegistry.register(o.Name, o)
+}
+
+// RegisterSelector adds a selection function f to the registry.
+func RegisterSelector(s SelectorSpec) {
+	if s.New == nil {
+		panic(fmt.Sprintf("blockadt: selector %q registered without a constructor", s.Name))
+	}
+	selectorRegistry.register(s.Name, s)
+}
+
+// RegisterLink adds a communication model to the registry.
+func RegisterLink(l LinkSpec) {
+	linkRegistry.register(l.Name, l)
+}
+
+// RegisterAdversary adds a fault model to the registry.
+func RegisterAdversary(a AdversarySpec) {
+	adversaryRegistry.register(a.Name, a)
+}
+
+// LookupSystem returns the registered system spec, or an error naming the
+// registered alternatives.
+func LookupSystem(name string) (SystemSpec, error) { return systemRegistry.lookup(name) }
+
+// LookupOracle returns the registered oracle spec.
+func LookupOracle(name string) (OracleSpec, error) { return oracleRegistry.lookup(name) }
+
+// LookupSelector returns the registered selector spec.
+func LookupSelector(name string) (SelectorSpec, error) { return selectorRegistry.lookup(name) }
+
+// LookupLink returns the registered link spec.
+func LookupLink(name string) (LinkSpec, error) { return linkRegistry.lookup(name) }
+
+// LookupAdversary returns the registered adversary spec.
+func LookupAdversary(name string) (AdversarySpec, error) { return adversaryRegistry.lookup(name) }
+
+// Systems returns every registered system in registration order (for the
+// built-ins, Table 1 order).
+func Systems() []SystemSpec { return systemRegistry.all() }
+
+// Oracles returns every registered oracle in registration order.
+func Oracles() []OracleSpec { return oracleRegistry.all() }
+
+// Selectors returns every registered selector in registration order.
+func Selectors() []SelectorSpec { return selectorRegistry.all() }
+
+// Links returns every registered link model in registration order.
+func Links() []LinkSpec { return linkRegistry.all() }
+
+// Adversaries returns every registered adversary in registration order.
+func Adversaries() []AdversarySpec { return adversaryRegistry.all() }
+
+// SystemNames returns the registered system names in registration order —
+// the default Systems dimension of a Matrix.
+func SystemNames() []string { return systemRegistry.names() }

@@ -1,0 +1,381 @@
+package blockadt
+
+import (
+	"fmt"
+	"time"
+
+	"blockadt/internal/fairness"
+	"blockadt/internal/history"
+	"blockadt/internal/parallel"
+	"blockadt/internal/prng"
+)
+
+// Scenario is one fully resolved configuration of a scenario matrix:
+// a (system, link, adversary, n, blocks, seed) point.
+type Scenario struct {
+	System    string `json:"system"`
+	Link      string `json:"link"`
+	Adversary string `json:"adversary"`
+	// Alpha is the adversary's merit share (adversarial runs only).
+	Alpha float64 `json:"alpha,omitempty"`
+	N     int     `json:"n"`
+	// Blocks is the target committed chain length.
+	Blocks int `json:"blocks"`
+	// SeedIndex is the scenario's position along the matrix's seed
+	// dimension; Seed is the stream actually used, derived from the
+	// root seed and the canonical key (DeriveSeed).
+	SeedIndex int    `json:"seedIndex"`
+	Seed      uint64 `json:"seed"`
+}
+
+// Key returns the canonical identity of the scenario — everything that
+// distinguishes it within a matrix except the derived seed itself.
+func (c Scenario) Key() string {
+	return fmt.Sprintf("%s|%s|%s|a=%.4f|n=%d|b=%d|s=%d",
+		c.System, c.Link, c.Adversary, c.Alpha, c.N, c.Blocks, c.SeedIndex)
+}
+
+// DeriveSeed returns the scenario's independent prng stream:
+// prng.Mix(root, hash(Key)). Two scenarios that differ in any matrix
+// coordinate get unrelated streams; the same scenario under the same
+// root always gets the same stream, regardless of where it sits in the
+// expansion order or which worker runs it.
+func (c Scenario) DeriveSeed(root uint64) uint64 {
+	return prng.Mix(root, hashString(c.Key()))
+}
+
+// hashString folds a string into a 64-bit value with the repository's
+// stateless mixer (an FNV-style byte fold finished by prng.Mix, so the
+// result is well distributed even for short keys).
+func hashString(s string) uint64 {
+	const prime = 0x100000001B3
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return prng.Mix(h, uint64(len(s)))
+}
+
+// Matrix spans a scenario cross product. Zero-valued dimensions fall back
+// to defaults (every registered system, synchronous links, no adversary,
+// n=8, one seed).
+type Matrix struct {
+	// Systems are registered system names; empty = every registered
+	// system in registration order (for the built-ins, Table 1 order).
+	Systems []string `json:"systems,omitempty"`
+	// Links are registered link-model names; empty = {sync}.
+	Links []string `json:"links,omitempty"`
+	// Adversaries are registered adversary names; empty = {none}.
+	Adversaries []string `json:"adversaries,omitempty"`
+	// Ns are process counts; empty = {8}.
+	Ns []int `json:"ns,omitempty"`
+	// Seeds is the number of seed indices per point; 0 = 1.
+	Seeds int `json:"seeds,omitempty"`
+	// RootSeed drives every derived stream. Unlike the other knobs, 0
+	// is NOT remapped: it is a valid root and is used as-is, so an
+	// explicit `-seed 0` sweep is distinct from the CLI's default 42.
+	RootSeed uint64 `json:"rootSeed"`
+	// TargetBlocks is the committed-chain target per run; 0 = 30.
+	TargetBlocks int `json:"targetBlocks,omitempty"`
+	// Alpha is the adversary's merit share; 0 = 0.34 (a zero-merit
+	// adversary is degenerate, so zero means unset here).
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Table1 returns the matrix regenerating Table 1: every registered
+// system, one honest synchronous run each.
+func Table1(n, blocks int, seed uint64) Matrix {
+	return Matrix{Ns: []int{n}, TargetBlocks: blocks, RootSeed: seed}
+}
+
+func (m Matrix) withDefaults() Matrix {
+	if len(m.Systems) == 0 {
+		m.Systems = SystemNames()
+	}
+	if len(m.Links) == 0 {
+		m.Links = []string{LinkSync}
+	}
+	if len(m.Adversaries) == 0 {
+		m.Adversaries = []string{AdvNone}
+	}
+	if len(m.Ns) == 0 {
+		m.Ns = []int{8}
+	}
+	if m.Seeds <= 0 {
+		m.Seeds = 1
+	}
+	if m.TargetBlocks <= 0 {
+		m.TargetBlocks = 30
+	}
+	if m.Alpha == 0 {
+		m.Alpha = 0.34
+	}
+	return m
+}
+
+// Configs expands the matrix into its resolved scenarios, in
+// deterministic (systems → links → adversaries → ns → seeds) order,
+// pruning combinations no registered simulator implements. It errors on
+// unregistered systems, links or adversaries so a typo fails loudly
+// instead of silently sweeping nothing.
+func (m Matrix) Configs() ([]Scenario, error) {
+	m = m.withDefaults()
+	for _, name := range m.Systems {
+		if _, err := LookupSystem(name); err != nil {
+			return nil, err
+		}
+	}
+	// withDefaults remapped 0 to 0.34, so anything outside (0,1) here is
+	// caller input — reject it before it builds degenerate merit tapes.
+	if m.Alpha <= 0 || m.Alpha >= 1 {
+		return nil, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", m.Alpha)
+	}
+	var out []Scenario
+	for _, sys := range m.Systems {
+		for _, link := range m.Links {
+			lspec, err := LookupLink(link)
+			if err != nil {
+				return nil, err
+			}
+			if !lspec.supportsSystem(sys) {
+				continue
+			}
+			for _, adv := range m.Adversaries {
+				aspec, err := LookupAdversary(adv)
+				if err != nil {
+					return nil, err
+				}
+				if aspec.Run != nil && !aspec.supportsSystem(sys, link) {
+					continue
+				}
+				for _, n := range m.Ns {
+					for s := 0; s < m.Seeds; s++ {
+						cfg := Scenario{
+							System: sys, Link: link, Adversary: adv,
+							N: n, Blocks: m.TargetBlocks, SeedIndex: s,
+						}
+						if aspec.Run != nil {
+							cfg.Alpha = m.Alpha
+						}
+						cfg.Seed = cfg.DeriveSeed(m.RootSeed)
+						out = append(out, cfg)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Result is the structured outcome of one scenario.
+type Result struct {
+	Config Scenario `json:"config"`
+	// Refinement is the simulator's claimed refinement (for honest
+	// Table 1 runs, the paper's row).
+	Refinement string `json:"refinement"`
+	// Expected and Level are the anticipated vs measured consistency
+	// levels; Match reports their agreement.
+	Expected string `json:"expected"`
+	Level    string `json:"level"`
+	Match    bool   `json:"match"`
+	// Blocks / Forks / Ticks / Delivered / Dropped summarize the run.
+	Blocks    int   `json:"blocks"`
+	Forks     int   `json:"forks"`
+	Ticks     int64 `json:"ticks"`
+	Delivered int   `json:"delivered"`
+	Dropped   int   `json:"dropped"`
+	// MaxReorg is the deepest rollback observed between consecutive
+	// reads of any single process; FinalityDepth = MaxReorg+1 is the
+	// smallest depth-d finality gadget that would have been safe on
+	// this run.
+	MaxReorg      int `json:"maxReorg"`
+	FinalityDepth int `json:"finalityDepth"`
+	// FairnessTVD is the total variation distance between realized and
+	// entitled block shares (chain quality for adversarial runs).
+	FairnessTVD float64 `json:"fairnessTVD"`
+	// AdversaryShare is the adversary's realized main-chain share
+	// (adversarial runs only).
+	AdversaryShare float64 `json:"adversaryShare,omitempty"`
+	// WallNS is the measured wall-clock cost of the run. It is
+	// excluded from the canonical JSON: it is the one field that is
+	// not deterministic.
+	WallNS int64 `json:"-"`
+}
+
+// Report is a completed sweep.
+type Report struct {
+	RootSeed uint64   `json:"rootSeed"`
+	Results  []Result `json:"results"`
+	// Total / Matched aggregate the verdicts; Ticks totals virtual
+	// time across scenarios.
+	Total   int   `json:"total"`
+	Matched int   `json:"matched"`
+	Ticks   int64 `json:"ticks"`
+	// WallNS is the sweep's wall-clock time (excluded from canonical
+	// JSON, like Result.WallNS).
+	WallNS int64 `json:"-"`
+	// Parallelism is the worker count actually used. Excluded from
+	// the canonical JSON so sweeps at different parallelism remain
+	// byte-comparable.
+	Parallelism int `json:"-"`
+}
+
+// Run expands the matrix and executes every scenario across a bounded
+// pool of the given parallelism (<1 selects NumCPU). Results are in
+// matrix-expansion order regardless of scheduling.
+func Run(m Matrix, parallelism int) (*Report, error) {
+	configs, err := m.Configs()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	results := parallel.Map(configs, parallelism, func(_ int, cfg Scenario) Result {
+		return runScenario(cfg)
+	})
+	rep := &Report{
+		RootSeed:    m.RootSeed,
+		Results:     results,
+		Total:       len(results),
+		WallNS:      time.Since(start).Nanoseconds(),
+		Parallelism: parallel.Workers(parallelism),
+	}
+	for _, r := range results {
+		if r.Match {
+			rep.Matched++
+		}
+		rep.Ticks += r.Ticks
+	}
+	return rep, nil
+}
+
+// RunScenario executes one fully resolved scenario — simulate, classify,
+// measure — dispatching through the system/link/adversary registries. It
+// applies the same validation Matrix.Configs does while expanding: a name
+// no registry knows, a combination no simulator supports, or an
+// out-of-range adversary merit share is an error instead of a silently
+// wrong run. Scenarios expanded by Matrix.Configs are always valid.
+func RunScenario(cfg Scenario) (Result, error) {
+	if _, err := LookupSystem(cfg.System); err != nil {
+		return Result{}, err
+	}
+	lspec, err := LookupLink(cfg.Link)
+	if err != nil {
+		return Result{}, err
+	}
+	if !lspec.supportsSystem(cfg.System) {
+		return Result{}, fmt.Errorf("blockadt: system %q does not implement link model %q", cfg.System, cfg.Link)
+	}
+	aspec, err := LookupAdversary(cfg.Adversary)
+	if err != nil {
+		return Result{}, err
+	}
+	if aspec.Run != nil {
+		if !aspec.supportsSystem(cfg.System, cfg.Link) {
+			return Result{}, fmt.Errorf("blockadt: system %q does not implement adversary %q under link %q", cfg.System, cfg.Adversary, cfg.Link)
+		}
+		if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+			return Result{}, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", cfg.Alpha)
+		}
+	}
+	return runScenario(cfg), nil
+}
+
+// runScenario is RunScenario's engine-side core. It assumes the scenario
+// was validated (Matrix.Configs and RunScenario both do): an unknown
+// system name panics, and an unknown link or adversary name degrades to
+// the honest synchronous path — neither can reach here through the
+// exported entry points.
+func runScenario(cfg Scenario) Result {
+	p := SimParams{N: cfg.N, TargetBlocks: cfg.Blocks, Seed: cfg.Seed}
+	start := time.Now()
+
+	var (
+		res      SimResult
+		expected Level
+		out      Result
+	)
+	spec, err := LookupSystem(cfg.System)
+	if err != nil {
+		// Configs() and RunScenario validated the name; an error here
+		// is a bug.
+		panic(err)
+	}
+	aspec, aerr := LookupAdversary(cfg.Adversary)
+	lspec, lerr := LookupLink(cfg.Link)
+	switch {
+	case aerr == nil && aspec.Run != nil:
+		stats := aspec.Run(cfg.System, cfg.Link, p, cfg.Alpha)
+		res = stats.SimResult
+		expected = stats.Expected
+		out.AdversaryShare = stats.AdversaryShare
+		out.FairnessTVD = stats.FairnessTVD
+	case lerr == nil && lspec.Run != nil:
+		res = lspec.Run(cfg.System, p)
+		expected = linkExpected(lspec, cfg.System, spec.Expected)
+		out.FairnessTVD = fairness.Analyze(res.History, equalMerits(cfg.N)).TVD
+	default:
+		res = spec.Run(p)
+		expected = spec.Expected
+		if lerr == nil {
+			// A link model registered without its own runner may still
+			// adjust the predicted level (LinkSpec.Expected).
+			expected = linkExpected(lspec, cfg.System, spec.Expected)
+		}
+		out.FairnessTVD = fairness.Analyze(res.History, equalMerits(cfg.N)).TVD
+	}
+
+	cls := ClassifyRun(p, res)
+	out.Config = cfg
+	out.Refinement = res.Refinement
+	out.Expected = expected.String()
+	out.Level = cls.Level.String()
+	out.Match = cls.Level == expected
+	out.Blocks = res.Blocks
+	out.Forks = res.Forks
+	out.Ticks = res.Ticks
+	out.Delivered = res.Delivered
+	out.Dropped = res.Dropped
+	out.MaxReorg = maxReorg(res.History)
+	out.FinalityDepth = out.MaxReorg + 1
+	out.WallNS = time.Since(start).Nanoseconds()
+	return out
+}
+
+// Parallelism reports the worker count a requested parallelism resolves
+// to (<1 selects NumCPU) — the value Report.Parallelism records.
+func Parallelism(requested int) int { return parallel.Workers(requested) }
+
+// equalMerits is the uniform entitlement used for honest runs. It
+// mirrors the simulators' process-count default (N = 0 → 8) so the
+// entitlement vector always lines up with the processes that actually
+// ran.
+func equalMerits(n int) []float64 {
+	if n <= 0 {
+		n = 8
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// maxReorg scans each process's read sequence and returns the deepest
+// observed rollback: the largest number of blocks a process saw leave its
+// selected chain between two consecutive reads.
+func maxReorg(h *history.History) int {
+	last := map[history.ProcID]history.Chain{}
+	deepest := 0
+	for _, r := range h.Reads() {
+		prev, ok := last[r.Op.Proc]
+		if ok {
+			cp := prev.CommonPrefix(r.Chain)
+			if d := len(prev) - len(cp); d > deepest {
+				deepest = d
+			}
+		}
+		last[r.Op.Proc] = r.Chain
+	}
+	return deepest
+}

@@ -1,0 +1,164 @@
+package blockadt
+
+import (
+	"fmt"
+
+	"blockadt/internal/chains"
+)
+
+// Simulate runs a full network simulation of a registered system: WithN
+// processes race to WithBlocks committed blocks over the WithLink
+// communication model, optionally under a WithAdversary fault model. The
+// zero-valued options inherit the repository-wide simulation defaults
+// (n=8, 40 blocks, synchronous δ-bounded links, no adversary).
+func Simulate(name string, opts ...Option) (SimResult, error) {
+	spec, err := LookupSystem(name)
+	if err != nil {
+		return SimResult{}, err
+	}
+	s := applyOptions(opts)
+	if err := s.instanceOnlyErr("Simulate"); err != nil {
+		return SimResult{}, err
+	}
+	if s.adversary != "" && s.adversary != AdvNone {
+		return SimResult{}, fmt.Errorf("blockadt: Simulate runs honest systems; use SimulateAdversary for %q", s.adversary)
+	}
+	if s.alpha != 0 {
+		return SimResult{}, fmt.Errorf("blockadt: WithAlpha applies to SimulateAdversary, not Simulate")
+	}
+	if err := meritsErr(spec, s); err != nil {
+		return SimResult{}, err
+	}
+	p := s.simParams()
+	link := s.link
+	if link == "" {
+		link = LinkSync
+	}
+	lspec, err := LookupLink(link)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if !lspec.supportsSystem(spec.Name) {
+		return SimResult{}, fmt.Errorf("blockadt: system %q does not implement link model %q", spec.Name, link)
+	}
+	if lspec.Run != nil {
+		return lspec.Run(spec.Name, p), nil
+	}
+	return spec.Run(p), nil
+}
+
+// meritsErr rejects a WithMerits vector the simulation would silently
+// ignore or silently replace with the uniform default.
+func meritsErr(spec SystemSpec, s settings) error {
+	if len(s.merits) == 0 {
+		return nil
+	}
+	if !spec.MeritAware {
+		return fmt.Errorf("blockadt: system %q grants tokens deterministically and ignores WithMerits", spec.Name)
+	}
+	n := s.n
+	if n == 0 {
+		n = 8 // the simulators' process-count default
+	}
+	if len(s.merits) != n {
+		return fmt.Errorf("blockadt: WithMerits has %d entries for %d processes — the simulator would fall back to uniform merits", len(s.merits), n)
+	}
+	return nil
+}
+
+// ClassifySimulated runs Simulate and classifies the recorded history
+// with checker options sized from the same resolved parameters, so
+// callers state the configuration exactly once.
+func ClassifySimulated(name string, opts ...Option) (SimResult, Classification, error) {
+	res, err := Simulate(name, opts...)
+	if err != nil {
+		return SimResult{}, Classification{}, err
+	}
+	return res, ClassifyRun(applyOptions(opts).simParams(), res), nil
+}
+
+// linkExpected resolves the consistency level predicted for a system
+// under a link model: the link spec may adjust the system's default
+// (synchronous) level.
+func linkExpected(lspec LinkSpec, system string, sync Level) Level {
+	if lspec.Expected != nil {
+		return lspec.Expected(system, sync)
+	}
+	return sync
+}
+
+// ExpectedLevel returns the consistency level the theory predicts for
+// the named system under the named link model — the same value the sweep
+// engine compares measured runs against, so Simulate callers can check
+// their classification the way the engine does.
+func ExpectedLevel(system, link string) (Level, error) {
+	spec, err := LookupSystem(system)
+	if err != nil {
+		return 0, err
+	}
+	lspec, err := LookupLink(link)
+	if err != nil {
+		return 0, err
+	}
+	if !lspec.supportsSystem(system) {
+		return 0, fmt.Errorf("blockadt: system %q does not implement link model %q", system, link)
+	}
+	return linkExpected(lspec, system, spec.Expected), nil
+}
+
+// SimulateAdversary runs a registered system under a registered adversary
+// holding merit share alpha (WithAlpha; default 0.34).
+func SimulateAdversary(system, adversary string, opts ...Option) (AdversaryOutcome, error) {
+	spec, err := LookupSystem(system)
+	if err != nil {
+		return AdversaryOutcome{}, err
+	}
+	aspec, err := LookupAdversary(adversary)
+	if err != nil {
+		return AdversaryOutcome{}, err
+	}
+	if aspec.Run == nil {
+		return AdversaryOutcome{}, fmt.Errorf("blockadt: adversary %q is the honest default; use Simulate", adversary)
+	}
+	s := applyOptions(opts)
+	if err := s.instanceOnlyErr("SimulateAdversary"); err != nil {
+		return AdversaryOutcome{}, err
+	}
+	if s.adversary != "" {
+		return AdversaryOutcome{}, fmt.Errorf("blockadt: pass the adversary as SimulateAdversary's argument, not WithAdversary")
+	}
+	if len(s.merits) != 0 {
+		return AdversaryOutcome{}, fmt.Errorf("blockadt: WithMerits conflicts with SimulateAdversary (the adversary model derives merits from WithAlpha)")
+	}
+	link := s.link
+	if link == "" {
+		link = LinkSync
+	}
+	if _, err := LookupLink(link); err != nil {
+		return AdversaryOutcome{}, err
+	}
+	if !aspec.supportsSystem(spec.Name, link) {
+		return AdversaryOutcome{}, fmt.Errorf("blockadt: system %q does not implement adversary %q under link %q", spec.Name, adversary, link)
+	}
+	alpha := s.alpha
+	if alpha == 0 {
+		alpha = 0.34
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return AdversaryOutcome{}, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", alpha)
+	}
+	return aspec.Run(spec.Name, link, s.simParams(), alpha), nil
+}
+
+// SimCheckOptions returns consistency-checker options sized for a
+// simulated run: the full correct process universe and a grace window
+// spanning the convergence tail.
+func SimCheckOptions(p SimParams, h *History) CheckOptions {
+	return chains.Options(p, h)
+}
+
+// ClassifyRun classifies a simulated run's recorded history with
+// simulation-sized checker options.
+func ClassifyRun(p SimParams, res SimResult) Classification {
+	return res.Classify(chains.Options(p, res.History))
+}

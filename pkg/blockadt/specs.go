@@ -1,0 +1,137 @@
+package blockadt
+
+import (
+	"blockadt/internal/blocktree"
+	"blockadt/internal/history"
+	"blockadt/internal/oracle"
+)
+
+// SystemSpec describes one registered blockchain system: how the paper
+// classifies it, which oracle/selector profile a live New() instance uses,
+// and how to simulate a full network run of it.
+type SystemSpec struct {
+	// Name is the registry key (for the built-ins, the Table 1 row name).
+	Name string
+	// Description is the one-line summary `btadt list` prints.
+	Description string
+	// Refinement is the paper's claimed refinement, e.g. "R(BT-ADT_EC, Θ_P)".
+	Refinement string
+	// Expected is the consistency level the paper assigns.
+	Expected Level
+	// Oracle and Selector name the registry entries a live instance
+	// (blockadt.New) composes by default.
+	Oracle, Selector string
+	// MeritAware reports that the simulator honors SimParams.Merits
+	// (per-process token probabilities). Committee systems grant
+	// deterministically and ignore merits; Simulate rejects WithMerits
+	// for them instead of silently running uniform.
+	MeritAware bool
+	// Run simulates the system over its default (synchronous) network.
+	Run func(p SimParams) SimResult
+}
+
+// OracleSpec describes a registered token-oracle family of the Θ
+// hierarchy.
+type OracleSpec struct {
+	Name        string
+	Description string
+	// New constructs an oracle instance. The façade passes the composed
+	// OracleConfig (K, Merits, Seed); the spec may override fields that
+	// define the family (e.g. the prodigal spec forces K = Unbounded).
+	New func(cfg OracleConfig) *Oracle
+}
+
+// SelectorSpec describes a registered selection function f : BT → BC.
+type SelectorSpec struct {
+	Name        string
+	Description string
+	New         func() Selector
+}
+
+// LinkSpec describes a registered communication model — one value of the
+// scenario matrix's link dimension.
+type LinkSpec struct {
+	Name        string
+	Description string
+	// Supports reports whether the named system implements this link
+	// model in scenario runs; nil means every system does.
+	Supports func(system string) bool
+	// Run simulates the named system under this link model. A nil Run
+	// marks the default model: the system's own Run is used.
+	Run func(system string, p SimParams) SimResult
+	// Expected returns the consistency level the theory predicts for
+	// the named system under this link model, given the system's
+	// default (synchronous) level; nil means the level is unchanged.
+	Expected func(system string, sync Level) Level
+}
+
+// AdversarySpec describes a registered fault model — one value of the
+// scenario matrix's adversary dimension.
+type AdversarySpec struct {
+	Name        string
+	Description string
+	// Supports reports whether the named system implements this
+	// adversary under the named link model; nil means every combination.
+	Supports func(system, link string) bool
+	// Run executes the adversarial simulation of the named system under
+	// the named link model (always one Supports accepted). Alpha is the
+	// adversary's merit share. A nil Run marks the honest default.
+	Run func(system, link string, p SimParams, alpha float64) AdversaryOutcome
+}
+
+// AdversaryOutcome is the structured result of an adversarial run.
+type AdversaryOutcome struct {
+	SimResult
+	// Expected is the consistency level the adversarial run is predicted
+	// to retain.
+	Expected Level
+	// FairnessTVD is the chain-quality total variation distance between
+	// realized and entitled block shares, as this adversary model
+	// defines entitlement. The spec's Run computes it — only the model
+	// knows its merit layout; leave it 0 if not meaningful.
+	FairnessTVD float64
+	// AdversaryMined / HonestMined count oracle-validated blocks.
+	AdversaryMined, HonestMined int
+	// AdversaryShare / HonestShare are realized main-chain proportions;
+	// AdversaryMerit is the adversary's entitled share.
+	AdversaryShare, HonestShare, AdversaryMerit float64
+	// Orphaned counts mined blocks that missed the final main chain.
+	Orphaned int
+	// MainChainByProc is the main-chain authorship census, the input to
+	// chain-quality fairness analysis.
+	MainChainByProc map[history.ProcID]int
+}
+
+// supportsSystem applies the spec's Supports predicate with the
+// nil-means-everything default.
+func (l LinkSpec) supportsSystem(system string) bool {
+	return l.Supports == nil || l.Supports(system)
+}
+
+func (a AdversarySpec) supportsSystem(system, link string) bool {
+	return a.Supports == nil || a.Supports(system, link)
+}
+
+// asChainsSystem adapts a SystemSpec back to the internal simulator
+// interface so the Table 1 classifier can run registry entries.
+type specSystem struct{ spec SystemSpec }
+
+func (s specSystem) Name() string       { return s.spec.Name }
+func (s specSystem) Refinement() string { return s.spec.Refinement }
+func (s specSystem) Expected() Level    { return s.spec.Expected }
+func (s specSystem) Run(p SimParams) SimResult {
+	return s.spec.Run(p)
+}
+
+// Selector is the selection function interface f ∈ F : BT → BC.
+type Selector = blocktree.Selector
+
+// Oracle is a token-oracle instance (Θ_P or Θ_F,k).
+type Oracle = oracle.Oracle
+
+// OracleConfig parameterizes an oracle: fork bound K (Unbounded for Θ_P),
+// per-merit token probabilities, and the pseudorandom tape seed.
+type OracleConfig = oracle.Config
+
+// Unbounded is the K value of the prodigal oracle Θ_P.
+const Unbounded = oracle.Unbounded

@@ -1,0 +1,44 @@
+package blockadt
+
+import (
+	"context"
+	"iter"
+
+	"blockadt/internal/parallel"
+)
+
+// Stream expands the matrix and yields its results in matrix-expansion
+// order as they complete across a bounded pool of the given parallelism
+// (<1 selects NumCPU) — without buffering the full report, so arbitrarily
+// large sweeps run in bounded memory. The scenarios executed and the
+// values yielded are exactly those Run would report for the same matrix.
+//
+// The first yielded pair carries a non-nil error (and a zero Result) if
+// the matrix fails to expand or the context is cancelled; iteration stops
+// after any error. Breaking out of the loop stops scheduling new
+// scenarios; in-flight ones finish in the background.
+func Stream(ctx context.Context, m Matrix, parallelism int) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		configs, err := m.Configs()
+		if err != nil {
+			yield(Result{}, err)
+			return
+		}
+		for _, r := range parallel.Stream(ctx, configs, parallelism, func(_ int, cfg Scenario) Result {
+			return runScenario(cfg)
+		}) {
+			if err := ctx.Err(); err != nil {
+				yield(Result{}, err)
+				return
+			}
+			if !yield(r, nil) {
+				return
+			}
+		}
+		// The inner stream stops silently when the context fires between
+		// yields; surface the cancellation as the final pair.
+		if err := ctx.Err(); err != nil {
+			yield(Result{}, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package blockadt
+
+import (
+	"context"
+	"testing"
+)
+
+// streamTestMatrix is small but multi-dimensional: pruned combinations,
+// two seeds, 18 configs. Systems are pinned explicitly so registrations
+// made by other tests (TestUserRegistrationExtends) cannot change the
+// matrix under us.
+func streamTestMatrix() Matrix {
+	return Matrix{
+		Systems:      []string{"Bitcoin", "Ethereum", "Algorand", "ByzCoin", "PeerCensus", "RedBelly", "Hyperledger"},
+		Links:        []string{LinkSync, LinkAsync},
+		Adversaries:  []string{AdvNone, AdvSelfish},
+		Seeds:        2,
+		TargetBlocks: 15,
+	}
+}
+
+// TestStreamMatchesRun asserts the streaming API yields exactly the
+// results the buffered Run reports, in the same matrix-expansion order,
+// at a real worker count.
+func TestStreamMatchesRun(t *testing.T) {
+	m := streamTestMatrix()
+	rep, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Result
+	for r, err := range Stream(context.Background(), m, 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, r)
+	}
+	if len(streamed) != len(rep.Results) {
+		t.Fatalf("streamed %d results, Run produced %d", len(streamed), len(rep.Results))
+	}
+	for i := range streamed {
+		a, b := streamed[i], rep.Results[i]
+		a.WallNS, b.WallNS = 0, 0
+		if a != b {
+			t.Fatalf("result %d differs:\nstream: %+v\nrun:    %+v", i, a, b)
+		}
+	}
+}
+
+// TestStreamExpansionError surfaces a bad matrix as the first yielded
+// error.
+func TestStreamExpansionError(t *testing.T) {
+	var n int
+	for _, err := range Stream(context.Background(), Matrix{Systems: []string{"Dogecoin"}}, 1) {
+		n++
+		if err == nil {
+			t.Fatal("expected an expansion error")
+		}
+	}
+	if n != 1 {
+		t.Fatalf("iterator yielded %d pairs after the error, want exactly 1", n)
+	}
+}
+
+// TestStreamEarlyBreak stops consuming mid-sweep; the iterator must
+// return without deadlocking and without running the remaining scenarios
+// on the consumer's behalf.
+func TestStreamEarlyBreak(t *testing.T) {
+	var n int
+	for _, err := range Stream(context.Background(), streamTestMatrix(), 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("consumed %d results, want 3", n)
+	}
+}
+
+// TestStreamCancellation cancels the context mid-iteration and expects
+// the iterator to surface ctx.Err and stop.
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var results, errs int
+	for _, err := range Stream(ctx, streamTestMatrix(), 2) {
+		if err != nil {
+			errs++
+			continue
+		}
+		results++
+		cancel()
+	}
+	if errs != 1 {
+		t.Fatalf("saw %d errors after cancellation, want 1", errs)
+	}
+	if results == 0 {
+		t.Fatal("cancelled before any result was yielded")
+	}
+}

@@ -1,0 +1,24 @@
+package blockadt
+
+import (
+	"blockadt/internal/core"
+	"blockadt/internal/figures"
+)
+
+// ForkWorkload is the shared-memory contention workload sampling the
+// refinement hierarchy (Figures 8/14): Procs processes race Rounds rounds
+// of appends against an oracle with fork bound K.
+type ForkWorkload = core.ForkWorkload
+
+// ForkResult is a ForkWorkload outcome (max fanout, successful appends,
+// recorded history, final tree).
+type ForkResult = core.ForkResult
+
+// NamedHistory pairs a paper figure's name with its constructed history.
+type NamedHistory = figures.Named
+
+// FigureHistories returns the example histories of Figures 2–4 with the
+// given convergence tail, in figure order.
+func FigureHistories(tail int) []NamedHistory {
+	return figures.All(tail)
+}
