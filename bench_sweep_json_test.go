@@ -1,0 +1,146 @@
+package blockadt_bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"blockadt/internal/sweep"
+	"blockadt/pkg/blockadt"
+)
+
+// benchRun is one measured configuration of the sweep benchmark.
+type benchRun struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	SpeedupVsP1 float64 `json:"speedupVsParallel1,omitempty"`
+}
+
+// benchSweepReport is the BENCH_sweep.json schema: the sweep matrix
+// benchmark at parallelism 1/4/NumCPU, the same matrix with the full
+// metric pipeline enabled, and the measured metrics-collection overhead.
+type benchSweepReport struct {
+	Benchmark    string `json:"benchmark"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	NumCPU       int    `json:"numCPU"`
+	Configs      int    `json:"configs"`
+	Seeds        int    `json:"seeds"`
+	TargetBlocks int    `json:"targetBlocks"`
+	// Plain is the metrics-disabled engine (BenchmarkSweepMatrix's
+	// workload); MetricsEnabled is the same matrix with every registered
+	// collector running.
+	Plain          []benchRun `json:"plain"`
+	MetricsEnabled []benchRun `json:"metricsEnabled"`
+	// MetricsOverheadPercent compares metrics-enabled to plain at
+	// parallelism 1 (the parallelism-independent number).
+	MetricsOverheadPercent float64 `json:"metricsOverheadPercent"`
+	Note                   string  `json:"note"`
+}
+
+// TestEmitBenchSweepBaseline regenerates BENCH_sweep.json, the committed
+// benchmark baseline for sweep-engine trend tracking. It re-runs the
+// sweep benchmarks in-process (testing.Benchmark), so it is slow and
+// only runs when explicitly requested:
+//
+//	BENCH_SWEEP=1 go test -run TestEmitBenchSweepBaseline .
+func TestEmitBenchSweepBaseline(t *testing.T) {
+	if os.Getenv("BENCH_SWEEP") == "" {
+		t.Skip("set BENCH_SWEEP=1 to regenerate BENCH_sweep.json")
+	}
+
+	plainMatrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30}
+	metricMatrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30, Metrics: blockadt.MetricNames()}
+	configs, err := plainMatrix.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(m sweep.Matrix, par int) benchRun {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := sweep.Run(m, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Matched != rep.Total {
+					b.Fatalf("%d/%d configurations mismatched", rep.Total-rep.Matched, rep.Total)
+				}
+			}
+		})
+		return benchRun{
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+	}
+
+	report := benchSweepReport{
+		Benchmark:    "BenchmarkSweepMatrix",
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Configs:      len(configs),
+		Seeds:        4,
+		TargetBlocks: 30,
+		Note: "ns/op of the 28-config scenario sweep; metricsEnabled runs every registered collector per scenario. " +
+			"Overhead is measured at parallelism 1. Regenerate with: BENCH_SWEEP=1 go test -run TestEmitBenchSweepBaseline .",
+	}
+
+	var plainP1 int64
+	for _, par := range dedupe(1, 4, runtime.NumCPU()) {
+		run := measure(plainMatrix, par)
+		run.Name = benchName(par)
+		if par == 1 {
+			plainP1 = run.NsPerOp
+		} else if plainP1 > 0 {
+			run.SpeedupVsP1 = float64(plainP1) / float64(run.NsPerOp)
+		}
+		report.Plain = append(report.Plain, run)
+	}
+	var metricsP1 int64
+	for _, par := range dedupe(1, runtime.NumCPU()) {
+		run := measure(metricMatrix, par)
+		run.Name = benchName(par) + "+metrics"
+		if par == 1 {
+			metricsP1 = run.NsPerOp
+		}
+		report.MetricsEnabled = append(report.MetricsEnabled, run)
+	}
+	if plainP1 > 0 {
+		report.MetricsOverheadPercent = 100 * float64(metricsP1-plainP1) / float64(plainP1)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sweep.json", append(enc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_sweep.json written: plain p1 %d ns/op, metrics p1 %d ns/op (overhead %.1f%%)",
+		plainP1, metricsP1, report.MetricsOverheadPercent)
+}
+
+func benchName(par int) string {
+	return "parallel=" + strconv.Itoa(par)
+}
+
+// dedupe drops repeated parallelism values in order (NumCPU collapses
+// into 1 or 4 on small containers).
+func dedupe(vals ...int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"blockadt/internal/prng"
 	"blockadt/internal/registers"
 	"blockadt/internal/sweep"
+	"blockadt/pkg/blockadt"
 )
 
 // BenchmarkSweepMatrix measures the scenario-sweep engine on a 28-config
@@ -53,6 +54,81 @@ func BenchmarkSweepMatrix(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweepMatrixMetrics measures the same matrix with the full
+// metric-collection pipeline enabled (every registered collector on every
+// run). Comparing parallel=1 here against BenchmarkSweepMatrix/parallel=1
+// isolates the metrics overhead — the number BENCH_sweep.json records.
+func BenchmarkSweepMatrixMetrics(b *testing.B) {
+	matrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30, Metrics: blockadt.MetricNames()}
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := sweep.Run(matrix, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Matched != rep.Total {
+					b.Fatalf("%d/%d configurations mismatched", rep.Total-rep.Matched, rep.Total)
+				}
+				if len(rep.Results[0].Metrics) == 0 {
+					b.Fatal("metrics not collected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetricCollectors measures the collector pass alone: every
+// registered metric over one completed mid-size run, the marginal cost a
+// metrics-enabled scenario pays after its simulation finishes.
+func BenchmarkMetricCollectors(b *testing.B) {
+	res, err := blockadt.Simulate("Bitcoin", blockadt.WithBlocks(30), blockadt.WithSeed(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := blockadt.MetricRun{
+		N: 8, TargetBlocks: 30, Blocks: res.Blocks, Forks: res.Forks,
+		Ticks: res.Ticks, Delivered: res.Delivered, Dropped: res.Dropped,
+		Bytes: res.Bytes, History: res.History,
+	}
+	specs := blockadt.Metrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, spec := range specs {
+			if _, ok := spec.Compute(run); ok {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("no collector applied")
+		}
+	}
+}
+
+// BenchmarkSeedAggregation measures the streaming fold: 1000 synthetic
+// results through a SeedAggregator (past the exact-quantile limit, so
+// the P² switch is included).
+func BenchmarkSeedAggregation(b *testing.B) {
+	results := make([]blockadt.Result, 1000)
+	for i := range results {
+		results[i] = blockadt.Result{
+			Config: blockadt.Scenario{System: "Bitcoin", Link: "sync", Adversary: "none", N: 8, Blocks: 30, SeedIndex: i},
+			Match:  true,
+			Metrics: map[string]float64{
+				"fork_rate": float64(i%7) / 10, "msg_bytes": float64(10000 + i),
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggs := blockadt.AggregateSeeds(results)
+		if len(aggs) != 1 || aggs[0].Seeds != 1000 {
+			b.Fatal("bad aggregation")
+		}
 	}
 }
 

@@ -7,39 +7,35 @@ import (
 	"blockadt/pkg/blockadt"
 )
 
-// cmdList prints every registered system, oracle, selector, link and
-// adversary with its one-line description — the extension surface new
-// scenario work plugs into. It doubles as a smoke test of registration
-// side effects: an empty section means an init() stopped running.
+// cmdList prints every façade registry with its registrations and
+// one-line descriptions — the extension surface new scenario work plugs
+// into. It enumerates through blockadt.Registries, so a newly added
+// registry (or registration) appears here with no per-registry code. It
+// doubles as a smoke test of registration side effects: an empty section
+// means an init() stopped running.
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	fmt.Println("systems (Table 1 order):")
-	for _, s := range blockadt.Systems() {
-		fmt.Printf("  %-12s %-30s %s\n", s.Name, s.Refinement, s.Description)
+	registries := blockadt.Registries()
+	total := 0
+	for i, reg := range registries {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s:\n", reg.Title)
+		for _, e := range reg.Entries {
+			if e.Detail != "" {
+				fmt.Printf("  %-20s %-30s %s\n", e.Name, e.Detail, e.Description)
+			} else {
+				fmt.Printf("  %-20s %s\n", e.Name, e.Description)
+			}
+			total++
+		}
 	}
-	fmt.Println("\noracles:")
-	for _, o := range blockadt.Oracles() {
-		fmt.Printf("  %-12s %s\n", o.Name, o.Description)
-	}
-	fmt.Println("\nselectors:")
-	for _, s := range blockadt.Selectors() {
-		fmt.Printf("  %-12s %s\n", s.Name, s.Description)
-	}
-	fmt.Println("\nlinks:")
-	for _, l := range blockadt.Links() {
-		fmt.Printf("  %-12s %s\n", l.Name, l.Description)
-	}
-	fmt.Println("\nadversaries:")
-	for _, a := range blockadt.Adversaries() {
-		fmt.Printf("  %-12s %s\n", a.Name, a.Description)
-	}
-
-	total := len(blockadt.Systems()) + len(blockadt.Oracles()) + len(blockadt.Selectors()) +
-		len(blockadt.Links()) + len(blockadt.Adversaries())
-	fmt.Printf("\n%d registrations; extend with blockadt.Register{System,Oracle,Selector,Link,Adversary} (see docs/api.md)\n", total)
+	fmt.Printf("\n%d registrations across %d registries; extend with blockadt.Register{System,Oracle,Selector,Link,Adversary,Metric} (see docs/api.md)\n",
+		total, len(registries))
 	return nil
 }

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	btadt list
-//	    Print every registered system, oracle, selector, link and
-//	    adversary with one-line descriptions.
+//	    Print every registered system, oracle, selector, link, adversary
+//	    and metric with one-line descriptions.
 //
 //	btadt classify   [-n 8] [-blocks 30] [-seed 42] [-system NAME] [-v]
 //	    Regenerate Table 1: simulate each blockchain system and classify
@@ -27,11 +27,19 @@
 //	btadt consensus  [-n 16] [-seed 1]
 //	    Solve consensus from the frugal k=1 oracle (Protocol A, Fig 11).
 //
-//	btadt sweep      [-systems a,b] [-links sync,async] [-adversaries none,selfish]
+//	btadt sweep      [-systems a,b] [-links sync,async,psync] [-adversaries none,selfish]
 //	                 [-n 8,16] [-seeds 4] [-seed 42] [-parallel 0] [-json]
 //	    Expand and run a scenario matrix across the worker pool; every
 //	    configuration gets an independent derived prng stream, so the
 //	    output is identical at any -parallel value.
+//
+//	btadt stats      [-systems a,b] [-links sync,async,psync] [-adversaries none,selfish]
+//	                 [-n 8] [-seeds 8] [-seed 42] [-metrics m1,m2] [-format table|json|csv]
+//	                 [-parallel 0]
+//	    Sweep a matrix with metric collection enabled and aggregate each
+//	    configuration across its seeds (mean/std/min/max/p50/p99 per
+//	    metric, streaming accumulators). Byte-identical at any -parallel
+//	    value, like sweep.
 package main
 
 import (
@@ -68,6 +76,8 @@ func main() {
 		err = cmdSelfish(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -85,7 +95,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: btadt <command> [flags]
 
 commands:
-  list         print every registered system, oracle, selector, link and adversary
+  list         print every registered system, oracle, selector, link, adversary and metric
   classify     regenerate Table 1 (system → consistency classification)
   experiments  run the per-figure/per-theorem experiment index
   hierarchy    sample the refinement hierarchy (Figures 8/14)
@@ -93,7 +103,8 @@ commands:
   consensus    solve consensus from the frugal k=1 oracle (Figure 11)
   fairness     analyze proposer fairness against the merit parameter
   selfish      run the selfish-mining chain-quality experiment
-  sweep        run a concurrent scenario matrix (system × link × adversary × n × seed)`)
+  sweep        run a concurrent scenario matrix (system × link × adversary × n × seed)
+  stats        sweep a matrix with metric collection and print per-config aggregates`)
 }
 
 func cmdClassify(args []string) error {

@@ -21,7 +21,7 @@ import (
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
-	links := fs.String("links", "sync", "comma-separated link models: sync,async")
+	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
 	ns := fs.String("n", "8", "comma-separated process counts")
 	seeds := fs.Int("seeds", 1, "seed indices per matrix point")

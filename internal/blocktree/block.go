@@ -48,6 +48,13 @@ func Genesis() Block {
 	return Block{ID: GenesisID, Height: 0, Proposer: -1}
 }
 
+// WireSize reports the block's approximate serialized size for the
+// network simulator's byte accounting (netsim.Sized): the two id
+// strings, the payload, and the fixed numeric fields.
+func (b Block) WireSize() int {
+	return len(b.ID) + len(b.Parent) + len(b.Payload) + 24
+}
+
 // work returns the selector weight of the block (zero Work counts as 1).
 func (b Block) work() int {
 	if b.Work <= 0 {

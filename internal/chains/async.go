@@ -35,3 +35,56 @@ func RunBitcoinAsync(p AsyncParams) Result {
 	links := netsim.Asynchronous{MaxDelay: p.MaxDelay, TailProb: p.TailProb}
 	return runPoWLinks("Bitcoin/async", "R(BT-ADT_EC, Θ_P) — async regime", blocktree.HeaviestChain{}, links, p.Params)
 }
+
+// PsyncParams extends Params with the weakly-synchronous (eventually
+// synchronous) link bounds of Section 4.2: asynchronous with common-case
+// bound PreMax before the global stabilization time GST, δ-bounded after.
+type PsyncParams struct {
+	Params
+	// GST is the global stabilization time; 0 defaults to 8·δ — long
+	// enough for the pre-GST regime to fork the tree visibly, short
+	// enough that every run length converges back to EC afterwards
+	// (longer stabilization times on short runs produce the divergence
+	// witnesses of the Section 4.2 conjectures instead).
+	GST int64
+	// PreMax bounds the common-case delay before GST; 0 defaults to
+	// netsim's 8·δ.
+	PreMax int64
+}
+
+// psyncSelectors maps the systems with a weakly-synchronous runner to
+// their selection functions. Like the async dimension, only Bitcoin's
+// heaviest-chain rule qualifies: the committee systems assume
+// synchronous rounds, and GHOST's subtree-weight selection oscillates on
+// pre-GST forks often enough to break the Expected=EC sweep contract.
+var psyncSelectors = map[string]blocktree.Selector{
+	"Bitcoin": blocktree.HeaviestChain{},
+}
+
+// SupportsPsync reports whether the named system has a weakly-synchronous
+// runner.
+func SupportsPsync(system string) bool {
+	_, ok := psyncSelectors[system]
+	return ok
+}
+
+// RunPoWPsync runs the named PoW system over weakly-synchronous links:
+// unbounded-looking delays before GST, synchronous δ-bounded delivery
+// after. Because the run continues (and drains) well past GST, the
+// history converges and the theory still predicts Eventual Consistency —
+// the eventually-synchronous regime the paper's weakly synchronous
+// channels model. Unknown systems panic; callers gate on SupportsPsync
+// (the link registry's Supports predicate does).
+func RunPoWPsync(system string, p PsyncParams) Result {
+	sel, ok := psyncSelectors[system]
+	if !ok {
+		panic("chains: no weakly-synchronous runner for system " + system)
+	}
+	p.Params = p.Params.withDefaults()
+	gst := p.GST
+	if gst <= 0 {
+		gst = 8 * p.Delta
+	}
+	links := netsim.WeaklySynchronous{GST: gst, Delta: p.Delta, PreMax: p.PreMax}
+	return runPoWLinks(system+"/psync", "R(BT-ADT_EC, Θ_P) — weakly synchronous (GST) regime", sel, links, p.Params)
+}

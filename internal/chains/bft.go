@@ -154,6 +154,7 @@ func runBFT(name, refinement string, sel blocktree.Selector, plan roundPlan, p P
 		Ticks:        sim.Now(),
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
+		Bytes:        sim.Bytes,
 	}
 }
 

@@ -54,6 +54,12 @@ type Params struct {
 	MaxTicks int64
 }
 
+// WithDefaults returns the params with zero fields replaced by the
+// repository-wide simulation defaults — the values a simulator actually
+// runs with, exported so callers describing a run (metric snapshots)
+// agree with the run itself.
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
 // withDefaults fills zero fields with the defaults used throughout the
 // experiments.
 func (p Params) withDefaults() Params {
@@ -105,6 +111,14 @@ type Result struct {
 	Ticks int64
 	// Delivered and Dropped count network messages.
 	Delivered, Dropped int
+	// Bytes is the estimated wire size of all sent messages (the
+	// netsim byte counter) — the msg_bytes instrumentation.
+	Bytes int64
+	// Metrics holds the named collector values of this run when the
+	// caller requested collection (blockadt.WithMetrics); nil otherwise.
+	// The simulators never fill it themselves — the façade computes it
+	// from the rest of the result, so disabling metrics costs nothing.
+	Metrics map[string]float64
 }
 
 // Classify runs the consistency checker over the result's history.

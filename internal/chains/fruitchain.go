@@ -33,6 +33,10 @@ type Fruit struct {
 	Miner history.ProcID `json:"miner"`
 }
 
+// WireSize reports the fruit's approximate serialized size for the
+// network simulator's byte accounting (netsim.Sized).
+func (f Fruit) WireSize() int { return len(f.ID) + 8 }
+
 // fruitMsg is the gossip kind carrying fruits.
 const fruitMsg = "fruit"
 
@@ -293,6 +297,7 @@ func RunFruitChainAttack(p Params, alpha float64) FruitStats {
 		Ticks:        sim.Now(),
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
+		Bytes:        sim.Bytes,
 	}
 	return stats
 }

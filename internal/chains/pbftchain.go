@@ -188,5 +188,6 @@ func RunPBFTChain(p Params) Result {
 		Ticks:        sim.Now(),
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
+		Bytes:        sim.Bytes,
 	}
 }

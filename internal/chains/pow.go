@@ -125,6 +125,7 @@ func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.L
 		Ticks:        sim.Now(),
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
+		Bytes:        sim.Bytes,
 	}
 }
 

@@ -259,6 +259,7 @@ func RunSelfishMining(p Params, alpha float64) SelfishStats {
 		Ticks:        sim.Now(),
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
+		Bytes:        sim.Bytes,
 	}
 	return stats
 }

@@ -9,11 +9,11 @@ package fairness
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
 	"blockadt/internal/history"
+	"blockadt/internal/metrics"
 )
 
 // Share is one process's realized vs entitled proportion of blocks.
@@ -105,6 +105,13 @@ func FromCounts(counts map[history.ProcID]int, merits []float64) Report {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	rep := Report{Total: total}
+	// Assemble the aligned realized/entitled distributions, then hand
+	// the distance statistics to the metrics subsystem (the single
+	// implementation the sweep aggregation uses too).
+	realized := make([]float64, 0, len(ids))
+	entitled := make([]float64, 0, len(ids))
+	observedCounts := make([]float64, 0, len(ids))
+	expectedCounts := make([]float64, 0, len(ids))
 	for _, p := range ids {
 		s := Share{Proc: p, Blocks: counts[p]}
 		if total > 0 {
@@ -114,12 +121,14 @@ func FromCounts(counts map[history.ProcID]int, merits []float64) Report {
 			s.Entitled = merits[p] / meritSum
 		}
 		rep.Shares = append(rep.Shares, s)
-		rep.TVD += math.Abs(s.Realized-s.Entitled) / 2
-		if s.Entitled > 0 && total > 0 {
-			expected := s.Entitled * float64(total)
-			d := float64(counts[p]) - expected
-			rep.ChiSquare += d * d / expected
+		realized = append(realized, s.Realized)
+		entitled = append(entitled, s.Entitled)
+		if total > 0 {
+			observedCounts = append(observedCounts, float64(counts[p]))
+			expectedCounts = append(expectedCounts, s.Entitled*float64(total))
 		}
 	}
+	rep.TVD = metrics.TVD(realized, entitled)
+	rep.ChiSquare = metrics.ChiSquare(observedCounts, expectedCounts)
 	return rep
 }

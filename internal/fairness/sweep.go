@@ -1,8 +1,7 @@
 package fairness
 
 import (
-	"math"
-
+	"blockadt/internal/metrics"
 	"blockadt/internal/parallel"
 	"blockadt/internal/prng"
 )
@@ -37,19 +36,22 @@ type Aggregate struct {
 }
 
 // AggregateReports folds a seed sweep into its summary statistics using
-// the given fairness tolerance.
+// the given fairness tolerance. The TVD statistics run through the
+// metrics subsystem's streaming accumulator — the same fold the scenario
+// sweep's AggregateSeeds uses.
 func AggregateReports(reports []Report, tolerance float64) Aggregate {
 	agg := Aggregate{Runs: len(reports)}
+	var tvd metrics.Welford
 	for _, r := range reports {
 		agg.TotalBlocks += r.Total
-		agg.MeanTVD += r.TVD
-		agg.MaxTVD = math.Max(agg.MaxTVD, r.TVD)
+		tvd.Add(r.TVD)
 		if r.Fair(tolerance) {
 			agg.FairRuns++
 		}
 	}
 	if agg.Runs > 0 {
-		agg.MeanTVD /= float64(agg.Runs)
+		agg.MeanTVD = tvd.Mean()
+		agg.MaxTVD = tvd.Max()
 	}
 	return agg
 }

@@ -1,0 +1,294 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford is the streaming mean/variance accumulator (Welford's online
+// algorithm): numerically stable, O(1) memory, and — because it is a pure
+// fold over the input order — deterministic whenever the feed order is.
+// The zero value is ready to use.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations folded in.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator; 0 below two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// exactLimit is the sample count up to which Quantile stays exact. Seed
+// sweeps are typically tens of observations per configuration, so the
+// exact path is the common case; the P² estimators only engage on very
+// large sweeps, keeping memory O(1) either way.
+const exactLimit = 512
+
+// Quantile estimates a fixed set of quantiles over a stream: exact (it
+// buffers and sorts) up to exactLimit observations, then hands the buffer
+// to one P² estimator per probe (Jain & Chlamtac 1985) and discards it.
+// Like Welford, it is a pure fold over the input order, so identical feed
+// order gives identical estimates at any parallelism.
+type Quantile struct {
+	probes []float64
+	buf    []float64
+	p2     []*p2Estimator
+}
+
+// NewQuantile returns an estimator for the given probe points (each in
+// (0,1)), e.g. NewQuantile(0.5, 0.99).
+func NewQuantile(probes ...float64) *Quantile {
+	return &Quantile{probes: append([]float64(nil), probes...)}
+}
+
+// Add folds one observation into the estimator.
+func (q *Quantile) Add(x float64) {
+	if q.p2 != nil {
+		for _, e := range q.p2 {
+			e.add(x)
+		}
+		return
+	}
+	q.buf = append(q.buf, x)
+	if len(q.buf) > exactLimit {
+		// Switch to P²: seed each estimator with the buffered samples in
+		// arrival order, then drop the buffer.
+		q.p2 = make([]*p2Estimator, len(q.probes))
+		for i, p := range q.probes {
+			q.p2[i] = newP2(p)
+			for _, v := range q.buf {
+				q.p2[i].add(v)
+			}
+		}
+		q.buf = nil
+	}
+}
+
+// Get returns the estimate for probe p, which must be one of the probes
+// the estimator was constructed with (0 when empty or unknown — the
+// restriction holds on the exact path too, so switching to P² never
+// changes which probes are answerable).
+func (q *Quantile) Get(p float64) float64 {
+	known := false
+	for _, probe := range q.probes {
+		if probe == p {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return 0
+	}
+	if q.p2 != nil {
+		for i, probe := range q.probes {
+			if probe == p {
+				return q.p2[i].value()
+			}
+		}
+	}
+	if len(q.buf) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), q.buf...)
+	sort.Float64s(s)
+	// Nearest-rank on the sorted sample: index ⌈p·n⌉-1.
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// p2Estimator is the classic five-marker P² streaming quantile estimator.
+type p2Estimator struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // marker positions (1-based)
+	desired [5]float64
+	inc     [5]float64
+}
+
+func newP2(p float64) *p2Estimator {
+	e := &p2Estimator{p: p}
+	e.desired = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+func (e *p2Estimator) add(x float64) {
+	if e.n < 5 {
+		e.heights[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.heights[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Find the cell k the observation falls into, clamping the extremes.
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.heights[k+1] {
+				break
+			}
+		}
+	}
+	e.n++
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.desired {
+		e.desired[i] += e.inc[i]
+	}
+	// Adjust the three interior markers with the piecewise-parabolic
+	// interpolation, falling back to linear when P² would cross a
+	// neighbour.
+	for i := 1; i <= 3; i++ {
+		d := e.desired[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *p2Estimator) parabolic(i int, sign float64) float64 {
+	return e.heights[i] + sign/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+sign)*(e.heights[i+1]-e.heights[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-sign)*(e.heights[i]-e.heights[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *p2Estimator) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return e.heights[i] + sign*(e.heights[j]-e.heights[i])/(e.pos[j]-e.pos[i])
+}
+
+func (e *p2Estimator) value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := append([]float64(nil), e.heights[:e.n]...)
+		sort.Float64s(s)
+		idx := int(math.Ceil(e.p*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return s[idx]
+	}
+	return e.heights[2]
+}
+
+// Summary is the canonical aggregate of one metric across a seed sweep:
+// the JSON shape AggregateSeeds and `btadt stats` emit. All fields are
+// pure folds of the observation order, so two sweeps that feed the same
+// values in the same order summarize byte-identically.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// Agg couples a Welford accumulator with a p50/p99 quantile sketch — the
+// per-(config, metric) state of a streaming seed aggregation.
+type Agg struct {
+	w Welford
+	q *Quantile
+}
+
+// NewAgg returns an empty aggregator.
+func NewAgg() *Agg { return &Agg{q: NewQuantile(0.5, 0.99)} }
+
+// Add folds one observation.
+func (a *Agg) Add(x float64) {
+	a.w.Add(x)
+	a.q.Add(x)
+}
+
+// Count returns the number of observations folded in.
+func (a *Agg) Count() int { return a.w.Count() }
+
+// Summary snapshots the aggregate.
+func (a *Agg) Summary() Summary {
+	return Summary{
+		Count: a.w.Count(),
+		Mean:  a.w.Mean(),
+		Std:   a.w.Std(),
+		Min:   a.w.Min(),
+		Max:   a.w.Max(),
+		P50:   a.q.Get(0.5),
+		P99:   a.q.Get(0.99),
+	}
+}

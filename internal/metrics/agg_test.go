@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"blockadt/internal/prng"
+)
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	src := prng.New(7)
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = src.Float64()*100 - 50
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var m2, mn, mx float64
+	mn, mx = xs[0], xs[0]
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	variance := m2 / float64(len(xs)-1)
+
+	if w.Count() != len(xs) {
+		t.Fatalf("count %d, want %d", w.Count(), len(xs))
+	}
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Fatalf("variance %v, want %v", w.Variance(), variance)
+	}
+	if w.Min() != mn || w.Max() != mx {
+		t.Fatalf("min/max %v/%v, want %v/%v", w.Min(), w.Max(), mn, mx)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty accumulator must report zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 || w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Fatalf("single observation summary wrong: %+v", w)
+	}
+}
+
+// TestQuantileExactSmall pins the exact nearest-rank path used below
+// exactLimit observations — the common case for seed sweeps.
+func TestQuantileExactSmall(t *testing.T) {
+	q := NewQuantile(0.5, 0.99)
+	for _, x := range []float64{50, 10, 40, 20, 30} {
+		q.Add(x)
+	}
+	if got := q.Get(0.5); got != 30 {
+		t.Fatalf("p50 = %v, want 30", got)
+	}
+	if got := q.Get(0.99); got != 50 {
+		t.Fatalf("p99 = %v, want 50", got)
+	}
+	if got := q.Get(0.25); got != 0 {
+		t.Fatalf("unknown probe must return 0, got %v", got)
+	}
+}
+
+// TestQuantileP2Engages feeds past exactLimit and checks the P²
+// estimates track the true quantiles of a uniform stream.
+func TestQuantileP2Engages(t *testing.T) {
+	const n = 5000
+	src := prng.New(99)
+	q := NewQuantile(0.5, 0.99)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64() * 1000
+		q.Add(xs[i])
+	}
+	sort.Float64s(xs)
+	trueP50, trueP99 := xs[n/2], xs[n*99/100]
+	if got := q.Get(0.5); math.Abs(got-trueP50) > 50 {
+		t.Fatalf("p50 = %v, true %v — P² estimate off", got, trueP50)
+	}
+	if got := q.Get(0.99); math.Abs(got-trueP99) > 50 {
+		t.Fatalf("p99 = %v, true %v — P² estimate off", got, trueP99)
+	}
+}
+
+// TestAggDeterministicFold: the aggregation contract the sweep relies on
+// — identical observations in identical order summarize identically.
+func TestAggDeterministicFold(t *testing.T) {
+	feed := func() Summary {
+		a := NewAgg()
+		src := prng.New(3)
+		for i := 0; i < 700; i++ { // past exactLimit: covers the P² switch
+			a.Add(src.Float64() * 10)
+		}
+		return a.Summary()
+	}
+	first, second := feed(), feed()
+	if first != second {
+		t.Fatalf("same feed, different summaries:\n%+v\n%+v", first, second)
+	}
+	if first.Count != 700 {
+		t.Fatalf("count %d, want 700", first.Count)
+	}
+}

@@ -1,0 +1,202 @@
+// Package metrics is the measurement layer of the reproduction: named
+// collectors that turn one simulated run into numbers (fork rate, chain
+// quality, growth rate, finality depth, message cost, rounds to
+// agreement), plus the streaming aggregators (Welford mean/variance,
+// exact-or-P² quantiles) that fold multi-seed sweeps into summaries in
+// O(1) memory.
+//
+// Collectors are pure functions of a Run snapshot and aggregators are
+// pure folds of their input order, so every number the subsystem produces
+// is a deterministic function of (matrix, root seed) — the same contract
+// the sweep engine makes for its scenario results, extended to the
+// statistics derived from them (docs/metrics.md).
+package metrics
+
+import "blockadt/internal/history"
+
+// Run is the per-run snapshot collectors measure: the simulator counters
+// of one scenario plus the recorded history for collectors that derive
+// their value from the reads (finality depth). The façade assembles it
+// from a simulation result; collectors must treat it as read-only.
+type Run struct {
+	// N is the process count; TargetBlocks the requested chain length.
+	N, TargetBlocks int
+	// Blocks / Forks summarize the best replica's tree.
+	Blocks, Forks int
+	// Ticks is the virtual time the run consumed.
+	Ticks int64
+	// Delivered / Dropped / Bytes count network messages and their
+	// estimated wire size.
+	Delivered, Dropped int
+	Bytes              int64
+	// FairnessTVD is the realized-vs-entitled total variation distance
+	// (chain quality against this run's merit layout).
+	FairnessTVD float64
+	// Adversarial marks adversary runs; AdversaryShare / AdversaryMerit
+	// are the adversary's realized vs entitled main-chain proportions.
+	Adversarial                    bool
+	AdversaryShare, AdversaryMerit float64
+	// History is the recorded concurrent history.
+	History *history.History
+}
+
+// Collector computes one named measurement from a run snapshot. The
+// boolean reports applicability: an adversary-only metric returns false
+// on honest runs and the value is skipped, not recorded as zero.
+type Collector func(Run) (float64, bool)
+
+// Built-in collector names, exported so callers can request subsets
+// without spelling strings.
+const (
+	ForkRateName          = "fork_rate"
+	ChainQualityName      = "chain_quality"
+	GrowthRateName        = "growth_rate"
+	FinalityDepthName     = "finality_depth"
+	FinalityLatencyName   = "finality_latency"
+	MsgsName              = "msgs_delivered"
+	MsgBytesName          = "msg_bytes"
+	RoundsToAgreementName = "rounds_to_agreement"
+	AdversaryShareName    = "adversary_share"
+	FairnessTVDName       = "fairness_tvd"
+)
+
+// ForkRate is the number of fork points per committed block — 0 for the
+// consensus systems (one chain by construction), positive for PoW races.
+func ForkRate(r Run) (float64, bool) {
+	if r.Blocks == 0 {
+		return 0, false
+	}
+	return float64(r.Forks) / float64(r.Blocks), true
+}
+
+// ChainQuality is 1 − FairnessTVD ∈ [0,1]: 1 when every process's
+// main-chain share matches its merit entitlement, degrading toward 0 as
+// authorship skews (the chain-quality loss selfish mining inflicts).
+func ChainQuality(r Run) (float64, bool) {
+	return 1 - r.FairnessTVD, true
+}
+
+// GrowthRate is committed blocks per virtual tick — the paper's chain
+// growth, normalized by the simulator clock.
+func GrowthRate(r Run) (float64, bool) {
+	if r.Ticks == 0 {
+		return 0, false
+	}
+	return float64(r.Blocks) / float64(r.Ticks), true
+}
+
+// FinalityDepth is MaxReorg+1: the smallest depth-d finality gadget that
+// would have been safe on this run (1 for the SC systems, deeper under
+// PoW forks).
+func FinalityDepth(r Run) (float64, bool) {
+	if r.History == nil {
+		return 0, false
+	}
+	return float64(MaxReorg(r.History) + 1), true
+}
+
+// FinalityLatency is the virtual time for a block to sink to the safe
+// depth: FinalityDepth × ticks-per-committed-block.
+func FinalityLatency(r Run) (float64, bool) {
+	d, ok := FinalityDepth(r)
+	if !ok || r.Blocks == 0 {
+		return 0, false
+	}
+	return d * float64(r.Ticks) / float64(r.Blocks), true
+}
+
+// Msgs is the delivered message count.
+func Msgs(r Run) (float64, bool) { return float64(r.Delivered), true }
+
+// MsgBytes is the estimated wire bytes sent (netsim's Bytes counter).
+func MsgBytes(r Run) (float64, bool) { return float64(r.Bytes), true }
+
+// RoundsToAgreement is virtual ticks per committed block — for the
+// round-based consensus systems, proportional to rounds per decision.
+func RoundsToAgreement(r Run) (float64, bool) {
+	if r.Blocks == 0 {
+		return 0, false
+	}
+	return float64(r.Ticks) / float64(r.Blocks), true
+}
+
+// AdversaryShare is the adversary's realized main-chain proportion;
+// applicable to adversarial runs only.
+func AdversaryShare(r Run) (float64, bool) {
+	return r.AdversaryShare, r.Adversarial
+}
+
+// FairnessTVD is the realized-vs-entitled total variation distance the
+// run was analyzed with.
+func FairnessTVD(r Run) (float64, bool) { return r.FairnessTVD, true }
+
+// MaxReorg scans each process's read sequence and returns the deepest
+// observed rollback: the largest number of blocks a process saw leave its
+// selected chain between two consecutive reads.
+func MaxReorg(h *history.History) int {
+	last := map[history.ProcID]history.Chain{}
+	deepest := 0
+	for _, r := range h.Reads() {
+		prev, ok := last[r.Op.Proc]
+		if ok {
+			cp := prev.CommonPrefix(r.Chain)
+			if d := len(prev) - len(cp); d > deepest {
+				deepest = d
+			}
+		}
+		last[r.Op.Proc] = r.Chain
+	}
+	return deepest
+}
+
+// TVD is the total variation distance ½·Σ|observedᵢ−expectedᵢ| between
+// two distributions given pointwise (callers align and normalize the
+// slices; a missing entry is 0).
+func TVD(observed, expected []float64) float64 {
+	n := len(observed)
+	if len(expected) > n {
+		n = len(expected)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var o, e float64
+		if i < len(observed) {
+			o = observed[i]
+		}
+		if i < len(expected) {
+			e = expected[i]
+		}
+		d := o - e
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / 2
+}
+
+// ChiSquare is Σ (observedᵢ−expectedᵢ)²/expectedᵢ over entries with
+// positive expectation, the goodness-of-fit statistic of the fairness
+// reports (expected counts, not proportions).
+func ChiSquare(observed, expected []float64) float64 {
+	n := len(observed)
+	if len(expected) > n {
+		n = len(expected)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var o, e float64
+		if i < len(observed) {
+			o = observed[i]
+		}
+		if i < len(expected) {
+			e = expected[i]
+		}
+		if e <= 0 {
+			continue
+		}
+		d := o - e
+		sum += d * d / e
+	}
+	return sum
+}

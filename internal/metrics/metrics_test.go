@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"blockadt/internal/history"
+)
+
+// readsHistory records one process reading the given chains in order.
+func readsHistory(chains ...history.Chain) *history.History {
+	rec := history.NewRecorder()
+	for _, c := range chains {
+		op := rec.Invoke(0, history.Label{Kind: history.KindRead})
+		rec.Respond(op, history.Label{Kind: history.KindRead, Chain: c})
+	}
+	return rec.Snapshot()
+}
+
+func TestMaxReorgDetectsRollback(t *testing.T) {
+	h := readsHistory(
+		history.Chain{"b0", "a1", "a2", "a3"},
+		history.Chain{"b0", "a1", "c2"}, // a2,a3 rolled back: depth 2
+		history.Chain{"b0", "a1", "c2", "c3"},
+	)
+	if got := MaxReorg(h); got != 2 {
+		t.Fatalf("MaxReorg = %d, want 2", got)
+	}
+	if got := MaxReorg(readsHistory(history.Chain{"b0"}, history.Chain{"b0", "a1"})); got != 0 {
+		t.Fatalf("monotone growth reorg = %d, want 0", got)
+	}
+}
+
+func TestCollectorsComputeAndGate(t *testing.T) {
+	r := Run{
+		N: 8, TargetBlocks: 30,
+		Blocks: 30, Forks: 6, Ticks: 600,
+		Delivered: 4000, Dropped: 2, Bytes: 123456,
+		FairnessTVD: 0.2,
+		Adversarial: true, AdversaryShare: 0.45, AdversaryMerit: 0.34,
+		History: readsHistory(history.Chain{"b0", "a1"}, history.Chain{"b0", "c1"}),
+	}
+	cases := []struct {
+		name string
+		c    Collector
+		want float64
+	}{
+		{ForkRateName, ForkRate, 0.2},
+		{ChainQualityName, ChainQuality, 0.8},
+		{GrowthRateName, GrowthRate, 0.05},
+		{FinalityDepthName, FinalityDepth, 2},
+		{FinalityLatencyName, FinalityLatency, 40},
+		{MsgsName, Msgs, 4000},
+		{MsgBytesName, MsgBytes, 123456},
+		{RoundsToAgreementName, RoundsToAgreement, 20},
+		{AdversaryShareName, AdversaryShare, 0.45},
+		{FairnessTVDName, FairnessTVD, 0.2},
+	}
+	for _, c := range cases {
+		got, ok := c.c(r)
+		if !ok {
+			t.Errorf("%s inapplicable on a populated run", c.name)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	// Gating: adversary share is honest-run inapplicable; ratios refuse
+	// division by zero.
+	if _, ok := AdversaryShare(Run{Adversarial: false}); ok {
+		t.Error("AdversaryShare applicable on an honest run")
+	}
+	if _, ok := ForkRate(Run{Blocks: 0}); ok {
+		t.Error("ForkRate applicable with zero blocks")
+	}
+	if _, ok := GrowthRate(Run{Ticks: 0}); ok {
+		t.Error("GrowthRate applicable with zero ticks")
+	}
+	if _, ok := FinalityDepth(Run{}); ok {
+		t.Error("FinalityDepth applicable without a history")
+	}
+}
+
+func TestTVDAndChiSquare(t *testing.T) {
+	if got := TVD([]float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("TVD of identical distributions = %v", got)
+	}
+	if got := TVD([]float64{1, 0}, []float64{0, 1}); got != 1 {
+		t.Fatalf("TVD of disjoint distributions = %v, want 1", got)
+	}
+	// Ragged lengths: the shorter side is zero-extended.
+	if got := TVD([]float64{0.6, 0.4}, []float64{0.6}); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("ragged TVD = %v, want 0.2", got)
+	}
+	if got := ChiSquare([]float64{12, 8}, []float64{10, 10}); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("chi-square = %v, want 0.8", got)
+	}
+	// Zero expectation contributes nothing instead of dividing by zero.
+	if got := ChiSquare([]float64{5}, []float64{0}); got != 0 {
+		t.Fatalf("chi-square with zero expectation = %v", got)
+	}
+}

@@ -47,6 +47,29 @@ type Message struct {
 	Payload any
 }
 
+// Sized lets protocol payloads report their approximate wire size, so
+// the simulator's byte accounting reflects protocol data without netsim
+// depending on the payload types. Payloads that do not implement it
+// count as header-only messages.
+type Sized interface {
+	// WireSize returns the payload's approximate serialized size in
+	// bytes.
+	WireSize() int
+}
+
+// wireSize estimates the message's serialized size: the fixed header
+// (from, to, origin, round), the kind and block references, and the
+// payload's own estimate when it provides one. The estimate feeds the
+// Bytes counter the metrics subsystem reads; it only needs to be
+// deterministic and proportional, not exact.
+func (m Message) wireSize() int64 {
+	n := 16 + len(m.Kind) + len(m.Parent) + len(m.Block)
+	if s, ok := m.Payload.(Sized); ok {
+		n += s.WireSize()
+	}
+	return int64(n)
+}
+
 // Handler reacts to deliveries and scheduled timers at one process.
 type Handler interface {
 	// OnMessage is called when a message is delivered to the process.
@@ -227,6 +250,11 @@ type Sim struct {
 	// Delivered counts delivered messages; Dropped counts planned drops.
 	Delivered int
 	Dropped   int
+	// Bytes accumulates the estimated wire size of every message sent
+	// through the link model, including ones the model then drops (the
+	// sender paid for them); self-deliveries bypass the wire and are not
+	// counted. This is the instrumentation behind the msg_bytes metric.
+	Bytes int64
 }
 
 // New returns a simulator over the given link model, seeded for
@@ -289,6 +317,7 @@ func (s *Sim) Crashed(p history.ProcID) bool { return s.crashed[p] }
 // protocol code records send events explicitly, because the paper's send
 // event belongs to the protocol history, not the wire.
 func (s *Sim) Send(m Message) {
+	s.Bytes += m.wireSize()
 	delay, drop := s.links.Plan(s.rng, m, s.now)
 	if drop {
 		s.Dropped++

@@ -18,6 +18,7 @@ import "blockadt/pkg/blockadt"
 const (
 	LinkSync  = blockadt.LinkSync
 	LinkAsync = blockadt.LinkAsync
+	LinkPsync = blockadt.LinkPsync
 )
 
 // Adversary models of the matrix's fault dimension.

@@ -1,0 +1,168 @@
+package blockadt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"blockadt/internal/metrics"
+)
+
+// ConfigAggregate is the multi-seed summary of one matrix point: the
+// scenario coordinates minus the seed dimension, the match census, and
+// one streaming Summary per collected metric. It is the row type of
+// `btadt stats` and the canonical JSON AggregateSeeds encodes.
+type ConfigAggregate struct {
+	System    string  `json:"system"`
+	Link      string  `json:"link"`
+	Adversary string  `json:"adversary"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	N         int     `json:"n"`
+	Blocks    int     `json:"blocks"`
+	// Seeds counts the runs folded in; Matched how many hit their
+	// expected consistency level.
+	Seeds   int `json:"seeds"`
+	Matched int `json:"matched"`
+	// Metrics maps metric name → streaming summary. encoding/json
+	// sorts map keys, so the encoding is canonical.
+	Metrics map[string]MetricSummary `json:"metrics"`
+}
+
+// configKey is a ConfigAggregate's identity: everything in a Scenario
+// except the seed dimension.
+type configKey struct {
+	system, link, adversary string
+	alpha                   float64
+	n, blocks               int
+}
+
+// SeedAggregator folds sweep results into per-config aggregates across
+// the seed dimension in O(1) memory per (config, metric): Welford
+// accumulators plus exact-or-P² quantile sketches, never the raw values.
+// Because both Run and Stream deliver results in matrix-expansion order,
+// feeding either into the aggregator produces byte-identical aggregates
+// at any parallelism.
+type SeedAggregator struct {
+	order []configKey
+	byKey map[configKey]*seedAgg
+}
+
+type seedAgg struct {
+	seeds, matched int
+	aggs           map[string]*metrics.Agg
+}
+
+// NewSeedAggregator returns an empty aggregator.
+func NewSeedAggregator() *SeedAggregator {
+	return &SeedAggregator{byKey: map[configKey]*seedAgg{}}
+}
+
+// Add folds one scenario result into its config's aggregate.
+func (a *SeedAggregator) Add(r Result) {
+	key := configKey{
+		system: r.Config.System, link: r.Config.Link, adversary: r.Config.Adversary,
+		alpha: r.Config.Alpha, n: r.Config.N, blocks: r.Config.Blocks,
+	}
+	st, ok := a.byKey[key]
+	if !ok {
+		st = &seedAgg{aggs: map[string]*metrics.Agg{}}
+		a.byKey[key] = st
+		a.order = append(a.order, key)
+	}
+	st.seeds++
+	if r.Match {
+		st.matched++
+	}
+	for name, v := range r.Metrics {
+		agg, ok := st.aggs[name]
+		if !ok {
+			agg = metrics.NewAgg()
+			st.aggs[name] = agg
+		}
+		agg.Add(v)
+	}
+}
+
+// Aggregates snapshots the per-config summaries in first-seen (matrix
+// expansion) order.
+func (a *SeedAggregator) Aggregates() []ConfigAggregate {
+	out := make([]ConfigAggregate, 0, len(a.order))
+	for _, key := range a.order {
+		st := a.byKey[key]
+		agg := ConfigAggregate{
+			System: key.system, Link: key.link, Adversary: key.adversary,
+			Alpha: key.alpha, N: key.n, Blocks: key.blocks,
+			Seeds: st.seeds, Matched: st.matched,
+			Metrics: make(map[string]MetricSummary, len(st.aggs)),
+		}
+		for name, m := range st.aggs {
+			agg.Metrics[name] = m.Summary()
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// AggregateSeeds folds a completed sweep's results into per-config
+// aggregates across the seed dimension: results that differ only in
+// SeedIndex land in the same ConfigAggregate, in matrix-expansion order.
+// Metrics must have been collected (Matrix.Metrics); results without a
+// metrics map still contribute to the seed/match census.
+func AggregateSeeds(results []Result) []ConfigAggregate {
+	agg := NewSeedAggregator()
+	for _, r := range results {
+		agg.Add(r)
+	}
+	return agg.Aggregates()
+}
+
+// StatsReport is the canonical output of an aggregated sweep: the root
+// seed every run derived from and one aggregate per matrix point.
+type StatsReport struct {
+	RootSeed uint64            `json:"rootSeed"`
+	Total    int               `json:"total"`
+	Configs  []ConfigAggregate `json:"configs"`
+}
+
+// EncodeJSON renders the stats report in its canonical form (indented,
+// struct-declaration field order, sorted metric keys). Two aggregations
+// of the same matrix produce byte-identical encodings regardless of
+// sweep parallelism — the stats counterpart of Report.EncodeJSON's
+// contract, pinned by the determinism regression test.
+func (s *StatsReport) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FormatStatsHeader renders the stats table's header line and rule.
+func FormatStatsHeader() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-6s %-8s %3s %5s %-19s %12s %12s %12s %12s\n",
+		"system", "link", "adv", "n", "seeds", "metric", "mean", "p50", "p99", "max")
+	fmt.Fprintln(&b, strings.Repeat("-", 110))
+	return b.String()
+}
+
+// FormatStatsRows renders one config's aggregate as one table row per
+// collected metric, in the given metric-name order (names the config did
+// not collect are skipped).
+func FormatStatsRows(agg ConfigAggregate, metricOrder []string) string {
+	var b strings.Builder
+	for _, name := range metricOrder {
+		s, ok := agg.Metrics[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %-8s %3d %5d %-19s %12.6g %12.6g %12.6g %12.6g\n",
+			agg.System, agg.Link, agg.Adversary, agg.N, agg.Seeds, name,
+			s.Mean, s.P50, s.P99, s.Max)
+	}
+	return b.String()
+}

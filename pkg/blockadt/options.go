@@ -17,6 +17,8 @@ type settings struct {
 	alpha          float64
 	merits         []float64
 	finalityDepth  int
+	metricsOn      bool
+	metricNames    []string
 }
 
 // Option customizes New, Simulate and SimulateAdversary. Each option
@@ -93,6 +95,18 @@ func WithMerits(merits ...float64) Option {
 // Finality() uses (default 6). Applies to New.
 func WithFinalityDepth(d int) Option { return func(s *settings) { s.finalityDepth = d } }
 
+// WithMetrics enables metric collection over the run: the named
+// registered collectors (none = every registered metric) are computed
+// from the completed simulation and returned in the result's Metrics
+// map. Applies to Simulate and SimulateAdversary; for sweeps, set
+// Matrix.Metrics instead.
+func WithMetrics(names ...string) Option {
+	return func(s *settings) {
+		s.metricsOn = true
+		s.metricNames = append([]string(nil), names...)
+	}
+}
+
 func applyOptions(opts []Option) settings {
 	var s settings
 	for _, o := range opts {
@@ -133,8 +147,31 @@ func (s settings) simulationOnlyErr() error {
 		return fmt.Errorf("blockadt: WithWriters applies to Simulate, not New")
 	case s.alpha != 0:
 		return fmt.Errorf("blockadt: WithAlpha applies to SimulateAdversary, not New")
+	case s.metricsOn:
+		return fmt.Errorf("blockadt: WithMetrics applies to Simulate and SimulateAdversary, not New (metrics measure completed runs)")
 	}
 	return nil
+}
+
+// metricSpecs resolves the WithMetrics request: the named collectors, or
+// every registered one when the option was given without names.
+func (s settings) metricSpecs() ([]MetricSpec, error) {
+	if !s.metricsOn {
+		return nil, nil
+	}
+	names := s.metricNames
+	if len(names) == 0 {
+		names = MetricNames()
+	}
+	specs := make([]MetricSpec, 0, len(names))
+	for _, name := range names {
+		spec, err := LookupMetric(name)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 // simParams assembles the chains-level parameters from the options.

@@ -1,0 +1,56 @@
+package blockadt
+
+import "blockadt/internal/metrics"
+
+// MetricRun is the per-run snapshot metric collectors measure: simulator
+// counters plus the recorded history. The engine assembles it from a
+// scenario result; user-registered collectors treat it as read-only.
+type MetricRun = metrics.Run
+
+// MetricSummary is the streaming aggregate of one metric across a seed
+// sweep (Welford mean/std/min/max plus p50/p99 from the exact-or-P²
+// sketch).
+type MetricSummary = metrics.Summary
+
+// Built-in metric names (the registration order below).
+const (
+	MetricForkRate          = metrics.ForkRateName
+	MetricChainQuality      = metrics.ChainQualityName
+	MetricGrowthRate        = metrics.GrowthRateName
+	MetricFinalityDepth     = metrics.FinalityDepthName
+	MetricFinalityLatency   = metrics.FinalityLatencyName
+	MetricMsgs              = metrics.MsgsName
+	MetricMsgBytes          = metrics.MsgBytesName
+	MetricRoundsToAgreement = metrics.RoundsToAgreementName
+	MetricAdversaryShare    = metrics.AdversaryShareName
+	MetricFairnessTVD       = metrics.FairnessTVDName
+)
+
+// The built-in collectors self-register in a fixed order (the order
+// MetricNames reports and `btadt stats -metrics` defaults to). Each is a
+// pure function from internal/metrics.
+func init() {
+	register := func(name, desc string, c metrics.Collector) {
+		RegisterMetric(MetricSpec{Name: name, Description: desc, Compute: c})
+	}
+	register(MetricForkRate,
+		"fork points per committed block (0 for the consensus systems)", metrics.ForkRate)
+	register(MetricChainQuality,
+		"1 − fairness TVD: how closely main-chain authorship matches merit entitlement", metrics.ChainQuality)
+	register(MetricGrowthRate,
+		"committed blocks per virtual tick (chain growth)", metrics.GrowthRate)
+	register(MetricFinalityDepth,
+		"MaxReorg+1: smallest safe depth-d finality gadget for the run", metrics.FinalityDepth)
+	register(MetricFinalityLatency,
+		"virtual time for a block to sink to the safe depth", metrics.FinalityLatency)
+	register(MetricMsgs,
+		"delivered network messages", metrics.Msgs)
+	register(MetricMsgBytes,
+		"estimated wire bytes sent (including dropped messages)", metrics.MsgBytes)
+	register(MetricRoundsToAgreement,
+		"virtual ticks per committed block (rounds per decision)", metrics.RoundsToAgreement)
+	register(MetricAdversaryShare,
+		"adversary's realized main-chain share (adversarial runs only)", metrics.AdversaryShare)
+	register(MetricFairnessTVD,
+		"realized-vs-entitled total variation distance (chain quality loss)", metrics.FairnessTVD)
+}

@@ -61,14 +61,83 @@ func (r *registry[T]) all() []T {
 	return out
 }
 
-// The five registries backing the façade.
+// The six registries backing the façade.
 var (
 	systemRegistry    = newRegistry[SystemSpec]("system")
 	oracleRegistry    = newRegistry[OracleSpec]("oracle")
 	selectorRegistry  = newRegistry[SelectorSpec]("selector")
 	linkRegistry      = newRegistry[LinkSpec]("link")
 	adversaryRegistry = newRegistry[AdversarySpec]("adversary")
+	metricRegistry    = newRegistry[MetricSpec]("metric")
 )
+
+// RegistryEntry is one registration as the generic enumeration exposes
+// it: the registry key, an optional detail column (the paper's
+// refinement for systems, empty elsewhere), and the one-line description.
+type RegistryEntry struct {
+	Name, Detail, Description string
+}
+
+// RegistryInfo describes one registry: its kind (singular), the section
+// title `btadt list` prints, and its entries in registration order.
+type RegistryInfo struct {
+	Kind    string
+	Title   string
+	Entries []RegistryEntry
+}
+
+// registryEnumerators lists every registry in presentation order. New
+// registries are added here once; everything that enumerates registries
+// generically (`btadt list`, completeness tests) picks them up with no
+// per-registry code.
+var registryEnumerators = []func() RegistryInfo{
+	func() RegistryInfo {
+		return enumerate("system", "systems (Table 1 order)", systemRegistry,
+			func(s SystemSpec) RegistryEntry {
+				return RegistryEntry{Name: s.Name, Detail: s.Refinement, Description: s.Description}
+			})
+	},
+	func() RegistryInfo {
+		return enumerate("oracle", "oracles", oracleRegistry,
+			func(o OracleSpec) RegistryEntry { return RegistryEntry{Name: o.Name, Description: o.Description} })
+	},
+	func() RegistryInfo {
+		return enumerate("selector", "selectors", selectorRegistry,
+			func(s SelectorSpec) RegistryEntry { return RegistryEntry{Name: s.Name, Description: s.Description} })
+	},
+	func() RegistryInfo {
+		return enumerate("link", "links", linkRegistry,
+			func(l LinkSpec) RegistryEntry { return RegistryEntry{Name: l.Name, Description: l.Description} })
+	},
+	func() RegistryInfo {
+		return enumerate("adversary", "adversaries", adversaryRegistry,
+			func(a AdversarySpec) RegistryEntry { return RegistryEntry{Name: a.Name, Description: a.Description} })
+	},
+	func() RegistryInfo {
+		return enumerate("metric", "metrics", metricRegistry,
+			func(m MetricSpec) RegistryEntry { return RegistryEntry{Name: m.Name, Description: m.Description} })
+	},
+}
+
+func enumerate[T any](kind, title string, r *registry[T], entry func(T) RegistryEntry) RegistryInfo {
+	info := RegistryInfo{Kind: kind, Title: title}
+	for _, v := range r.all() {
+		info.Entries = append(info.Entries, entry(v))
+	}
+	return info
+}
+
+// Registries enumerates every façade registry with its entries in
+// registration order — the generic surface `btadt list` renders, which
+// therefore picks up new registries and registrations without
+// per-registry code.
+func Registries() []RegistryInfo {
+	out := make([]RegistryInfo, 0, len(registryEnumerators))
+	for _, enum := range registryEnumerators {
+		out = append(out, enum())
+	}
+	return out
+}
 
 // RegisterSystem adds a system to the registry. It panics on an empty or
 // duplicate name or a nil Run, mirroring database/sql's driver contract:
@@ -107,6 +176,16 @@ func RegisterAdversary(a AdversarySpec) {
 	adversaryRegistry.register(a.Name, a)
 }
 
+// RegisterMetric adds a run-measurement collector to the registry. Like
+// the other five registries it panics on an empty or duplicate name or a
+// nil Compute.
+func RegisterMetric(m MetricSpec) {
+	if m.Compute == nil {
+		panic(fmt.Sprintf("blockadt: metric %q registered without a Compute function", m.Name))
+	}
+	metricRegistry.register(m.Name, m)
+}
+
 // LookupSystem returns the registered system spec, or an error naming the
 // registered alternatives.
 func LookupSystem(name string) (SystemSpec, error) { return systemRegistry.lookup(name) }
@@ -123,6 +202,9 @@ func LookupLink(name string) (LinkSpec, error) { return linkRegistry.lookup(name
 // LookupAdversary returns the registered adversary spec.
 func LookupAdversary(name string) (AdversarySpec, error) { return adversaryRegistry.lookup(name) }
 
+// LookupMetric returns the registered metric spec.
+func LookupMetric(name string) (MetricSpec, error) { return metricRegistry.lookup(name) }
+
 // Systems returns every registered system in registration order (for the
 // built-ins, Table 1 order).
 func Systems() []SystemSpec { return systemRegistry.all() }
@@ -138,6 +220,14 @@ func Links() []LinkSpec { return linkRegistry.all() }
 
 // Adversaries returns every registered adversary in registration order.
 func Adversaries() []AdversarySpec { return adversaryRegistry.all() }
+
+// Metrics returns every registered metric collector in registration
+// order.
+func Metrics() []MetricSpec { return metricRegistry.all() }
+
+// MetricNames returns the registered metric names in registration order
+// — the "all metrics" set WithMetrics() and `btadt stats` default to.
+func MetricNames() []string { return metricRegistry.names() }
 
 // SystemNames returns the registered system names in registration order —
 // the default Systems dimension of a Matrix.

@@ -3,6 +3,7 @@ package blockadt
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -264,7 +265,7 @@ func TestRunScenarioMatchesSweep(t *testing.T) {
 	}
 	a, b := direct, rep.Results[0]
 	a.WallNS, b.WallNS = 0, 0
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("RunScenario diverged from the sweep engine:\ndirect: %+v\nsweep:  %+v", a, b)
 	}
 }

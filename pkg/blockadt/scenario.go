@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"blockadt/internal/fairness"
-	"blockadt/internal/history"
+	"blockadt/internal/metrics"
 	"blockadt/internal/parallel"
 	"blockadt/internal/prng"
 )
@@ -81,6 +81,12 @@ type Matrix struct {
 	// Alpha is the adversary's merit share; 0 = 0.34 (a zero-merit
 	// adversary is degenerate, so zero means unset here).
 	Alpha float64 `json:"alpha,omitempty"`
+	// Metrics names the registered collectors to run per scenario;
+	// empty disables collection (the zero-overhead default). Collectors
+	// do not influence the simulation, so a scenario's identity (Key,
+	// derived seed) is independent of them — only the Result rows gain
+	// a metrics object.
+	Metrics []string `json:"metrics,omitempty"`
 }
 
 // Table1 returns the matrix regenerating Table 1: every registered
@@ -131,6 +137,11 @@ func (m Matrix) Configs() ([]Scenario, error) {
 	if m.Alpha <= 0 || m.Alpha >= 1 {
 		return nil, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", m.Alpha)
 	}
+	// Metrics do not expand into scenarios, but a typo in the list must
+	// fail here like one in any other dimension.
+	if _, err := m.metricSpecs(); err != nil {
+		return nil, err
+	}
 	var out []Scenario
 	for _, sys := range m.Systems {
 		for _, link := range m.Links {
@@ -168,6 +179,19 @@ func (m Matrix) Configs() ([]Scenario, error) {
 	return out, nil
 }
 
+// metricSpecs resolves the matrix's metric names against the registry.
+func (m Matrix) metricSpecs() ([]MetricSpec, error) {
+	specs := make([]MetricSpec, 0, len(m.Metrics))
+	for _, name := range m.Metrics {
+		spec, err := LookupMetric(name)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
 // Result is the structured outcome of one scenario.
 type Result struct {
 	Config Scenario `json:"config"`
@@ -197,6 +221,12 @@ type Result struct {
 	// AdversaryShare is the adversary's realized main-chain share
 	// (adversarial runs only).
 	AdversaryShare float64 `json:"adversaryShare,omitempty"`
+	// Metrics holds the values of the collectors the matrix requested
+	// (Matrix.Metrics), keyed by metric name; nil when collection is
+	// disabled, and inapplicable collectors are absent rather than zero.
+	// Every value is a pure function of the run, so metrics-enabled
+	// sweep JSON stays byte-identical at any parallelism.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// WallNS is the measured wall-clock cost of the run. It is
 	// excluded from the canonical JSON: it is the one field that is
 	// not deterministic.
@@ -229,9 +259,13 @@ func Run(m Matrix, parallelism int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	specs, err := m.metricSpecs()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	results := parallel.Map(configs, parallelism, func(_ int, cfg Scenario) Result {
-		return runScenario(cfg)
+		return runScenario(cfg, specs)
 	})
 	rep := &Report{
 		RootSeed:    m.RootSeed,
@@ -278,22 +312,24 @@ func RunScenario(cfg Scenario) (Result, error) {
 			return Result{}, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", cfg.Alpha)
 		}
 	}
-	return runScenario(cfg), nil
+	return runScenario(cfg, nil), nil
 }
 
 // runScenario is RunScenario's engine-side core. It assumes the scenario
 // was validated (Matrix.Configs and RunScenario both do): an unknown
 // system name panics, and an unknown link or adversary name degrades to
 // the honest synchronous path — neither can reach here through the
-// exported entry points.
-func runScenario(cfg Scenario) Result {
+// exported entry points. mspecs are the resolved metric collectors to
+// run over the result (nil disables collection).
+func runScenario(cfg Scenario, mspecs []MetricSpec) Result {
 	p := SimParams{N: cfg.N, TargetBlocks: cfg.Blocks, Seed: cfg.Seed}
 	start := time.Now()
 
 	var (
-		res      SimResult
-		expected Level
-		out      Result
+		res         SimResult
+		expected    Level
+		out         Result
+		adversarial bool
 	)
 	spec, err := LookupSystem(cfg.System)
 	if err != nil {
@@ -308,6 +344,7 @@ func runScenario(cfg Scenario) Result {
 		stats := aspec.Run(cfg.System, cfg.Link, p, cfg.Alpha)
 		res = stats.SimResult
 		expected = stats.Expected
+		adversarial = true
 		out.AdversaryShare = stats.AdversaryShare
 		out.FairnessTVD = stats.FairnessTVD
 	case lerr == nil && lspec.Run != nil:
@@ -336,9 +373,55 @@ func runScenario(cfg Scenario) Result {
 	out.Ticks = res.Ticks
 	out.Delivered = res.Delivered
 	out.Dropped = res.Dropped
-	out.MaxReorg = maxReorg(res.History)
+	out.MaxReorg = metrics.MaxReorg(res.History)
 	out.FinalityDepth = out.MaxReorg + 1
+	if len(mspecs) > 0 {
+		out.Metrics = computeMetrics(mspecs, metricRun(cfg, res, out, adversarial))
+	}
 	out.WallNS = time.Since(start).Nanoseconds()
+	return out
+}
+
+// metricRun assembles the collector snapshot from a completed scenario.
+func metricRun(cfg Scenario, res SimResult, out Result, adversarial bool) MetricRun {
+	run := newMetricRun(SimParams{N: cfg.N, TargetBlocks: cfg.Blocks}, res)
+	run.FairnessTVD = out.FairnessTVD
+	run.Adversarial = adversarial
+	run.AdversaryShare = out.AdversaryShare
+	run.AdversaryMerit = cfg.Alpha
+	return run
+}
+
+// newMetricRun is the one SimResult → MetricRun field mapping, shared by
+// every entry point that collects metrics (runScenario, Simulate,
+// SimulateAdversary). The params are normalized the way the simulators
+// normalize them (chains.Params.WithDefaults), so the snapshot describes
+// the run that actually happened — an N=0 request ran 8 processes.
+// Callers fill the fairness/adversary fields the result type carries.
+func newMetricRun(p SimParams, res SimResult) MetricRun {
+	p = p.WithDefaults()
+	return MetricRun{
+		N:            p.N,
+		TargetBlocks: p.TargetBlocks,
+		Blocks:       res.Blocks,
+		Forks:        res.Forks,
+		Ticks:        res.Ticks,
+		Delivered:    res.Delivered,
+		Dropped:      res.Dropped,
+		Bytes:        res.Bytes,
+		History:      res.History,
+	}
+}
+
+// computeMetrics runs the collectors over the snapshot, skipping
+// inapplicable ones.
+func computeMetrics(specs []MetricSpec, r MetricRun) map[string]float64 {
+	out := make(map[string]float64, len(specs))
+	for _, spec := range specs {
+		if v, ok := spec.Compute(r); ok {
+			out[spec.Name] = v
+		}
+	}
 	return out
 }
 
@@ -359,23 +442,4 @@ func equalMerits(n int) []float64 {
 		out[i] = 1
 	}
 	return out
-}
-
-// maxReorg scans each process's read sequence and returns the deepest
-// observed rollback: the largest number of blocks a process saw leave its
-// selected chain between two consecutive reads.
-func maxReorg(h *history.History) int {
-	last := map[history.ProcID]history.Chain{}
-	deepest := 0
-	for _, r := range h.Reads() {
-		prev, ok := last[r.Op.Proc]
-		if ok {
-			cp := prev.CommonPrefix(r.Chain)
-			if d := len(prev) - len(cp); d > deepest {
-				deepest = d
-			}
-		}
-		last[r.Op.Proc] = r.Chain
-	}
-	return deepest
 }

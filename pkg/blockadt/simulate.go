@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blockadt/internal/chains"
+	"blockadt/internal/fairness"
 )
 
 // Simulate runs a full network simulation of a registered system: WithN
@@ -41,10 +42,26 @@ func Simulate(name string, opts ...Option) (SimResult, error) {
 	if !lspec.supportsSystem(spec.Name) {
 		return SimResult{}, fmt.Errorf("blockadt: system %q does not implement link model %q", spec.Name, link)
 	}
-	if lspec.Run != nil {
-		return lspec.Run(spec.Name, p), nil
+	mspecs, err := s.metricSpecs()
+	if err != nil {
+		return SimResult{}, err
 	}
-	return spec.Run(p), nil
+	var res SimResult
+	if lspec.Run != nil {
+		res = lspec.Run(spec.Name, p)
+	} else {
+		res = spec.Run(p)
+	}
+	if len(mspecs) > 0 {
+		run := newMetricRun(p, res)
+		merits := s.merits
+		if len(merits) == 0 {
+			merits = equalMerits(run.N)
+		}
+		run.FairnessTVD = fairness.Analyze(res.History, merits).TVD
+		res.Metrics = computeMetrics(mspecs, run)
+	}
+	return res, nil
 }
 
 // meritsErr rejects a WithMerits vector the simulation would silently
@@ -147,7 +164,20 @@ func SimulateAdversary(system, adversary string, opts ...Option) (AdversaryOutco
 	if alpha <= 0 || alpha >= 1 {
 		return AdversaryOutcome{}, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", alpha)
 	}
-	return aspec.Run(spec.Name, link, s.simParams(), alpha), nil
+	mspecs, err := s.metricSpecs()
+	if err != nil {
+		return AdversaryOutcome{}, err
+	}
+	out := aspec.Run(spec.Name, link, s.simParams(), alpha)
+	if len(mspecs) > 0 {
+		run := newMetricRun(s.simParams(), out.SimResult)
+		run.FairnessTVD = out.FairnessTVD
+		run.Adversarial = true
+		run.AdversaryShare = out.AdversaryShare
+		run.AdversaryMerit = out.AdversaryMerit
+		out.SimResult.Metrics = computeMetrics(mspecs, run)
+	}
+	return out, nil
 }
 
 // SimCheckOptions returns consistency-checker options sized for a

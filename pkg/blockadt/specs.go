@@ -79,6 +79,22 @@ type AdversarySpec struct {
 	Run func(system, link string, p SimParams, alpha float64) AdversaryOutcome
 }
 
+// MetricSpec describes a registered run-measurement collector — one
+// value of the metrics dimension of instrumented sweeps (docs/metrics.md).
+type MetricSpec struct {
+	// Name is the registry key and the JSON key of the metric's values
+	// in sweep results and aggregates.
+	Name string
+	// Description is the one-line summary `btadt list` prints.
+	Description string
+	// Compute measures one run. The boolean reports applicability: an
+	// inapplicable metric (e.g. adversary share on an honest run) is
+	// skipped, not recorded as zero. Compute must be a pure function of
+	// the snapshot — the determinism of metrics-enabled sweep JSON
+	// depends on it.
+	Compute func(MetricRun) (float64, bool)
+}
+
 // AdversaryOutcome is the structured result of an adversarial run.
 type AdversaryOutcome struct {
 	SimResult

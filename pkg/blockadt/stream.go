@@ -24,8 +24,13 @@ func Stream(ctx context.Context, m Matrix, parallelism int) iter.Seq2[Result, er
 			yield(Result{}, err)
 			return
 		}
+		specs, err := m.metricSpecs()
+		if err != nil {
+			yield(Result{}, err)
+			return
+		}
 		for _, r := range parallel.Stream(ctx, configs, parallelism, func(_ int, cfg Scenario) Result {
-			return runScenario(cfg)
+			return runScenario(cfg, specs)
 		}) {
 			if err := ctx.Err(); err != nil {
 				yield(Result{}, err)

@@ -2,6 +2,7 @@ package blockadt
 
 import (
 	"context"
+	"reflect"
 	"testing"
 )
 
@@ -41,7 +42,7 @@ func TestStreamMatchesRun(t *testing.T) {
 	for i := range streamed {
 		a, b := streamed[i], rep.Results[i]
 		a.WallNS, b.WallNS = 0, 0
-		if a != b {
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("result %d differs:\nstream: %+v\nrun:    %+v", i, a, b)
 		}
 	}
