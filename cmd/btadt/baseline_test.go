@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// baselineArgs is the canonical CI sweep matrix, shared verbatim by the
+// sharded sweep jobs in .github/workflows/ci.yml: every registered
+// system, all three link models, both adversaries, two seeds, every
+// registered metric. SWEEP_baseline.json is this sweep's canonical JSON.
+func baselineArgs(extra ...string) []string {
+	args := []string{"-links", "sync,async,psync", "-adversaries", "none,selfish",
+		"-n", "8", "-seeds", "2", "-blocks", "30", "-seed", "42", "-metrics", "all", "-json"}
+	return append(args, extra...)
+}
+
+// baselinePath is the committed baseline at the repository root.
+const baselinePath = "../../SWEEP_baseline.json"
+
+// TestSweepBaselineCurrent pins SWEEP_baseline.json to the current
+// engine: the canonical CI sweep must reproduce the committed baseline
+// byte for byte. When an intentional engine change shifts results,
+// regenerate with:
+//
+//	go test ./cmd/btadt -run TestSweepBaselineCurrent -update
+//
+// and review the diff (`btadt diff` renders it per config and metric).
+func TestSweepBaselineCurrent(t *testing.T) {
+	got := captureStdout(t, func() error { return cmdSweep(baselineArgs()) })
+	if *update {
+		if err := os.WriteFile(baselinePath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("missing baseline (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Error("sweep output diverged from SWEEP_baseline.json — if the engine change is intentional, " +
+			"regenerate with `go test ./cmd/btadt -run TestSweepBaselineCurrent -update` " +
+			"and inspect the drift with `btadt diff`")
+	}
+}
+
+// TestSweepBaselineShardsCoverMatrix guards the CI sharding setup: both
+// halves of the canonical matrix are non-empty and their merged store
+// serves the committed baseline exactly (the merge job's contract).
+func TestSweepBaselineShardsCoverMatrix(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	for i := 0; i < 2; i++ {
+		out := captureStdout(t, func() error {
+			// Shards share one store: unioning dirs is exercised by
+			// TestSweepShardStoreUnionServesFullMatrix; here both shards
+			// write into one store like a single runner would.
+			return cmdSweep(baselineArgs("-shard", fmt.Sprintf("%d/2", i), "-store", store, "-resume"))
+		})
+		if !strings.Contains(out, `"config"`) {
+			t.Fatalf("shard %d/2 of the baseline matrix is empty", i)
+		}
+	}
+	served := captureStdout(t, func() error { return cmdSweep(baselineArgs("-store", store, "-resume")) })
+	want, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("missing baseline (regenerate with -update): %v", err)
+	}
+	if served != string(want) {
+		t.Error("store-served baseline sweep diverged from SWEEP_baseline.json")
+	}
+}

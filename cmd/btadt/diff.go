@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blockadt/pkg/blockadt"
+)
+
+// cmdDiff compares two sweep JSON reports (the output of
+// `btadt sweep -json`, whether cold, cached, or merged from shards) and
+// reports every per-configuration field and metric delta. Numeric fields
+// pass when |new-old| <= tol·max(|new|,|old|); categorical fields — the
+// consistency verdicts, refinements, a metric collected on one side only
+// — must match exactly. A non-clean diff is a non-zero exit: this is the
+// primitive CI uses to gate a merged sweep against the committed
+// SWEEP_baseline.json.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0, "relative tolerance per numeric field (0.05 = 5%); sweeps are deterministic, so 0 is the honest default")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: btadt diff [-tol T] old.json new.json")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("tolerance must be >= 0, got %v", *tol)
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := blockadt.DiffReports(oldRep, newRep, *tol)
+	fmt.Print(d.Format())
+	if !d.Clean() {
+		return fmt.Errorf("%d deltas beyond tolerance %g, %d configs only in %s, %d only in %s",
+			d.Breaches(), *tol, len(d.OnlyOld), fs.Arg(0), len(d.OnlyNew), fs.Arg(1))
+	}
+	return nil
+}
+
+// loadReport reads one sweep report from disk.
+func loadReport(path string) (*blockadt.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := blockadt.DecodeReport(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

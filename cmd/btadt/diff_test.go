@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blockadt/pkg/blockadt"
+)
+
+// writeSweepJSON runs the shared test matrix through `sweep -json` and
+// writes the report to a file, optionally mutating it first.
+func writeSweepJSON(t *testing.T, path string, mutate func(*blockadt.Report)) {
+	t.Helper()
+	out := captureStdout(t, func() error { return cmdSweep(sweepArgs()) })
+	if mutate != nil {
+		rep, err := blockadt.DecodeReport([]byte(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(rep)
+		enc, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = string(enc)
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffGoldenIdentical pins `btadt diff` on two byte-identical
+// reports: clean verdict, zero exit.
+func TestDiffGoldenIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeSweepJSON(t, a, nil)
+	writeSweepJSON(t, b, nil)
+	out := captureStdout(t, func() error { return cmdDiff([]string{a, b}) })
+	checkGolden(t, "diff_identical", out)
+}
+
+// TestDiffGoldenWithinTolerance pins the within-tolerance path: a +4%
+// metric drift passes -tol 0.05 but still prints the delta.
+func TestDiffGoldenWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeSweepJSON(t, a, nil)
+	writeSweepJSON(t, b, func(rep *blockadt.Report) {
+		rep.Results[0].Metrics["msg_bytes"] *= 1.04
+	})
+	out := captureStdout(t, func() error { return cmdDiff([]string{"-tol", "0.05", a, b}) })
+	checkGolden(t, "diff_within", out)
+}
+
+// TestDiffGoldenRegression pins the regression path: a consistency-level
+// flip plus a large numeric drift fail even a generous tolerance, with a
+// non-zero exit.
+func TestDiffGoldenRegression(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeSweepJSON(t, a, nil)
+	writeSweepJSON(t, b, func(rep *blockadt.Report) {
+		rep.Results[0].Level = "none"
+		rep.Results[0].Match = false
+		rep.Results[1].Forks += 10
+	})
+	out, err := captureStdoutErr(t, func() error { return cmdDiff([]string{"-tol", "0.05", a, b}) })
+	if err == nil {
+		t.Fatal("diff of a regressed report exited clean")
+	}
+	if !strings.Contains(err.Error(), "beyond tolerance") {
+		t.Fatalf("unexpected diff error: %v", err)
+	}
+	checkGolden(t, "diff_regress", out)
+}
+
+// TestDiffRejectsBadInput covers the CLI error paths: wrong arity,
+// negative tolerance, a missing file and a non-report file.
+func TestDiffRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	writeSweepJSON(t, a, nil)
+	if err := cmdDiff([]string{a}); err == nil {
+		t.Error("diff accepted one argument")
+	}
+	if err := cmdDiff([]string{"-tol", "-1", a, a}); err == nil {
+		t.Error("diff accepted a negative tolerance")
+	}
+	if err := cmdDiff([]string{a, filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("diff accepted a missing file")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDiff([]string{a, junk}); err == nil {
+		t.Error("diff accepted a non-report file")
+	}
+}

@@ -28,14 +28,24 @@
 //	    Solve consensus from the frugal k=1 oracle (Protocol A, Fig 11).
 //
 //	btadt sweep      [-systems a,b] [-links sync,async,psync] [-adversaries none,selfish]
-//	                 [-n 8,16] [-seeds 4] [-seed 42] [-parallel 0] [-json]
+//	                 [-n 8,16] [-seeds 4] [-seed 42] [-parallel 0] [-json] [-metrics m1,m2|all]
+//	                 [-shard i/n] [-store DIR] [-resume] [-store-gc]
 //	    Expand and run a scenario matrix across the worker pool; every
 //	    configuration gets an independent derived prng stream, so the
-//	    output is identical at any -parallel value.
+//	    output is identical at any -parallel value. -store backs the
+//	    sweep with the content-addressed run store (computed results are
+//	    persisted; with -resume, cached ones are served without
+//	    simulating — byte-identical output either way); -shard i/n runs
+//	    one deterministic partition of the matrix for CI fan-out.
+//
+//	btadt diff       [-tol 0.05] old.json new.json
+//	    Compare two sweep JSON reports per configuration and metric,
+//	    under a relative tolerance for numeric fields. Non-zero exit on
+//	    drift — the CI regression gate against SWEEP_baseline.json.
 //
 //	btadt stats      [-systems a,b] [-links sync,async,psync] [-adversaries none,selfish]
 //	                 [-n 8] [-seeds 8] [-seed 42] [-metrics m1,m2] [-format table|json|csv]
-//	                 [-parallel 0]
+//	                 [-parallel 0] [-store DIR] [-resume]
 //	    Sweep a matrix with metric collection enabled and aggregate each
 //	    configuration across its seeds (mean/std/min/max/p50/p99 per
 //	    metric, streaming accumulators). Byte-identical at any -parallel
@@ -78,6 +88,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -104,7 +116,9 @@ commands:
   fairness     analyze proposer fairness against the merit parameter
   selfish      run the selfish-mining chain-quality experiment
   sweep        run a concurrent scenario matrix (system × link × adversary × n × seed)
-  stats        sweep a matrix with metric collection and print per-config aggregates`)
+               [-shard i/n] [-store DIR] [-resume] for incremental / CI-sharded sweeps
+  stats        sweep a matrix with metric collection and print per-config aggregates
+  diff         compare two sweep JSON reports with a per-field tolerance (CI gate)`)
 }
 
 func cmdClassify(args []string) error {

@@ -27,9 +27,11 @@ func cmdStats(args []string) error {
 	rootSeed := fs.Uint64("seed", 42, "root seed every per-config stream derives from")
 	blocks := fs.Int("blocks", 30, "target committed blocks per run")
 	alpha := fs.Float64("alpha", 0.34, "selfish adversary merit share")
-	parallelism := fs.Int("parallel", 0, "worker pool size (0 = NumCPU)")
+	parallelism := fs.Int("parallel", 0, "worker pool size (<1 = NumCPU)")
 	metricsFlag := fs.String("metrics", "", "comma-separated metric names (default: all registered)")
 	format := fs.String("format", "table", "output format: table, json or csv")
+	storeDir := fs.String("store", "", "back the sweep with the content-addressed run store at this directory")
+	resume := fs.Bool("resume", false, "serve scenarios already in -store from cache instead of failing on a pre-populated store")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,10 +70,14 @@ func cmdStats(args []string) error {
 	if len(configs) == 0 {
 		return errEmptyMatrix
 	}
+	runOpts, err := storeOptions(m, *storeDir, *resume, false)
+	if err != nil {
+		return err
+	}
 
 	agg := blockadt.NewSeedAggregator()
 	total := 0
-	for r, err := range blockadt.Stream(context.Background(), m, *parallelism) {
+	for r, err := range blockadt.Stream(context.Background(), m, *parallelism, runOpts...) {
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,156 @@
+// Package benchguard is the CI benchmark-regression comparator: it
+// parses `go test -bench` output, reduces repeated runs (-count=N) to
+// each benchmark's best time, and compares a current run against a
+// checked-in baseline under a maximum-regression percentage.
+//
+// Best-of reduction is deliberate: the minimum over repeats is the run
+// least perturbed by scheduler noise, so it is the stablest estimator a
+// text-output comparator can get. Benchmark names are normalized by
+// stripping the trailing -GOMAXPROCS suffix, and names that depend on
+// the host's CPU count (the sweep benches parameterize parallelism by
+// NumCPU) are expected to differ between machines — the comparator
+// therefore compares the intersection of the two sets, requires it to
+// be non-empty, and lets callers pin a required-name list so a renamed
+// or deleted benchmark cannot silently drop out of the gate.
+package benchguard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads `go test -bench` output and returns each benchmark's best
+// (minimum) ns/op across repeats, keyed by the name with its
+// -GOMAXPROCS suffix stripped.
+func Parse(r io.Reader) (map[string]float64, error) {
+	best := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8   300   123456 ns/op   [... B/op ... allocs/op]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		if cur, ok := best[name]; !ok || ns < cur {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchguard: %w", err)
+	}
+	return best, nil
+}
+
+// stripProcSuffix drops the trailing -GOMAXPROCS decoration go test
+// appends ("BenchmarkX/sub=1-8" → "BenchmarkX/sub=1"). Only a purely
+// numeric final dash segment is removed, so parameterized sub-benchmark
+// names survive.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name      string
+	Base, Cur float64 // best ns/op
+	Pct       float64 // (Cur-Base)/Base * 100, positive = slower
+	Regressed bool
+}
+
+// Compare evaluates current against baseline: every benchmark present
+// in both is compared, and a current best more than maxRegressPct
+// slower than the baseline's is a regression. Names listed in required
+// must be present in both sets — a gate that silently loses its
+// benchmarks is worse than one that fails loudly.
+func Compare(baseline, current map[string]float64, maxRegressPct float64, required []string) ([]Delta, error) {
+	if maxRegressPct < 0 {
+		return nil, fmt.Errorf("benchguard: max regression must be >= 0%%, got %v", maxRegressPct)
+	}
+	for _, name := range required {
+		if _, ok := baseline[name]; !ok {
+			return nil, fmt.Errorf("benchguard: required benchmark %q missing from the baseline", name)
+		}
+		if _, ok := current[name]; !ok {
+			return nil, fmt.Errorf("benchguard: required benchmark %q missing from the current run", name)
+		}
+	}
+	var names []string
+	for name := range baseline {
+		if _, ok := current[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("benchguard: no benchmark appears in both baseline and current run")
+	}
+	sort.Strings(names)
+	deltas := make([]Delta, 0, len(names))
+	for _, name := range names {
+		base, cur := baseline[name], current[name]
+		d := Delta{Name: name, Base: base, Cur: cur}
+		if base > 0 {
+			d.Pct = 100 * (cur - base) / base
+		}
+		d.Regressed = d.Pct > maxRegressPct
+		deltas = append(deltas, d)
+	}
+	return deltas, nil
+}
+
+// Regressions filters the regressed deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the comparison as an aligned table plus a verdict
+// line, the output the CI step prints.
+func Format(deltas []Delta, maxRegressPct float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-56s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "  REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-56s %14.0f %14.0f %+8.1f%%%s\n", d.Name, d.Base, d.Cur, d.Pct, flag)
+	}
+	if reg := Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(&sb, "FAIL: %d of %d benchmarks regressed more than %.0f%%\n", len(reg), len(deltas), maxRegressPct)
+	} else {
+		fmt.Fprintf(&sb, "ok: %d benchmarks within %.0f%% of baseline\n", len(deltas), maxRegressPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package benchguard
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: blockadt
+cpu: Test CPU
+BenchmarkSweepMatrix/parallel=1-8         	     100	  10000000 ns/op	 1000 B/op	  10 allocs/op
+BenchmarkSweepMatrix/parallel=1-8         	     100	  11000000 ns/op	 1000 B/op	  10 allocs/op
+BenchmarkSweepMatrix/parallel=1-8         	     100	  10500000 ns/op	 1000 B/op	  10 allocs/op
+BenchmarkSweepMatrix/parallel=4-8         	     100	   3000000 ns/op
+BenchmarkMetricCollectors-8               	    5000	     20000 ns/op
+BenchmarkSeedAggregation                  	    1000	    500000 ns/op
+PASS
+ok  	blockadt	12.3s
+`
+
+func parseSample(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	m, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestParseBestOf pins the parser: -GOMAXPROCS suffixes are stripped,
+// repeated runs reduce to the minimum, undecorated names survive.
+func TestParseBestOf(t *testing.T) {
+	m := parseSample(t, sampleBench)
+	want := map[string]float64{
+		"BenchmarkSweepMatrix/parallel=1": 10000000,
+		"BenchmarkSweepMatrix/parallel=4": 3000000,
+		"BenchmarkMetricCollectors":       20000,
+		"BenchmarkSeedAggregation":        500000,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
+	}
+	for name, ns := range want {
+		if m[name] != ns {
+			t.Errorf("%s = %v, want %v", name, m[name], ns)
+		}
+	}
+}
+
+// TestCompareInjectedSlowdown is the acceptance demonstration: a 40%
+// slowdown on one benchmark fails a 30% gate, while 20% passes it.
+func TestCompareInjectedSlowdown(t *testing.T) {
+	base := parseSample(t, sampleBench)
+
+	slowed := parseSample(t, sampleBench)
+	slowed["BenchmarkSweepMatrix/parallel=1"] *= 1.40
+	deltas, err := Compare(base, slowed, 30, []string{"BenchmarkSweepMatrix/parallel=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Name != "BenchmarkSweepMatrix/parallel=1" {
+		t.Fatalf("40%% slowdown vs 30%% gate: regressions = %+v", reg)
+	}
+	out := Format(deltas, 30)
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("regression not flagged in output:\n%s", out)
+	}
+
+	mild := parseSample(t, sampleBench)
+	mild["BenchmarkSweepMatrix/parallel=1"] *= 1.20
+	deltas, err = Compare(base, mild, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Regressions(deltas)) != 0 {
+		t.Fatalf("20%% drift vs 30%% gate regressed: %+v", deltas)
+	}
+	if out := Format(deltas, 30); !strings.Contains(out, "ok:") {
+		t.Fatalf("clean run not reported ok:\n%s", out)
+	}
+
+	// Improvements never fail.
+	fast := parseSample(t, sampleBench)
+	for name := range fast {
+		fast[name] *= 0.5
+	}
+	deltas, err = Compare(base, fast, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Regressions(deltas)) != 0 {
+		t.Fatalf("an improvement regressed: %+v", deltas)
+	}
+}
+
+// TestCompareGuards pins the failure modes: a required benchmark
+// missing from either side, an empty intersection, a bad gate.
+func TestCompareGuards(t *testing.T) {
+	base := parseSample(t, sampleBench)
+	cur := parseSample(t, sampleBench)
+
+	if _, err := Compare(base, cur, 30, []string{"BenchmarkGone"}); err == nil {
+		t.Error("Compare accepted a required benchmark missing from both sides")
+	}
+	delete(cur, "BenchmarkSeedAggregation")
+	if _, err := Compare(base, cur, 30, []string{"BenchmarkSeedAggregation"}); err == nil {
+		t.Error("Compare accepted a required benchmark missing from the current run")
+	}
+	if _, err := Compare(base, map[string]float64{"BenchmarkOther": 1}, 30, nil); err == nil {
+		t.Error("Compare accepted an empty intersection")
+	}
+	if _, err := Compare(base, base, -1, nil); err == nil {
+		t.Error("Compare accepted a negative gate")
+	}
+
+	// Machine-dependent extras (a parallel=NumCPU sub-bench that only
+	// exists on one host) are ignored, not fatal.
+	extra := parseSample(t, sampleBench)
+	extra["BenchmarkSweepMatrix/parallel=16"] = 1
+	deltas, err := Compare(base, extra, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Name == "BenchmarkSweepMatrix/parallel=16" {
+			t.Error("host-specific extra benchmark leaked into the comparison")
+		}
+	}
+}
+
+// TestParseRejectsGarbageGracefully: non-benchmark lines and malformed
+// rows are skipped, not fatal.
+func TestParseRejectsGarbageGracefully(t *testing.T) {
+	m := parseSample(t, "hello\nBenchmarkX not-a-number ns/op\nBenchmarkY-2 10 2500 ns/op\n")
+	if len(m) != 1 || m["BenchmarkY"] != 2500 {
+		t.Fatalf("parsed %v", m)
+	}
+}

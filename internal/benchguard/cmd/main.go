@@ -1,0 +1,73 @@
+// Command benchguard is the CI benchmark-regression gate: it compares a
+// current `go test -bench` output against the checked-in baseline
+// (BENCH_baseline.txt) and exits non-zero when any shared benchmark's
+// best ns/op regressed beyond the gate.
+//
+//	go run ./internal/benchguard/cmd \
+//	    -baseline BENCH_baseline.txt -current bench_current.txt \
+//	    -max-regress 30 \
+//	    -require 'BenchmarkSweepMatrix/parallel=1,BenchmarkSweepMatrix/parallel=4'
+//
+// It lives under internal/ because it is repository tooling, not part of
+// the public façade surface that cmd/btadt exposes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blockadt/internal/benchguard"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.txt", "checked-in `go test -bench` baseline output")
+	current := flag.String("current", "", "current `go test -bench` output to gate")
+	maxRegress := flag.Float64("max-regress", 30, "maximum tolerated ns/op regression, in percent")
+	require := flag.String("require", "", "comma-separated benchmark names that must be present in both runs")
+	flag.Parse()
+
+	if err := run(*baseline, *current, *maxRegress, *require); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath string, maxRegress float64, require string) error {
+	if currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	base, err := parseFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := parseFile(currentPath)
+	if err != nil {
+		return err
+	}
+	var required []string
+	for _, name := range strings.Split(require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			required = append(required, name)
+		}
+	}
+	deltas, err := benchguard.Compare(base, cur, maxRegress, required)
+	if err != nil {
+		return err
+	}
+	fmt.Print(benchguard.Format(deltas, maxRegress))
+	if reg := benchguard.Regressions(deltas); len(reg) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(reg), maxRegress)
+	}
+	return nil
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchguard.Parse(f)
+}

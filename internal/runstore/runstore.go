@@ -1,0 +1,302 @@
+// Package runstore is the content-addressed on-disk cache behind
+// incremental scenario sweeps. Each entry maps a canonical key string
+// (the sweep engine derives it from the scenario coordinates, the root
+// seed, the requested metrics and the engine version) to an opaque value
+// — in practice one scenario's canonical Result JSON.
+//
+// Layout, under the store directory:
+//
+//	objects/<hh>/<hash>.json   one entry per cached run, where <hash> is
+//	                           the hex SHA-256 of the key and <hh> its
+//	                           first two characters. The file is a JSON
+//	                           envelope {"key": ..., "data": ...} so the
+//	                           key preimage survives inside the object
+//	                           itself.
+//	index.json                 an accelerator listing every entry. It is
+//	                           NOT authoritative: Open reconciles it
+//	                           against the objects tree, adopting objects
+//	                           the index misses and dropping index rows
+//	                           whose object is gone.
+//
+// Because objects are the source of truth and their names are pure
+// functions of their keys, two stores can be merged by unioning their
+// objects/ trees with plain file copies — that is how CI folds per-shard
+// stores into one before serving the merged sweep from cache.
+//
+// Writes are atomic (temp file + rename in the same directory), so a
+// killed sweep leaves a store containing exactly the scenarios that
+// completed; re-running with the same store resumes from them.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Hash returns the store address of a key: hex SHA-256 of its bytes.
+func Hash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// envelope is the on-disk object schema: the key preimage plus the
+// cached value, kept verbatim as raw JSON.
+type envelope struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// indexFile is the index.json schema.
+type indexFile struct {
+	Version int              `json:"version"`
+	Entries map[string]entry `json:"entries"` // hash → entry
+}
+
+type entry struct {
+	Key string `json:"key"`
+}
+
+// Store is a goroutine-safe handle on one store directory.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]entry // hash → entry
+	dirty   bool             // entries diverged from index.json
+}
+
+// Open opens (creating if necessary) the store rooted at dir, loads the
+// index and reconciles it against the objects tree: objects missing from
+// the index — e.g. copied in from another shard's store — are adopted,
+// and index rows whose object has been deleted are dropped.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstore: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	s := &Store{dir: dir, entries: map[string]entry{}}
+
+	var idx indexFile
+	if raw, err := os.ReadFile(s.indexPath()); err == nil {
+		// A corrupt index is not fatal: the scan below rebuilds it.
+		_ = json.Unmarshal(raw, &idx)
+	}
+	for hash, e := range idx.Entries {
+		if _, err := os.Stat(s.objectPath(hash)); err == nil {
+			s.entries[hash] = e
+		} else {
+			s.dirty = true // row without object: drop it
+		}
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan walks the objects tree and adopts every decodable object the
+// index does not know about. Undecodable files are ignored (a truncated
+// temp file can never exist here — writes rename atomically — but a
+// foreign file dropped into the tree should not break the store).
+func (s *Store) scan() error {
+	root := filepath.Join(s.dir, "objects")
+	prefixes, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, p.Name()))
+		if err != nil {
+			return fmt.Errorf("runstore: %w", err)
+		}
+		for _, f := range files {
+			hash, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok {
+				continue
+			}
+			if _, known := s.entries[hash]; known {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(root, p.Name(), f.Name()))
+			if err != nil {
+				continue
+			}
+			var env envelope
+			if json.Unmarshal(raw, &env) != nil || Hash(env.Key) != hash {
+				continue
+			}
+			s.entries[hash] = entry{Key: env.Key}
+			s.dirty = true
+		}
+	}
+	return nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash+".json")
+}
+
+// Has reports whether key has an entry, from the in-memory index alone
+// — no file read, so counting hits over a large matrix stays cheap. A
+// corrupt object can make Has true while Get still misses; callers that
+// need the value must use Get.
+func (s *Store) Has(key string) bool {
+	hash := Hash(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[hash]
+	return ok
+}
+
+// Get returns the cached value for key. A missing entry is (nil, false,
+// nil); an entry whose object cannot be read or decoded is also reported
+// as a miss (the caller recomputes and Put overwrites it), so a damaged
+// store degrades to recomputation, never to failure.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	hash := Hash(key)
+	s.mu.Lock()
+	_, known := s.entries[hash]
+	s.mu.Unlock()
+	if !known {
+		return nil, false, nil
+	}
+	raw, err := os.ReadFile(s.objectPath(hash))
+	if err != nil {
+		return nil, false, nil
+	}
+	var env envelope
+	if json.Unmarshal(raw, &env) != nil || env.Key != key {
+		return nil, false, nil
+	}
+	return env.Data, true, nil
+}
+
+// Put stores value under key, atomically: the envelope is written to a
+// temp file in the object's directory and renamed into place, so readers
+// (and crashed writers) never observe a partial object.
+func (s *Store) Put(key string, value []byte) error {
+	hash := Hash(key)
+	enc, err := json.Marshal(envelope{Key: key, Data: json.RawMessage(value)})
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	path := s.objectPath(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	s.mu.Lock()
+	s.entries[hash] = entry{Key: key}
+	s.dirty = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of cached entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Keys returns every cached key preimage, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.Key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GC deletes every entry whose key the keep predicate rejects and
+// reports how many were removed. The index is flushed afterwards so a
+// GC'd store opens without a reconciliation pass.
+func (s *Store) GC(keep func(key string) bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for hash, e := range s.entries {
+		if keep(e.Key) {
+			continue
+		}
+		if err := os.Remove(s.objectPath(hash)); err != nil && !os.IsNotExist(err) {
+			return removed, fmt.Errorf("runstore: %w", err)
+		}
+		delete(s.entries, hash)
+		removed++
+		s.dirty = true
+	}
+	return removed, s.flushLocked()
+}
+
+// Flush writes index.json if any entry changed since the last flush.
+// The index is an accelerator, not the source of truth, so callers may
+// skip Flush entirely — the next Open just pays for a scan.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	idx := indexFile{Version: 1, Entries: s.entries}
+	enc, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".index-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(append(enc, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.indexPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	s.dirty = false
+	return nil
+}

@@ -1,0 +1,237 @@
+package runstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte(`{"blocks":30,"forks":2}`)
+	if err := s.Put("k1", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k1")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(val) {
+		t.Fatalf("value changed in the store: got %s want %s", got, val)
+	}
+	if _, ok, _ := s.Get("k2"); ok {
+		t.Fatal("Get reported a hit for a key never stored")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestReopenServesWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("alpha", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("beta", []byte(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the index intact.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s2.Get("beta"); !ok || string(got) != "2" {
+		t.Fatalf("reopen lost an entry: ok=%v got=%s", ok, got)
+	}
+
+	// Delete the index: the objects tree alone must rebuild the store
+	// (this is what makes unioning two shard stores a plain file copy).
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 2 {
+		t.Fatalf("scan recovered %d entries, want 2", s3.Len())
+	}
+	if got, ok, _ := s3.Get("alpha"); !ok || string(got) != "1" {
+		t.Fatalf("scan lost an entry: ok=%v got=%s", ok, got)
+	}
+}
+
+func TestStaleIndexRowDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("gone", []byte(`0`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "objects", Hash("gone")[:2], Hash("gone")+".json")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("stale index row survived: Len = %d", s2.Len())
+	}
+	if _, ok, _ := s2.Get("gone"); ok {
+		t.Fatal("Get hit an entry whose object was deleted")
+	}
+}
+
+func TestCorruptObjectIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.objectPath(Hash("k")), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("k"); ok || err != nil {
+		t.Fatalf("corrupt object must degrade to a miss: ok=%v err=%v", ok, err)
+	}
+	// Overwriting heals it.
+	if err := s.Put("k", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get("k"); !ok || string(got) != `{"v":2}` {
+		t.Fatalf("Put did not heal the entry: ok=%v got=%s", ok, got)
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"keep-1", "keep-2", "drop-1", "drop-2", "drop-3"} {
+		if err := s.Put(k, []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.GC(func(key string) bool { return strings.HasPrefix(key, "keep-") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 || s.Len() != 2 {
+		t.Fatalf("GC removed %d (want 3), left %d (want 2)", removed, s.Len())
+	}
+	// The GC'd state survives a reopen (index was flushed, objects gone).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := s2.Keys()
+	if len(keys) != 2 || keys[0] != "keep-1" || keys[1] != "keep-2" {
+		t.Fatalf("post-GC keys = %v", keys)
+	}
+}
+
+func TestUnionByFileCopy(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("only-a", []byte(`"A"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("only-b", []byte(`"B"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Copy B's objects tree into A — exactly what the CI merge job does.
+	err = filepath.Walk(filepath.Join(dirB, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dirB, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(dirA, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, raw, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 2 {
+		t.Fatalf("union holds %d entries, want 2", merged.Len())
+	}
+	if got, ok, _ := merged.Get("only-b"); !ok || string(got) != `"B"` {
+		t.Fatalf("adopted entry unreadable: ok=%v got=%s", ok, got)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := "k" + string(rune('a'+i%8))
+			val, _ := json.Marshal(i)
+			if err := s.Put(key, val); err != nil {
+				t.Error(err)
+			}
+			if _, _, err := s.Get(key); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+}

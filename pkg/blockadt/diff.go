@@ -1,0 +1,230 @@
+package blockadt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FieldDelta is one divergent field of one scenario between two sweep
+// reports. Numeric fields carry Old/New/Rel; categorical fields (the
+// consistency verdicts, a metric present on only one side, the reports'
+// root seeds) carry OldText/NewText and never pass a tolerance.
+type FieldDelta struct {
+	Key   string `json:"key"`   // scenario key, or "(report)" for report-level fields
+	Field string `json:"field"` // e.g. "forks", "metric:fork_rate", "level"
+	// Numeric deltas.
+	Old float64 `json:"old,omitempty"`
+	New float64 `json:"new,omitempty"`
+	// Rel is |new-old| / max(|new|,|old|) — 1.0 when one side is zero.
+	Rel float64 `json:"rel,omitempty"`
+	// Categorical deltas.
+	OldText string `json:"oldText,omitempty"`
+	NewText string `json:"newText,omitempty"`
+	// Within reports whether the delta passed the tolerance.
+	Within bool `json:"within"`
+}
+
+func (d FieldDelta) numeric() bool { return d.OldText == "" && d.NewText == "" }
+
+// Diff is the structured comparison of two sweep reports: the primitive
+// `btadt diff` prints and CI gates on.
+type Diff struct {
+	// Tolerance is the relative tolerance the comparison ran under.
+	Tolerance float64 `json:"tolerance"`
+	// Compared counts the scenarios present in both reports.
+	Compared int `json:"compared"`
+	// OnlyOld/OnlyNew list scenario keys present in one report only.
+	OnlyOld []string `json:"onlyOld,omitempty"`
+	OnlyNew []string `json:"onlyNew,omitempty"`
+	// Deltas lists every field that differs, in the old report's
+	// expansion order (fields in declaration order, metrics sorted).
+	Deltas []FieldDelta `json:"deltas,omitempty"`
+}
+
+// Clean reports whether the comparison passed: no scenarios unique to
+// either side and every delta within tolerance.
+func (d *Diff) Clean() bool {
+	if len(d.OnlyOld) > 0 || len(d.OnlyNew) > 0 {
+		return false
+	}
+	for _, e := range d.Deltas {
+		if !e.Within {
+			return false
+		}
+	}
+	return true
+}
+
+// Breaches counts the deltas beyond tolerance.
+func (d *Diff) Breaches() int {
+	n := 0
+	for _, e := range d.Deltas {
+		if !e.Within {
+			n++
+		}
+	}
+	return n
+}
+
+// DiffReports compares two sweep reports scenario by scenario under a
+// relative tolerance: a numeric field passes when
+// |new-old| <= tol·max(|new|,|old|); categorical fields (consistency
+// verdicts, refinements, match flags, a metric collected on one side
+// only) must be identical. tol 0 demands byte-level agreement on every
+// compared field — the right gate for this engine, whose sweeps are
+// deterministic at any parallelism.
+func DiffReports(old, new *Report, tol float64) *Diff {
+	d := &Diff{Tolerance: tol}
+	if old.RootSeed != new.RootSeed {
+		d.Deltas = append(d.Deltas, FieldDelta{
+			Key: "(report)", Field: "rootSeed",
+			OldText: strconv.FormatUint(old.RootSeed, 10),
+			NewText: strconv.FormatUint(new.RootSeed, 10),
+		})
+	}
+	newByKey := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		newByKey[r.Config.Key()] = r
+	}
+	seen := make(map[string]bool, len(old.Results))
+	for _, a := range old.Results {
+		key := a.Config.Key()
+		seen[key] = true
+		b, ok := newByKey[key]
+		if !ok {
+			d.OnlyOld = append(d.OnlyOld, key)
+			continue
+		}
+		d.Compared++
+		d.Deltas = append(d.Deltas, diffResult(key, a, b, tol)...)
+	}
+	for _, r := range new.Results {
+		if !seen[r.Config.Key()] {
+			d.OnlyNew = append(d.OnlyNew, r.Config.Key())
+		}
+	}
+	return d
+}
+
+// diffResult compares one scenario's two results field by field.
+func diffResult(key string, a, b Result, tol float64) []FieldDelta {
+	var out []FieldDelta
+	categorical := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, FieldDelta{Key: key, Field: field, OldText: av, NewText: bv})
+		}
+	}
+	numeric := func(field string, av, bv float64) {
+		if av == bv {
+			return
+		}
+		rel := relDelta(av, bv)
+		out = append(out, FieldDelta{Key: key, Field: field, Old: av, New: bv, Rel: rel, Within: rel <= tol})
+	}
+
+	categorical("refinement", a.Refinement, b.Refinement)
+	categorical("expected", a.Expected, b.Expected)
+	categorical("level", a.Level, b.Level)
+	categorical("match", strconv.FormatBool(a.Match), strconv.FormatBool(b.Match))
+	numeric("blocks", float64(a.Blocks), float64(b.Blocks))
+	numeric("forks", float64(a.Forks), float64(b.Forks))
+	numeric("ticks", float64(a.Ticks), float64(b.Ticks))
+	numeric("delivered", float64(a.Delivered), float64(b.Delivered))
+	numeric("dropped", float64(a.Dropped), float64(b.Dropped))
+	numeric("maxReorg", float64(a.MaxReorg), float64(b.MaxReorg))
+	numeric("finalityDepth", float64(a.FinalityDepth), float64(b.FinalityDepth))
+	numeric("fairnessTVD", a.FairnessTVD, b.FairnessTVD)
+	numeric("adversaryShare", a.AdversaryShare, b.AdversaryShare)
+
+	for _, name := range metricUnion(a.Metrics, b.Metrics) {
+		av, aok := a.Metrics[name]
+		bv, bok := b.Metrics[name]
+		switch {
+		case aok && bok:
+			numeric("metric:"+name, av, bv)
+		case aok:
+			categorical("metric:"+name, fmtMetric(av), "(absent)")
+		default:
+			categorical("metric:"+name, "(absent)", fmtMetric(bv))
+		}
+	}
+	return out
+}
+
+func fmtMetric(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// relDelta is |a-b| scaled by the larger magnitude; exactly-equal values
+// never reach it. With one side zero it is 1, so any appearing or
+// vanishing quantity fails every tolerance below 100%.
+func relDelta(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// metricUnion returns the sorted union of two metric maps' names.
+func metricUnion(a, b map[string]float64) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for name := range a {
+		set[name] = true
+	}
+	for name := range b {
+		set[name] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Format renders the diff as the deterministic text `btadt diff`
+// prints: one line per divergent field, then a one-line verdict.
+func (d *Diff) Format() string {
+	var sb strings.Builder
+	for _, key := range d.OnlyOld {
+		fmt.Fprintf(&sb, "only in old: %s\n", key)
+	}
+	for _, key := range d.OnlyNew {
+		fmt.Fprintf(&sb, "only in new: %s\n", key)
+	}
+	for _, e := range d.Deltas {
+		verdict := "BEYOND"
+		if e.Within {
+			verdict = "within"
+		}
+		if e.numeric() {
+			fmt.Fprintf(&sb, "%-52s %-20s %14g -> %-14g %+8.2f%% %s\n",
+				e.Key, e.Field, e.Old, e.New, 100*signedRel(e), verdict)
+		} else {
+			fmt.Fprintf(&sb, "%-52s %-20s %14s -> %-14s %8s %s\n",
+				e.Key, e.Field, e.OldText, e.NewText, "", "BEYOND")
+		}
+	}
+	switch {
+	case len(d.Deltas) == 0 && len(d.OnlyOld) == 0 && len(d.OnlyNew) == 0:
+		fmt.Fprintf(&sb, "reports identical: %d configurations, every field equal\n", d.Compared)
+	case d.Clean():
+		fmt.Fprintf(&sb, "reports agree within tolerance %g: %d configurations, %d deltas all within\n",
+			d.Tolerance, d.Compared, len(d.Deltas))
+	default:
+		fmt.Fprintf(&sb, "reports DIVERGE: %d configurations compared, %d deltas beyond tolerance %g, %d only-old, %d only-new\n",
+			d.Compared, d.Breaches(), d.Tolerance, len(d.OnlyOld), len(d.OnlyNew))
+	}
+	return sb.String()
+}
+
+// signedRel is the signed relative change (new vs old) for display.
+func signedRel(e FieldDelta) float64 {
+	den := math.Max(math.Abs(e.Old), math.Abs(e.New))
+	if den == 0 {
+		return 0
+	}
+	return (e.New - e.Old) / den
+}

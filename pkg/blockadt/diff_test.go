@@ -1,0 +1,130 @@
+package blockadt
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffBase(t *testing.T) *Report {
+	t.Helper()
+	m := Matrix{
+		Systems:      []string{"Bitcoin"},
+		Adversaries:  []string{AdvNone, AdvSelfish},
+		Seeds:        2,
+		RootSeed:     9,
+		TargetBlocks: 8,
+		Metrics:      []string{"fork_rate", "msg_bytes"},
+	}
+	rep, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func reencode(t *testing.T, rep *Report) *Report {
+	t.Helper()
+	raw, err := rep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDiffIdentical: a report diffed against its own decode is clean at
+// tolerance zero.
+func TestDiffIdentical(t *testing.T) {
+	rep := diffBase(t)
+	d := DiffReports(rep, reencode(t, rep), 0)
+	if !d.Clean() || len(d.Deltas) != 0 {
+		t.Fatalf("identical reports produced deltas: %+v", d.Deltas)
+	}
+	if d.Compared != rep.Total {
+		t.Fatalf("compared %d of %d configs", d.Compared, rep.Total)
+	}
+	if !strings.Contains(d.Format(), "reports identical") {
+		t.Fatalf("verdict line missing from:\n%s", d.Format())
+	}
+}
+
+// TestDiffWithinTolerance: a small perturbation passes a loose
+// tolerance and fails a tight one.
+func TestDiffWithinTolerance(t *testing.T) {
+	rep := diffBase(t)
+	bumped := reencode(t, rep)
+	bumped.Results[0].Metrics["fork_rate"] *= 1.04 // +4%
+
+	loose := DiffReports(rep, bumped, 0.05)
+	if !loose.Clean() {
+		t.Fatalf("4%% drift failed a 5%% tolerance:\n%s", loose.Format())
+	}
+	if len(loose.Deltas) != 1 {
+		t.Fatalf("expected exactly one delta, got %+v", loose.Deltas)
+	}
+
+	tight := DiffReports(rep, bumped, 0.01)
+	if tight.Clean() {
+		t.Fatal("4% drift passed a 1% tolerance")
+	}
+	if tight.Breaches() != 1 {
+		t.Fatalf("Breaches = %d, want 1", tight.Breaches())
+	}
+}
+
+// TestDiffRegression: categorical flips and missing configs always fail.
+func TestDiffRegression(t *testing.T) {
+	rep := diffBase(t)
+	broken := reencode(t, rep)
+	broken.Results[0].Level = "none"
+	broken.Results[0].Match = false
+	broken.Results[1].Forks += 10
+	broken.Results = broken.Results[:len(broken.Results)-1]
+
+	d := DiffReports(rep, broken, 0.5)
+	if d.Clean() {
+		t.Fatal("regressed report passed the diff")
+	}
+	if len(d.OnlyOld) != 1 {
+		t.Fatalf("OnlyOld = %v, want one dropped config", d.OnlyOld)
+	}
+	out := d.Format()
+	for _, want := range []string{"level", "match", "forks", "only in old", "DIVERGE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffMetricPresence: a metric collected on one side only is a
+// categorical failure at any tolerance.
+func TestDiffMetricPresence(t *testing.T) {
+	rep := diffBase(t)
+	stripped := reencode(t, rep)
+	delete(stripped.Results[0].Metrics, "msg_bytes")
+	d := DiffReports(rep, stripped, 1.0)
+	if d.Clean() {
+		t.Fatal("missing metric passed the diff")
+	}
+	if !strings.Contains(d.Format(), "metric:msg_bytes") {
+		t.Fatalf("metric absence not reported:\n%s", d.Format())
+	}
+}
+
+// TestDiffRootSeedMismatch: comparing sweeps of different root seeds is
+// flagged as a report-level delta.
+func TestDiffRootSeedMismatch(t *testing.T) {
+	rep := diffBase(t)
+	other := reencode(t, rep)
+	other.RootSeed++
+	d := DiffReports(rep, other, 0)
+	if d.Clean() {
+		t.Fatal("root-seed mismatch passed the diff")
+	}
+	if !strings.Contains(d.Format(), "rootSeed") {
+		t.Fatalf("root-seed mismatch not reported:\n%s", d.Format())
+	}
+}

@@ -1,0 +1,97 @@
+package blockadt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Merge folds the reports of sharded sweeps of matrix m back into the
+// canonical unsharded report: results are reordered into full
+// matrix-expansion order and the census fields recomputed, so the merged
+// report's EncodeJSON is byte-identical to running the whole matrix in
+// one piece. Shard order does not matter, and overlapping shards are
+// tolerated as long as the overlapping results agree. It errors when a
+// shard was produced under a different root seed, when any matrix
+// scenario is missing from the union, when the union contains scenarios
+// the matrix does not expand to, and when two shards disagree about the
+// same scenario — each of those means the shards and the matrix (or the
+// engine that ran them) were not actually the same.
+func Merge(m Matrix, shards ...*Report) (*Report, error) {
+	full := m
+	full.ShardIndex, full.ShardCount = 0, 0
+	configs, err := full.Configs()
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[string]Result, len(configs))
+	for i, shard := range shards {
+		if shard == nil {
+			return nil, fmt.Errorf("blockadt: shard %d is nil", i)
+		}
+		if shard.RootSeed != full.RootSeed {
+			return nil, fmt.Errorf("blockadt: shard %d swept root seed %d, matrix has %d",
+				i, shard.RootSeed, full.RootSeed)
+		}
+		for _, r := range shard.Results {
+			key := r.Config.Key()
+			if prev, dup := byKey[key]; dup {
+				if !resultsEqual(prev, r) {
+					return nil, fmt.Errorf("blockadt: shards disagree about scenario %s", key)
+				}
+				continue
+			}
+			byKey[key] = r
+		}
+	}
+
+	rep := &Report{RootSeed: full.RootSeed, Results: make([]Result, len(configs)), Total: len(configs)}
+	var missing []string
+	for i, cfg := range configs {
+		r, ok := byKey[cfg.Key()]
+		if !ok {
+			missing = append(missing, cfg.Key())
+			continue
+		}
+		delete(byKey, cfg.Key())
+		rep.Results[i] = r
+		if r.Match {
+			rep.Matched++
+		}
+		rep.Ticks += r.Ticks
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("blockadt: %d of %d scenarios missing from the shards (first: %s)",
+			len(missing), len(configs), missing[0])
+	}
+	if len(byKey) > 0 {
+		for key := range byKey {
+			return nil, fmt.Errorf("blockadt: shards contain %d scenarios outside the matrix (first: %s)",
+				len(byKey), key)
+		}
+	}
+	return rep, nil
+}
+
+// resultsEqual compares two results by their canonical JSON, the same
+// representation the report encodes (wall-clock excluded).
+func resultsEqual(a, b Result) bool {
+	ea, erra := json.Marshal(a)
+	eb, errb := json.Marshal(b)
+	return erra == nil && errb == nil && bytes.Equal(ea, eb)
+}
+
+// DecodeReport parses a sweep report from its canonical JSON (the
+// output of Report.EncodeJSON / `btadt sweep -json`).
+func DecodeReport(raw []byte) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("blockadt: not a sweep report: %w", err)
+	}
+	if rep.Results == nil && rep.Total == 0 && !strings.Contains(string(raw), "\"results\"") {
+		return nil, fmt.Errorf("blockadt: not a sweep report: no results field")
+	}
+	return &rep, nil
+}

@@ -2,6 +2,7 @@ package blockadt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"blockadt/internal/fairness"
@@ -87,6 +88,38 @@ type Matrix struct {
 	// derived seed) is independent of them — only the Result rows gain
 	// a metrics object.
 	Metrics []string `json:"metrics,omitempty"`
+	// ShardIndex/ShardCount restrict the expansion to one deterministic
+	// partition of the cross product (set them through Shard). A
+	// scenario's shard is a pure function of its canonical key, so the
+	// partition is independent of dimension ordering and expansion
+	// order: shards are disjoint, their union is the full matrix, and a
+	// scenario never migrates between shards when the matrix's lists
+	// are permuted. ShardCount 0 (or 1) means unsharded.
+	ShardIndex int `json:"shardIndex,omitempty"`
+	ShardCount int `json:"shardCount,omitempty"`
+}
+
+// Shard returns a copy of the matrix restricted to the index'th of
+// count deterministic partitions (0 ≤ index < count). Sharded sweeps
+// run disjoint scenario subsets whose union is exactly the unsharded
+// expansion — Merge reassembles their reports into the canonical whole.
+func (m Matrix) Shard(index, count int) (Matrix, error) {
+	if count < 1 {
+		return Matrix{}, fmt.Errorf("blockadt: shard count must be >= 1, got %d", count)
+	}
+	if index < 0 || index >= count {
+		return Matrix{}, fmt.Errorf("blockadt: shard index %d out of range [0,%d)", index, count)
+	}
+	m.ShardIndex, m.ShardCount = index, count
+	return m, nil
+}
+
+// shard reports which of count partitions the scenario belongs to: a
+// hash of the canonical key, deliberately domain-separated from the
+// seed-derivation hash so shard membership and prng streams stay
+// uncorrelated.
+func (c Scenario) shard(count int) int {
+	return int(hashString("shard|"+c.Key()) % uint64(count))
 }
 
 // Table1 returns the matrix regenerating Table 1: every registered
@@ -142,6 +175,12 @@ func (m Matrix) Configs() ([]Scenario, error) {
 	if _, err := m.metricSpecs(); err != nil {
 		return nil, err
 	}
+	if m.ShardCount < 0 {
+		return nil, fmt.Errorf("blockadt: shard count must be >= 1, got %d", m.ShardCount)
+	}
+	if m.ShardCount > 0 && (m.ShardIndex < 0 || m.ShardIndex >= m.ShardCount) {
+		return nil, fmt.Errorf("blockadt: shard index %d out of range [0,%d)", m.ShardIndex, m.ShardCount)
+	}
 	var out []Scenario
 	for _, sys := range m.Systems {
 		for _, link := range m.Links {
@@ -168,6 +207,9 @@ func (m Matrix) Configs() ([]Scenario, error) {
 						}
 						if aspec.Run != nil {
 							cfg.Alpha = m.Alpha
+						}
+						if m.ShardCount > 1 && cfg.shard(m.ShardCount) != m.ShardIndex {
+							continue
 						}
 						cfg.Seed = cfg.DeriveSeed(m.RootSeed)
 						out = append(out, cfg)
@@ -253,8 +295,11 @@ type Report struct {
 
 // Run expands the matrix and executes every scenario across a bounded
 // pool of the given parallelism (<1 selects NumCPU). Results are in
-// matrix-expansion order regardless of scheduling.
-func Run(m Matrix, parallelism int) (*Report, error) {
+// matrix-expansion order regardless of scheduling. With WithStore,
+// cached scenarios are served from the run store without simulating and
+// misses are computed and persisted — the report is byte-identical
+// either way.
+func Run(m Matrix, parallelism int, opts ...RunOption) (*Report, error) {
 	configs, err := m.Configs()
 	if err != nil {
 		return nil, err
@@ -263,10 +308,35 @@ func Run(m Matrix, parallelism int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	rcfg := applyRunOptions(opts)
+	cache, err := newRunCache(rcfg, m, configs)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	results := parallel.Map(configs, parallelism, func(_ int, cfg Scenario) Result {
-		return runScenario(cfg, specs)
+	var storeErr atomic.Pointer[error]
+	results := parallel.Map(configs, parallelism, func(i int, cfg Scenario) Result {
+		if cache != nil {
+			if r, ok := cache.get(i); ok {
+				return r
+			}
+		}
+		r := runScenario(cfg, specs)
+		if cache != nil {
+			if err := cache.put(i, r); err != nil {
+				storeErr.CompareAndSwap(nil, &err)
+			}
+		}
+		return r
 	})
+	if errp := storeErr.Load(); errp != nil {
+		return nil, *errp
+	}
+	if cache != nil {
+		if err := cache.finish(rcfg.storeGC, m); err != nil {
+			return nil, err
+		}
+	}
 	rep := &Report{
 		RootSeed:    m.RootSeed,
 		Results:     results,
@@ -322,6 +392,7 @@ func RunScenario(cfg Scenario) (Result, error) {
 // exported entry points. mspecs are the resolved metric collectors to
 // run over the result (nil disables collection).
 func runScenario(cfg Scenario, mspecs []MetricSpec) Result {
+	scenarioRuns.Add(1)
 	p := SimParams{N: cfg.N, TargetBlocks: cfg.Blocks, Seed: cfg.Seed}
 	start := time.Now()
 

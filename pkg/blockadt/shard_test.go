@@ -1,0 +1,222 @@
+package blockadt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func shardTestMatrix() Matrix {
+	return Matrix{
+		Systems:      []string{"Bitcoin", "Ethereum", "Hyperledger", "Algorand"},
+		Links:        []string{LinkSync, LinkAsync, LinkPsync},
+		Adversaries:  []string{AdvNone, AdvSelfish},
+		Ns:           []int{4, 8},
+		Seeds:        3,
+		RootSeed:     42,
+		TargetBlocks: 8,
+	}
+}
+
+func keySet(t *testing.T, m Matrix) map[string]bool {
+	t.Helper()
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool, len(configs))
+	for _, c := range configs {
+		if out[c.Key()] {
+			t.Fatalf("duplicate scenario %s", c.Key())
+		}
+		out[c.Key()] = true
+	}
+	return out
+}
+
+// TestShardPartitionProperty is the satellite property test: for several
+// shard counts, the shards are pairwise disjoint and their union is
+// exactly the unsharded expansion.
+func TestShardPartitionProperty(t *testing.T) {
+	m := shardTestMatrix()
+	full := keySet(t, m)
+	if len(full) < 20 {
+		t.Fatalf("matrix too small for a meaningful partition test: %d scenarios", len(full))
+	}
+	for _, count := range []int{1, 2, 3, 5, 8} {
+		union := map[string]bool{}
+		for i := 0; i < count; i++ {
+			shard, err := m.Shard(i, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for key := range keySet(t, shard) {
+				if union[key] {
+					t.Fatalf("count=%d: scenario %s appears in two shards", count, key)
+				}
+				union[key] = true
+			}
+		}
+		if len(union) != len(full) {
+			t.Fatalf("count=%d: union has %d scenarios, full matrix %d", count, len(union), len(full))
+		}
+		for key := range union {
+			if !full[key] {
+				t.Fatalf("count=%d: union scenario %s not in full matrix", count, key)
+			}
+		}
+	}
+}
+
+// TestShardAssignmentStableUnderReordering pins that a scenario's shard
+// depends only on its canonical key: permuting every matrix dimension
+// list leaves each shard's key set unchanged.
+func TestShardAssignmentStableUnderReordering(t *testing.T) {
+	m := shardTestMatrix()
+	permuted := m
+	permuted.Systems = []string{"Algorand", "Hyperledger", "Bitcoin", "Ethereum"}
+	permuted.Links = []string{LinkPsync, LinkAsync, LinkSync}
+	permuted.Adversaries = []string{AdvSelfish, AdvNone}
+	permuted.Ns = []int{8, 4}
+
+	for i := 0; i < 3; i++ {
+		a, err := m.Shard(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := permuted.Shard(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ka, kb := keySet(t, a), keySet(t, b)
+		if len(ka) != len(kb) {
+			t.Fatalf("shard %d: %d vs %d scenarios after permutation", i, len(ka), len(kb))
+		}
+		for key := range ka {
+			if !kb[key] {
+				t.Fatalf("shard %d: scenario %s migrated shards under reordering", i, key)
+			}
+		}
+	}
+}
+
+// TestShardValidation pins the failure modes: bad indices fail loudly in
+// both Shard and Configs.
+func TestShardValidation(t *testing.T) {
+	m := shardTestMatrix()
+	if _, err := m.Shard(0, 0); err == nil {
+		t.Error("Shard accepted count 0")
+	}
+	if _, err := m.Shard(2, 2); err == nil {
+		t.Error("Shard accepted index == count")
+	}
+	if _, err := m.Shard(-1, 2); err == nil {
+		t.Error("Shard accepted a negative index")
+	}
+	bad := m
+	bad.ShardIndex, bad.ShardCount = 5, 2
+	if _, err := bad.Configs(); err == nil {
+		t.Error("Configs accepted an out-of-range shard index")
+	}
+	neg := m
+	neg.ShardCount = -1
+	if _, err := neg.Configs(); err == nil {
+		t.Error("Configs accepted a negative shard count")
+	}
+}
+
+// TestMergeShardsByteIdentical is the acceptance criterion: run the two
+// shards of a matrix separately, Merge them (in scrambled order), and
+// the merged report's canonical JSON is byte-identical to the unsharded
+// sweep's.
+func TestMergeShardsByteIdentical(t *testing.T) {
+	m := shardTestMatrix()
+	m.TargetBlocks = 6 // keep the double sweep fast
+	whole, err := Run(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeJSON, err := whole.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shards []*Report
+	for i := 0; i < 2; i++ {
+		sm, err := m.Shard(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(sm, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Total == 0 || rep.Total == whole.Total {
+			t.Fatalf("shard %d expanded to %d of %d scenarios — not a real partition", i, rep.Total, whole.Total)
+		}
+		shards = append(shards, rep)
+	}
+
+	merged, err := Merge(m, shards[1], shards[0]) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedJSON, err := merged.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wholeJSON, mergedJSON) {
+		t.Fatal("merged shard reports are not byte-identical to the unsharded sweep")
+	}
+}
+
+// TestMergeFailsLoudly pins Merge's error modes: a missing shard, a
+// foreign scenario, a root-seed mismatch and a conflicting duplicate.
+func TestMergeFailsLoudly(t *testing.T) {
+	m := shardTestMatrix()
+	m.TargetBlocks = 6
+	s0m, _ := m.Shard(0, 2)
+	s1m, _ := m.Shard(1, 2)
+	s0, err := Run(s0m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Run(s1m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Merge(m, s0); err == nil {
+		t.Error("Merge accepted a missing shard")
+	}
+
+	foreign := m
+	foreign.RootSeed = 7
+	f0m, _ := foreign.Shard(0, 2)
+	f0, err := Run(f0m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(m, f0, s1); err == nil {
+		t.Error("Merge accepted a shard swept under a different root seed")
+	}
+
+	// A duplicated but agreeing shard is fine (overlapping stores).
+	if _, err := Merge(m, s0, s1, s0); err != nil {
+		t.Errorf("Merge rejected an agreeing overlap: %v", err)
+	}
+
+	// A conflicting duplicate is not.
+	tampered := *s0
+	tampered.Results = append([]Result(nil), s0.Results...)
+	tampered.Results[0].Forks++
+	if _, err := Merge(m, s0, s1, &tampered); err == nil {
+		t.Error("Merge accepted shards that disagree about a scenario")
+	}
+
+	// A scenario outside the matrix is an error too.
+	narrower := m
+	narrower.Ns = []int{4}
+	if _, err := Merge(narrower, s0, s1); err == nil {
+		t.Error("Merge accepted results outside the matrix")
+	}
+}

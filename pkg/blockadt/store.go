@@ -1,0 +1,186 @@
+package blockadt
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"blockadt/internal/runstore"
+)
+
+// EngineVersion names the simulation semantics the run store caches
+// under. It participates in every store key, so bumping it (required
+// whenever a change makes any scenario's Result differ — new simulator
+// behavior, a metric's formula, the classifier) invalidates every cached
+// entry at once instead of silently serving results the current engine
+// would no longer produce.
+const EngineVersion = "btadt-engine-v1"
+
+// RunOption customizes Run and Stream (the sweep engine's entry
+// points), as Option customizes New/Simulate. The zero set of options
+// reproduces the historical behavior exactly.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	storeDir string
+	storeGC  bool
+}
+
+// WithStore backs the sweep with the content-addressed run store at
+// dir (created if missing): scenarios whose key — a hash of {engine
+// version, root seed, scenario coordinates, derived seed, metric set} —
+// is already cached are served from disk without simulating, and misses
+// are computed and persisted atomically. Because the store holds each
+// scenario's canonical Result JSON, a cached sweep's report is
+// byte-identical to a cold run's at any parallelism.
+func WithStore(dir string) RunOption {
+	return func(c *runConfig) { c.storeDir = dir }
+}
+
+// WithStoreGC garbage-collects the store after the sweep: every entry
+// that is not part of this matrix's FULL (unsharded) expansion under the
+// current engine version is deleted. Sharded sweeps therefore never
+// collect sibling shards' entries. Only meaningful with WithStore.
+func WithStoreGC() RunOption {
+	return func(c *runConfig) { c.storeGC = true }
+}
+
+func applyRunOptions(opts []RunOption) runConfig {
+	var c runConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// scenarioRuns counts simulator invocations made by the sweep engine
+// (runScenario calls). Tests use the difference across a sweep to pin
+// the "cached sweeps simulate nothing" contract.
+var scenarioRuns atomic.Uint64
+
+// ScenarioRuns reports the cumulative number of scenario simulations the
+// sweep engine has executed in this process. A fully cached sweep leaves
+// it unchanged.
+func ScenarioRuns() uint64 { return scenarioRuns.Load() }
+
+// storeKey derives a scenario's run-store key. Everything that can
+// change the scenario's canonical Result JSON participates: the engine
+// version, the root seed (the derived seed is included too, though it is
+// a function of the two), the scenario's canonical coordinates, and the
+// sorted deduplicated metric set (metrics add fields to the Result but
+// never alter the simulation).
+func storeKey(rootSeed uint64, cfg Scenario, metricNames []string) string {
+	names := append([]string(nil), metricNames...)
+	sort.Strings(names)
+	names = uniqSorted(names)
+	return fmt.Sprintf("%s|root=%d|%s|seed=%d|metrics=%s",
+		EngineVersion, rootSeed, cfg.Key(), cfg.Seed, strings.Join(names, ","))
+}
+
+func uniqSorted(names []string) []string {
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// runCache binds one sweep to its store: per-scenario keys precomputed
+// in expansion order, hit/miss bookkeeping, and end-of-run flush/GC.
+type runCache struct {
+	store *runstore.Store
+	keys  []string
+	hits  atomic.Uint64
+}
+
+// newRunCache opens the configured store (nil config → nil cache) and
+// precomputes the key of every expanded scenario.
+func newRunCache(c runConfig, m Matrix, configs []Scenario) (*runCache, error) {
+	if c.storeDir == "" {
+		return nil, nil
+	}
+	store, err := runstore.Open(c.storeDir)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(configs))
+	for i, cfg := range configs {
+		keys[i] = storeKey(m.RootSeed, cfg, m.Metrics)
+	}
+	return &runCache{store: store, keys: keys}, nil
+}
+
+// get serves scenario i from the store. Unreadable or undecodable
+// entries degrade to a miss (the caller recomputes and put overwrites).
+func (c *runCache) get(i int) (Result, bool) {
+	raw, ok, err := c.store.Get(c.keys[i])
+	if err != nil || !ok {
+		return Result{}, false
+	}
+	var r Result
+	if json.Unmarshal(raw, &r) != nil {
+		return Result{}, false
+	}
+	c.hits.Add(1)
+	return r, true
+}
+
+// put persists scenario i's result.
+func (c *runCache) put(i int, r Result) error {
+	enc, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return c.store.Put(c.keys[i], enc)
+}
+
+// finish flushes the index and, when requested, garbage-collects every
+// entry outside the matrix's full unsharded expansion.
+func (c *runCache) finish(gc bool, m Matrix) error {
+	if gc {
+		full := m
+		full.ShardIndex, full.ShardCount = 0, 0
+		configs, err := full.Configs()
+		if err != nil {
+			return err
+		}
+		keep := make(map[string]bool, len(configs))
+		for _, cfg := range configs {
+			keep[storeKey(m.RootSeed, cfg, m.Metrics)] = true
+		}
+		if _, err := c.store.GC(func(key string) bool { return keep[key] }); err != nil {
+			return err
+		}
+		return nil
+	}
+	return c.store.Flush()
+}
+
+// StorePreflight reports how many of the matrix's scenarios are already
+// cached in the store at dir (created if missing): the numbers behind
+// `btadt sweep -resume`'s "X/Y cached" note and the guard that refuses
+// to serve a pre-populated store without an explicit -resume. It counts
+// from the store index without reading objects, so it is advisory — an
+// object corrupted on disk still counts here and degrades to a
+// recompute when served. The post-run ScenarioRuns delta is the exact
+// measure of what was actually simulated.
+func StorePreflight(dir string, m Matrix) (cached, total int, err error) {
+	configs, err := m.Configs()
+	if err != nil {
+		return 0, 0, err
+	}
+	store, err := runstore.Open(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, cfg := range configs {
+		if store.Has(storeKey(m.RootSeed, cfg, m.Metrics)) {
+			cached++
+		}
+	}
+	return cached, len(configs), nil
+}

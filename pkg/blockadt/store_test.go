@@ -1,0 +1,221 @@
+package blockadt
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// storeTestMatrix pins its systems explicitly so registrations made by
+// other tests cannot change the expansion under us, and enables metric
+// collection so cached results must round-trip the metrics map too.
+func storeTestMatrix() Matrix {
+	return Matrix{
+		Systems:      []string{"Bitcoin", "Hyperledger"},
+		Links:        []string{LinkSync, LinkAsync},
+		Adversaries:  []string{AdvNone, AdvSelfish},
+		Seeds:        2,
+		RootSeed:     11,
+		TargetBlocks: 10,
+		Metrics:      MetricNames(),
+	}
+}
+
+// TestStoreRoundTrip is the tentpole's golden contract: populate a store
+// through a sweep, reopen it, serve the same sweep entirely from cache —
+// the JSON is byte-identical to the cold run and the cached pass
+// performs zero simulations (pinned by the ScenarioRuns counter).
+func TestStoreRoundTrip(t *testing.T) {
+	m := storeTestMatrix()
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, err := cold.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	before := ScenarioRuns()
+	populated, err := Run(m, 2, WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := ScenarioRuns() - before; ran != uint64(len(configs)) {
+		t.Fatalf("populating run simulated %d scenarios, want %d", ran, len(configs))
+	}
+	populatedJSON, err := populated.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, populatedJSON) {
+		t.Fatal("store-backed cold run diverged from plain run")
+	}
+
+	// Reopen (a fresh Run opens the store anew) and serve from cache.
+	before = ScenarioRuns()
+	cached, err := Run(m, 4, WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := ScenarioRuns() - before; ran != 0 {
+		t.Fatalf("cached run simulated %d scenarios, want 0", ran)
+	}
+	cachedJSON, err := cached.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, cachedJSON) {
+		t.Fatal("cached run is not byte-identical to the cold run")
+	}
+
+	if hit, total, err := StorePreflight(dir, m); err != nil || hit != len(configs) || total != len(configs) {
+		t.Fatalf("StorePreflight = (%d, %d, %v), want (%d, %d, nil)", hit, total, err, len(configs), len(configs))
+	}
+}
+
+// TestStreamServesFromStore pins the same contract on the streaming
+// path, populated by Run and served by Stream.
+func TestStreamServesFromStore(t *testing.T) {
+	m := storeTestMatrix()
+	dir := t.TempDir()
+	cold, err := Run(m, 1, WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := ScenarioRuns()
+	var streamed []Result
+	for r, err := range Stream(context.Background(), m, 3, WithStore(dir)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, r)
+	}
+	if ran := ScenarioRuns() - before; ran != 0 {
+		t.Fatalf("cached stream simulated %d scenarios, want 0", ran)
+	}
+	streamedRep := &Report{RootSeed: m.RootSeed, Results: streamed, Total: len(streamed)}
+	for _, r := range streamed {
+		if r.Match {
+			streamedRep.Matched++
+		}
+		streamedRep.Ticks += r.Ticks
+	}
+	a, err := cold.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := streamedRep.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("streamed cached report diverged from cold report")
+	}
+}
+
+// TestStorePartialResume pins incremental behavior: a store populated by
+// one shard serves that shard's scenarios and simulates only the rest.
+func TestStorePartialResume(t *testing.T) {
+	m := storeTestMatrix()
+	shard0, err := m.Shard(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Run(shard0, 1, WithStore(dir)); err != nil {
+		t.Fatal(err)
+	}
+	shardConfigs, err := shard0.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullConfigs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := ScenarioRuns()
+	full, err := Run(m, 2, WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(len(fullConfigs) - len(shardConfigs))
+	if ran := ScenarioRuns() - before; ran != want {
+		t.Fatalf("resumed run simulated %d scenarios, want %d (the non-cached remainder)", ran, want)
+	}
+	plain, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := plain.EncodeJSON()
+	b, _ := full.EncodeJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed run diverged from plain run")
+	}
+}
+
+// TestStoreKeyIncludesMetrics pins that the metric set participates in
+// the store key: a metrics-enabled sweep must not be served results
+// cached without metrics (their Result rows differ).
+func TestStoreKeyIncludesMetrics(t *testing.T) {
+	m := storeTestMatrix()
+	m.Metrics = nil
+	dir := t.TempDir()
+	if _, err := Run(m, 1, WithStore(dir)); err != nil {
+		t.Fatal(err)
+	}
+	withMetrics := m
+	withMetrics.Metrics = MetricNames()
+	configs, err := withMetrics.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ScenarioRuns()
+	rep, err := Run(withMetrics, 1, WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := ScenarioRuns() - before; ran != uint64(len(configs)) {
+		t.Fatalf("metrics-enabled sweep reused metrics-free cache entries (%d simulated, want %d)", ran, len(configs))
+	}
+	if len(rep.Results[0].Metrics) == 0 {
+		t.Fatal("metrics missing from the metrics-enabled sweep")
+	}
+}
+
+// TestStoreGC pins WithStoreGC: entries outside the matrix's full
+// expansion (here: a stale root seed) are collected, current ones kept.
+func TestStoreGC(t *testing.T) {
+	stale := storeTestMatrix()
+	dir := t.TempDir()
+	if _, err := Run(stale, 1, WithStore(dir)); err != nil {
+		t.Fatal(err)
+	}
+	current := stale
+	current.RootSeed = stale.RootSeed + 1
+	if _, err := Run(current, 1, WithStore(dir), WithStoreGC()); err != nil {
+		t.Fatal(err)
+	}
+	staleHits, _, err := StorePreflight(dir, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staleHits != 0 {
+		t.Fatalf("GC left %d stale entries", staleHits)
+	}
+	curHits, total, err := StorePreflight(dir, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curHits != total {
+		t.Fatalf("GC collected live entries: %d/%d cached", curHits, total)
+	}
+}

@@ -3,6 +3,7 @@ package blockadt
 import (
 	"context"
 	"iter"
+	"sync/atomic"
 
 	"blockadt/internal/parallel"
 )
@@ -14,10 +15,13 @@ import (
 // values yielded are exactly those Run would report for the same matrix.
 //
 // The first yielded pair carries a non-nil error (and a zero Result) if
-// the matrix fails to expand or the context is cancelled; iteration stops
-// after any error. Breaking out of the loop stops scheduling new
-// scenarios; in-flight ones finish in the background.
-func Stream(ctx context.Context, m Matrix, parallelism int) iter.Seq2[Result, error] {
+// the matrix fails to expand, the run store fails, or the context is
+// cancelled; iteration stops after any error. Breaking out of the loop
+// stops scheduling new scenarios; in-flight ones finish in the
+// background. With WithStore, cached scenarios are served from the run
+// store without simulating and misses are computed and persisted, like
+// Run.
+func Stream(ctx context.Context, m Matrix, parallelism int, opts ...RunOption) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
 		configs, err := m.Configs()
 		if err != nil {
@@ -29,11 +33,33 @@ func Stream(ctx context.Context, m Matrix, parallelism int) iter.Seq2[Result, er
 			yield(Result{}, err)
 			return
 		}
-		for _, r := range parallel.Stream(ctx, configs, parallelism, func(_ int, cfg Scenario) Result {
-			return runScenario(cfg, specs)
+		rcfg := applyRunOptions(opts)
+		cache, err := newRunCache(rcfg, m, configs)
+		if err != nil {
+			yield(Result{}, err)
+			return
+		}
+		var storeErr atomic.Pointer[error]
+		for _, r := range parallel.Stream(ctx, configs, parallelism, func(i int, cfg Scenario) Result {
+			if cache != nil {
+				if r, ok := cache.get(i); ok {
+					return r
+				}
+			}
+			r := runScenario(cfg, specs)
+			if cache != nil {
+				if err := cache.put(i, r); err != nil {
+					storeErr.CompareAndSwap(nil, &err)
+				}
+			}
+			return r
 		}) {
 			if err := ctx.Err(); err != nil {
 				yield(Result{}, err)
+				return
+			}
+			if errp := storeErr.Load(); errp != nil {
+				yield(Result{}, *errp)
 				return
 			}
 			if !yield(r, nil) {
@@ -44,6 +70,16 @@ func Stream(ctx context.Context, m Matrix, parallelism int) iter.Seq2[Result, er
 		// yields; surface the cancellation as the final pair.
 		if err := ctx.Err(); err != nil {
 			yield(Result{}, err)
+			return
+		}
+		if errp := storeErr.Load(); errp != nil {
+			yield(Result{}, *errp)
+			return
+		}
+		if cache != nil {
+			if err := cache.finish(rcfg.storeGC, m); err != nil {
+				yield(Result{}, err)
+			}
 		}
 	}
 }
