@@ -494,6 +494,27 @@ func BenchmarkPBFTChain(b *testing.B) {
 	}
 }
 
+// BenchmarkBroadcast measures the netsim broadcast hot path: one message
+// fanned out to 64 registered processes. Every simulator calls this once
+// per block per miner, so it is the inner loop of the entire sweep
+// engine; the Sim caches the sorted process slice (invalidated on
+// Register) instead of re-sorting per call. Gated by benchguard via
+// BENCH_baseline.txt.
+func BenchmarkBroadcast(b *testing.B) {
+	s := netsim.New(netsim.Synchronous{Delta: 4}, 1)
+	const procs = 64
+	for i := 0; i < procs; i++ {
+		s.Register(history.ProcID(i), netsim.HandlerFuncs{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Broadcast(0, netsim.Message{Kind: netsim.UpdateMsg, Block: "b"})
+		if i%1024 == 0 {
+			s.Run(1 << 62) // drain so the event heap stays bounded
+		}
+	}
+}
+
 // BenchmarkGossipDissemination measures flooding one block to 8 processes.
 func BenchmarkGossipDissemination(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -10,10 +10,10 @@ import (
 
 // baselineArgs is the canonical CI sweep matrix, shared verbatim by the
 // sharded sweep jobs in .github/workflows/ci.yml: every registered
-// system, all three link models, both adversaries, two seeds, every
+// system, all six link models, both adversaries, two seeds, every
 // registered metric. SWEEP_baseline.json is this sweep's canonical JSON.
 func baselineArgs(extra ...string) []string {
-	args := []string{"-links", "sync,async,psync", "-adversaries", "none,selfish",
+	args := []string{"-links", "sync,async,psync,lossy,partition,jitter", "-adversaries", "none,selfish",
 		"-n", "8", "-seeds", "2", "-blocks", "30", "-seed", "42", "-metrics", "all", "-json"}
 	return append(args, extra...)
 }

@@ -20,7 +20,7 @@ import (
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
-	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync")
+	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
 	ns := fs.String("n", "8", "comma-separated process counts")
 	seeds := fs.Int("seeds", 8, "seed indices per matrix point (the aggregation dimension)")

@@ -28,7 +28,7 @@ import (
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
-	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync")
+	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
 	ns := fs.String("n", "8", "comma-separated process counts")
 	seeds := fs.Int("seeds", 1, "seed indices per matrix point")
@@ -206,7 +206,7 @@ func parseShard(s string) (index, count int, err error) {
 }
 
 // errEmptyMatrix reports a matrix whose every combination was pruned.
-var errEmptyMatrix = fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (async/selfish are only implemented for Bitcoin's PoW path)")
+var errEmptyMatrix = fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (the non-sync links run only on the PoW systems, and selfish only on Bitcoin under sync)")
 
 // splitList splits a comma-separated flag, dropping empty entries.
 func splitList(s string) []string {

@@ -32,8 +32,15 @@ type AsyncParams struct {
 
 // RunBitcoinAsync runs the Bitcoin simulator over asynchronous links.
 func RunBitcoinAsync(p AsyncParams) Result {
+	return RunPoWAsync("Bitcoin", p)
+}
+
+// RunPoWAsync runs the named PoW system over asynchronous links. Unknown
+// systems panic; callers gate on SupportsPoWLinks (the link registry's
+// Supports predicate does).
+func RunPoWAsync(system string, p AsyncParams) Result {
 	links := netsim.Asynchronous{MaxDelay: p.MaxDelay, TailProb: p.TailProb}
-	return runPoWLinks("Bitcoin/async", "R(BT-ADT_EC, Θ_P) — async regime", blocktree.HeaviestChain{}, links, p.Params)
+	return runPoWSystemLinks(system, "async", "R(BT-ADT_EC, Θ_P) — async regime", links, p.Params)
 }
 
 // PsyncParams extends Params with the weakly-synchronous (eventually
@@ -52,39 +59,53 @@ type PsyncParams struct {
 	PreMax int64
 }
 
-// psyncSelectors maps the systems with a weakly-synchronous runner to
-// their selection functions. Like the async dimension, only Bitcoin's
-// heaviest-chain rule qualifies: the committee systems assume
-// synchronous rounds, and GHOST's subtree-weight selection oscillates on
-// pre-GST forks often enough to break the Expected=EC sweep contract.
-var psyncSelectors = map[string]blocktree.Selector{
-	"Bitcoin": blocktree.HeaviestChain{},
+// powSelectors maps each PoW system — the permissionless protocols whose
+// mining loop is link-model agnostic — to its selection function. This is
+// the support set of every non-synchronous link regime: the committee
+// systems assume synchronous rounds, so only the PoW systems run under
+// async, psync, lossy, partition and jitter links. (GHOST's pre-GST
+// oscillation, which used to exclude Ethereum from psync, is gone now
+// that WeaklySynchronous honors the DLS "delivered by GST+δ" bound: no
+// stale pre-GST straggler can arrive arbitrarily late and flip the
+// subtree weights after stabilization.)
+var powSelectors = map[string]blocktree.Selector{
+	"Bitcoin":  blocktree.HeaviestChain{},
+	"Ethereum": blocktree.GHOST{},
 }
 
-// SupportsPsync reports whether the named system has a weakly-synchronous
-// runner.
-func SupportsPsync(system string) bool {
-	_, ok := psyncSelectors[system]
+// SupportsPoWLinks reports whether the named system has a generic
+// netsim-backed PoW runner — the Supports predicate of every
+// non-synchronous link model.
+func SupportsPoWLinks(system string) bool {
+	_, ok := powSelectors[system]
 	return ok
 }
 
-// RunPoWPsync runs the named PoW system over weakly-synchronous links:
-// unbounded-looking delays before GST, synchronous δ-bounded delivery
-// after. Because the run continues (and drains) well past GST, the
-// history converges and the theory still predicts Eventual Consistency —
-// the eventually-synchronous regime the paper's weakly synchronous
-// channels model. Unknown systems panic; callers gate on SupportsPsync
-// (the link registry's Supports predicate does).
-func RunPoWPsync(system string, p PsyncParams) Result {
-	sel, ok := psyncSelectors[system]
+// runPoWSystemLinks resolves the named PoW system's selector and runs it
+// over the given link model, tagging the result with the link regime.
+// Unknown systems panic; callers gate on SupportsPoWLinks.
+func runPoWSystemLinks(system, regime, refinement string, links netsim.LinkModel, p Params) Result {
+	sel, ok := powSelectors[system]
 	if !ok {
-		panic("chains: no weakly-synchronous runner for system " + system)
+		panic("chains: no " + regime + " runner for system " + system)
 	}
+	return runPoWLinks(system+"/"+regime, refinement, sel, links, p)
+}
+
+// RunPoWPsync runs the named PoW system over weakly-synchronous links:
+// unbounded-looking delays before GST (every pre-GST send still delivered
+// by GST+δ, the DLS bound), synchronous δ-bounded delivery after. Because
+// the run continues (and drains) well past GST, the history converges and
+// the theory still predicts Eventual Consistency — the eventually-
+// synchronous regime the paper's weakly synchronous channels model.
+// Unknown systems panic; callers gate on SupportsPoWLinks (the link
+// registry's Supports predicate does).
+func RunPoWPsync(system string, p PsyncParams) Result {
 	p.Params = p.Params.withDefaults()
 	gst := p.GST
 	if gst <= 0 {
 		gst = 8 * p.Delta
 	}
 	links := netsim.WeaklySynchronous{GST: gst, Delta: p.Delta, PreMax: p.PreMax}
-	return runPoWLinks(system+"/psync", "R(BT-ADT_EC, Θ_P) — weakly synchronous (GST) regime", sel, links, p.Params)
+	return runPoWSystemLinks(system, "psync", "R(BT-ADT_EC, Θ_P) — weakly synchronous (GST) regime", links, p.Params)
 }

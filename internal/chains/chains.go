@@ -114,6 +114,10 @@ type Result struct {
 	// Bytes is the estimated wire size of all sent messages (the
 	// netsim byte counter) — the msg_bytes instrumentation.
 	Bytes int64
+	// PartitionHeal is the virtual time the run's network partition
+	// healed at (0: the run had no partition). The partition_heal_lag
+	// metric measures reconvergence from it.
+	PartitionHeal int64
 	// Metrics holds the named collector values of this run when the
 	// caller requested collection (blockadt.WithMetrics); nil otherwise.
 	// The simulators never fill it themselves — the façade computes it

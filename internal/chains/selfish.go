@@ -155,10 +155,8 @@ type SelfishStats struct {
 // RunSelfishMining runs N-1 honest miners against one selfish miner
 // (process 0) holding fraction alpha of the total mining power.
 func RunSelfishMining(p Params, alpha float64) SelfishStats {
+	p.N = NormalizeSelfishN(p.N)
 	p = p.withDefaults()
-	if p.N < 2 {
-		p.N = 2
-	}
 	// Merit tapes: adversary gets alpha of the aggregate attempt rate.
 	total := p.TokenProb * float64(p.N)
 	merits := make([]float64, p.N)

@@ -177,12 +177,17 @@ func (e *p2Estimator) add(x float64) {
 		return
 	}
 	// Find the cell k the observation falls into, clamping the extremes.
+	// The max comparison is strict: on a tie (x == heights[4]) the
+	// observation belongs in the top cell but must not overwrite the max
+	// marker, whose height doubles as the running maximum — repeated
+	// maxima would otherwise pin marker positions' desired adjustments to
+	// the extreme and skew high quantiles on duplicate-heavy streams.
 	var k int
 	switch {
 	case x < e.heights[0]:
 		e.heights[0] = x
 		k = 0
-	case x >= e.heights[4]:
+	case x > e.heights[4]:
 		e.heights[4] = x
 		k = 3
 	default:

@@ -36,6 +36,9 @@ type Run struct {
 	// are the adversary's realized vs entitled main-chain proportions.
 	Adversarial                    bool
 	AdversaryShare, AdversaryMerit float64
+	// PartitionHeal is the virtual time the run's network partition
+	// healed at (0: no partition — the heal-lag metric is inapplicable).
+	PartitionHeal int64
 	// History is the recorded concurrent history.
 	History *history.History
 }
@@ -58,6 +61,8 @@ const (
 	RoundsToAgreementName = "rounds_to_agreement"
 	AdversaryShareName    = "adversary_share"
 	FairnessTVDName       = "fairness_tvd"
+	MsgsDroppedName       = "msgs_dropped"
+	PartitionHealLagName  = "partition_heal_lag"
 )
 
 // ForkRate is the number of fork points per committed block — 0 for the
@@ -129,6 +134,54 @@ func AdversaryShare(r Run) (float64, bool) {
 // FairnessTVD is the realized-vs-entitled total variation distance the
 // run was analyzed with.
 func FairnessTVD(r Run) (float64, bool) { return r.FairnessTVD, true }
+
+// MsgsDropped is the number of messages the link model destroyed (lossy
+// drops, drop-mode partition cuts) — the hypothesis counter of the
+// Theorem 4.7 necessity experiments.
+func MsgsDropped(r Run) (float64, bool) { return float64(r.Dropped), true }
+
+// PartitionHealLag measures reconvergence after a healed partition: the
+// virtual time from the heal instant to the first read at which every
+// process's latest chain is pairwise prefix-compatible again (one chain a
+// prefix of the other — the forks of the partition era resolved). A run
+// that never reconverges reports the full post-heal window. Inapplicable
+// when the run had no partition, or when it ended before the heal
+// instant — a partition that never healed has no heal lag.
+func PartitionHealLag(r Run) (float64, bool) {
+	if r.PartitionHeal <= 0 || r.History == nil || r.Ticks <= r.PartitionHeal {
+		return 0, false
+	}
+	latest := map[history.ProcID]history.Chain{}
+	sawAll := func() bool {
+		if len(latest) < 2 {
+			return false
+		}
+		chains := make([]history.Chain, 0, len(latest))
+		for _, c := range latest {
+			chains = append(chains, c)
+		}
+		for i := range chains {
+			for j := i + 1; j < len(chains); j++ {
+				cp := chains[i].CommonPrefix(chains[j])
+				if len(cp) != len(chains[i]) && len(cp) != len(chains[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, rd := range r.History.Reads() {
+		latest[rd.Op.Proc] = rd.Chain
+		if rd.Op.RspTime >= r.PartitionHeal && sawAll() {
+			lag := rd.Op.RspTime - r.PartitionHeal
+			if lag < 0 {
+				lag = 0
+			}
+			return float64(lag), true
+		}
+	}
+	return float64(r.Ticks - r.PartitionHeal), true
+}
 
 // MaxReorg scans each process's read sequence and returns the deepest
 // observed rollback: the largest number of blocks a process saw leave its

@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"blockadt/internal/blocktree"
+	"blockadt/internal/history"
+	"blockadt/internal/prng"
+)
+
+// TestWeaklySynchronousPreGSTDeliveryBound is the regression test for the
+// DLS partial-synchrony contract: a message sent at any time t < GST —
+// including the worst case GST−1 — must be delivered by GST+Delta, even
+// when the asynchronous pre-GST draw (up to PreMax = 8δ by default) would
+// overshoot the bound.
+func TestWeaklySynchronousPreGSTDeliveryBound(t *testing.T) {
+	const gst, delta = 100, 8
+	l := WeaklySynchronous{GST: gst, Delta: delta}
+	rng := prng.New(7)
+	for _, now := range []int64{0, 42, gst - delta, gst - 2, gst - 1} {
+		for i := 0; i < 500; i++ {
+			d, drop := l.Plan(rng, Message{}, now)
+			if drop {
+				t.Fatal("weakly synchronous links never drop")
+			}
+			if d < 1 {
+				t.Fatalf("delay %d < 1 at t=%d", d, now)
+			}
+			if now+d > gst+delta {
+				t.Fatalf("message sent at t=%d delivered at %d, after the GST+δ=%d bound", now, now+d, gst+delta)
+			}
+		}
+	}
+}
+
+// TestWeaklySynchronousGSTMinusOneSim drives the bound end to end: a
+// burst sent at GST−1 through a Sim is fully delivered by GST+Delta.
+func TestWeaklySynchronousGSTMinusOneSim(t *testing.T) {
+	const gst, delta = 200, 8
+	s := New(WeaklySynchronous{GST: gst, Delta: delta}, 11)
+	c := &collector{}
+	s.Register(1, c)
+	s.Register(0, HandlerFuncs{Timer: func(s *Sim, tag string) {
+		for i := 0; i < 100; i++ {
+			s.Send(Message{From: 0, To: 1})
+		}
+	}})
+	s.TimerAt(0, gst-1, "burst")
+	s.Run(1 << 16)
+	if len(c.got) != 100 {
+		t.Fatalf("delivered = %d, want 100", len(c.got))
+	}
+	for _, at := range c.at {
+		if at > gst+delta {
+			t.Fatalf("pre-GST send delivered at %d, after the GST+δ=%d bound", at, gst+delta)
+		}
+	}
+}
+
+// delivery is one row of a recorded delivery schedule.
+type delivery struct {
+	At       int64
+	From, To history.ProcID
+	Block    history.BlockRef
+}
+
+// scheduleUnder drives a fixed broadcast workload (every process
+// broadcasts a block per period) over the given link model and returns
+// the complete delivery schedule.
+func scheduleUnder(links LinkModel, seed uint64, procs int, until int64) []delivery {
+	s := New(links, seed)
+	var sched []delivery
+	for i := 0; i < procs; i++ {
+		id := history.ProcID(i)
+		count := 0
+		s.Register(id, HandlerFuncs{
+			Message: func(sim *Sim, m Message) {
+				sched = append(sched, delivery{At: sim.Now(), From: m.From, To: m.To, Block: m.Block})
+			},
+			Timer: func(sim *Sim, tag string) {
+				count++
+				sim.Broadcast(id, Message{Kind: UpdateMsg, Block: history.BlockRef(fmt.Sprintf("b%d-%d", id, count))})
+				sim.TimerAt(id, sim.Now()+7, "tick")
+			},
+		})
+		s.TimerAt(id, 1+int64(i), "tick")
+	}
+	s.Run(until)
+	return sched
+}
+
+// TestLinkModelsDeterministicSchedule is the property the whole sweep
+// contract rests on: identical (topology, seed) produces an identical
+// delivery schedule for every link model, including the adversity models
+// this layer adds.
+func TestLinkModelsDeterministicSchedule(t *testing.T) {
+	models := []LinkModel{
+		Synchronous{Delta: 8},
+		Asynchronous{MaxDelay: 16, TailProb: 0.1},
+		WeaklySynchronous{GST: 64, Delta: 8},
+		LossyRate{Inner: Synchronous{Delta: 8}, P: 0.2},
+		PartitionModel{Inner: Synchronous{Delta: 8}, Split: 2, Start: 32, Heal: 96, Defer: true},
+		PartitionModel{Inner: Synchronous{Delta: 8}, Split: 2, Start: 32, Heal: 96},
+		Jitter{Inner: Synchronous{Delta: 8}, TailProb: 0.15},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			a := scheduleUnder(m, 42, 4, 400)
+			b := scheduleUnder(m, 42, 4, 400)
+			if len(a) == 0 {
+				t.Fatal("empty schedule — workload too tame")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("identical (topology, seed) produced different delivery schedules")
+			}
+			c := scheduleUnder(m, 43, 4, 400)
+			if m.Name() == (Synchronous{Delta: 8}).Name() {
+				return // delta=min range still randomizes, but don't require it
+			}
+			_ = c
+		})
+	}
+}
+
+// TestPartitionModelCutAndReconvergence pins the partition contract: zero
+// cross-cut deliveries inside [Start, Heal), and — in defer mode — full
+// reconvergence after healing without any anti-entropy resync, because
+// the deferred messages arrive once the cut closes.
+func TestPartitionModelCutAndReconvergence(t *testing.T) {
+	const start, heal = 40, 160
+	links := PartitionModel{Inner: Synchronous{Delta: 4}, Split: 2, Start: start, Heal: heal, Defer: true}
+	s := New(links, 9)
+	reps := map[history.ProcID]*Replica{}
+	crossCut := func(a, b history.ProcID) bool { return (a < 2) != (b < 2) }
+	violations := 0
+	for i := 0; i < 4; i++ {
+		id := history.ProcID(i)
+		rep := NewReplica(id, blocktree.LongestChain{}, s.Recorder())
+		reps[id] = rep
+		creator := i == 0 || i == 2
+		count := 0
+		s.Register(id, HandlerFuncs{
+			Message: func(sim *Sim, m Message) {
+				if crossCut(m.From, m.To) && sim.Now() >= start && sim.Now() < heal {
+					violations++
+				}
+				rep.OnMessage(sim, m)
+			},
+			Timer: func(sim *Sim, tag string) {
+				if creator && count < 8 {
+					parent := rep.Selected().Tip()
+					b := blocktree.Block{
+						ID:       blocktree.BlockID(fmt.Sprintf("c%d-%02d", id, count)),
+						Parent:   parent.ID,
+						Proposer: int(id),
+						Token:    uint64(100*int(id) + count + 1),
+					}
+					count++
+					rep.CreateAndBroadcast(sim, parent.ID, b)
+					sim.TimerAt(id, sim.Now()+12, "create")
+				}
+			},
+		})
+		if creator {
+			s.TimerAt(id, 1, "create")
+		}
+	}
+	s.Run(600)
+	if violations != 0 {
+		t.Fatalf("%d cross-cut deliveries inside [start, heal)", violations)
+	}
+	// Defer mode loses nothing: all 16 blocks reach all 4 replicas.
+	want := reps[0].Tree().Size()
+	if want != 17 { // genesis + 8 + 8
+		t.Fatalf("replica 0 tree size = %d, want 17", want)
+	}
+	for p, r := range reps {
+		if got := r.Tree().Size(); got != want {
+			t.Fatalf("replica %d tree size %d ≠ %d — deferred messages lost", p, got, want)
+		}
+	}
+	if s.Dropped != 0 {
+		t.Fatalf("defer mode dropped %d messages", s.Dropped)
+	}
+}
+
+// TestPartitionModelDropLosesCrossCut: drop mode really loses the
+// cross-cut traffic (the Theorem 4.7 regime), counting it as dropped.
+func TestPartitionModelDropLosesCrossCut(t *testing.T) {
+	links := PartitionModel{Inner: Synchronous{Delta: 4}, Split: 1, Start: 0, Heal: 1 << 30}
+	s := New(links, 5)
+	c := &collector{}
+	s.Register(0, HandlerFuncs{})
+	s.Register(1, c)
+	for i := 0; i < 20; i++ {
+		s.Send(Message{From: 0, To: 1})
+	}
+	s.Run(1 << 20)
+	if len(c.got) != 0 {
+		t.Fatalf("delivered %d cross-cut messages during the partition", len(c.got))
+	}
+	if s.Dropped != 20 {
+		t.Fatalf("Dropped = %d, want 20", s.Dropped)
+	}
+}
+
+// TestLossyRateDropsAtConfiguredRate: the drop census tracks P and the
+// survivors respect the inner model's bound.
+func TestLossyRateDropsAtConfiguredRate(t *testing.T) {
+	s := New(LossyRate{Inner: Synchronous{Delta: 4}, P: 0.25}, 12)
+	c := &collector{}
+	s.Register(1, c)
+	const sent = 4000
+	for i := 0; i < sent; i++ {
+		s.Send(Message{From: 0, To: 1})
+	}
+	s.Run(1 << 20)
+	if got := s.Dropped; got < sent/5 || got > sent/3 {
+		t.Fatalf("dropped %d of %d at p=0.25 — rate draw broken", got, sent)
+	}
+	if len(c.got)+s.Dropped != sent {
+		t.Fatalf("delivered %d + dropped %d ≠ sent %d", len(c.got), s.Dropped, sent)
+	}
+	for _, at := range c.at {
+		if at > 4 {
+			t.Fatalf("survivor delivered at %d, beyond the inner δ=4", at)
+		}
+	}
+}
+
+// TestJitterStretchesTail: common-case deliveries keep the inner bound
+// while a TailProb fraction stretch by the factor — and nothing is lost.
+func TestJitterStretchesTail(t *testing.T) {
+	s := New(Jitter{Inner: Synchronous{Delta: 4}, TailProb: 0.1}, 3)
+	c := &collector{}
+	s.Register(1, c)
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		s.Send(Message{From: 0, To: 1})
+	}
+	s.Run(1 << 20)
+	if len(c.got) != sent {
+		t.Fatalf("delivered %d, want %d (jitter drops nothing)", len(c.got), sent)
+	}
+	stragglers := 0
+	for _, at := range c.at {
+		switch {
+		case at <= 4:
+		case at <= 40:
+			stragglers++
+		default:
+			t.Fatalf("delivery at %d beyond 10×δ", at)
+		}
+	}
+	if stragglers < sent/20 || stragglers > sent/5 {
+		t.Fatalf("stragglers = %d of %d at tail=0.1 — tail draw broken", stragglers, sent)
+	}
+}
+
+// TestBroadcastProcsCacheInvalidatedOnRegister guards the Broadcast
+// hot-path cache: registrations after a broadcast are picked up.
+func TestBroadcastProcsCacheInvalidatedOnRegister(t *testing.T) {
+	s := New(Synchronous{Delta: 2}, 1)
+	a, b := &collector{}, &collector{}
+	s.Register(1, a)
+	s.Broadcast(0, Message{Kind: "x"})
+	s.Register(2, b)
+	s.Broadcast(0, Message{Kind: "x"})
+	s.Run(100)
+	if len(a.got) != 2 || len(b.got) != 1 {
+		t.Fatalf("deliveries a=%d b=%d, want 2 and 1 — procs cache stale", len(a.got), len(b.got))
+	}
+	if got := s.Procs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Procs() = %v", got)
+	}
+}

@@ -2,9 +2,11 @@
 // Section 4.2 of "Blockchain Abstract Data Type" (Anceaume et al.): an
 // arbitrary large but finite set of n processes exchanging messages over
 // channels that are synchronous (delivery within δ), weakly synchronous
-// (synchronous after an unknown global stabilization time), or asynchronous
-// (no delivery bound), with optional message dropping and crash/Byzantine
-// fault injection.
+// (unbounded before a global stabilization time GST, with every message —
+// including ones sent before GST — delivered by max(send+δ, GST+δ), the
+// Dwork–Lynch–Stockmeyer partial-synchrony contract), or asynchronous (no
+// delivery bound), with optional message dropping, partitions, heavy-tail
+// jitter, and crash/Byzantine fault injection.
 //
 // The simulator runs in virtual time from a single priority queue, so every
 // execution is a deterministic function of (topology, link model, seed).
@@ -22,6 +24,7 @@ package netsim
 import (
 	"container/heap"
 	"fmt"
+	"slices"
 
 	"blockadt/internal/history"
 	"blockadt/internal/prng"
@@ -160,7 +163,10 @@ func (l Asynchronous) Plan(rng *prng.Source, _ Message, _ int64) (int64, bool) {
 
 // WeaklySynchronous behaves asynchronously before the global stabilization
 // time GST and synchronously (bound Delta) after it — the paper's weakly
-// synchronous channels.
+// synchronous channels. It honors the standard partial-synchrony delivery
+// contract (Dwork–Lynch–Stockmeyer): every message sent at time t is
+// delivered by max(t, GST) + Delta, so pre-GST sends whose asynchronous
+// draw overshoots are clamped to land by GST+Delta.
 type WeaklySynchronous struct {
 	GST    int64
 	Delta  int64
@@ -182,8 +188,11 @@ func (l WeaklySynchronous) Plan(rng *prng.Source, m Message, now int64) (int64, 
 		pre = 8 * l.Delta
 	}
 	d, _ := Asynchronous{MaxDelay: pre}.Plan(rng, m, now)
-	// Delivery never lands before GST+1 unless the draw already says so;
-	// leave as drawn — eventual delivery suffices pre-GST.
+	// DLS bound: a message sent before GST must be delivered by GST+Delta.
+	// now < GST here, so the clamp never drops the delay below Delta+1.
+	if bound := l.GST + l.Delta - now; d > bound {
+		d = bound
+	}
 	return d, false
 }
 
@@ -208,6 +217,122 @@ func (l Lossy) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
 		return 0, true
 	}
 	return l.Inner.Plan(rng, m, now)
+}
+
+// LossyRate drops each message independently with probability P and
+// otherwise defers to the inner model — the rate-based generalization of
+// Lossy used by the "lossy" scenario link. Theorem 4.7 proves Eventual
+// Prefix is unimplementable once even one message from a correct process
+// is dropped; seeded per-message drops construct such runs reproducibly.
+type LossyRate struct {
+	Inner LinkModel
+	// P is the per-message drop probability in [0, 1].
+	P float64
+}
+
+// Name implements LinkModel.
+func (l LossyRate) Name() string { return fmt.Sprintf("lossy(p=%.2f,%s)", l.P, l.Inner.Name()) }
+
+// Plan implements LinkModel. The drop draw is taken for every message —
+// kept or not — so the rng stream position, and with it every later
+// delivery, is a deterministic function of the send sequence alone.
+func (l LossyRate) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
+	if rng.Bool(l.P) {
+		return 0, true
+	}
+	return l.Inner.Plan(rng, m, now)
+}
+
+// PartitionModel bisects the process set for the interval [Start, Heal):
+// processes with id < Split form one side, the rest the other. A message
+// crossing the cut whose delivery would land inside [Start, Heal) —
+// whether sent during the partition or already in flight when it starts —
+// is dropped (Defer false) or deferred to arrive after healing (Defer
+// true: delivery at Heal plus the inner model's draw, as if the network
+// retransmitted once the cut closed). Same-side traffic is untouched, so
+// no cross-cut message is ever delivered while the partition is up. This
+// is the executable form of the partition-prone channels behind the
+// paper's remark that nothing stronger than monotonic-prefix consistency
+// survives partitions.
+type PartitionModel struct {
+	Inner LinkModel
+	// Split is the cut: processes with id < Split are side A.
+	Split history.ProcID
+	// Start and Heal bound the partition interval [Start, Heal).
+	Start, Heal int64
+	// Defer delivers cross-cut messages after healing instead of
+	// dropping them.
+	Defer bool
+}
+
+// Name implements LinkModel.
+func (l PartitionModel) Name() string {
+	mode := "drop"
+	if l.Defer {
+		mode = "defer"
+	}
+	return fmt.Sprintf("partition(split=%d,[%d,%d),%s,%s)", l.Split, l.Start, l.Heal, mode, l.Inner.Name())
+}
+
+// crossesCut reports whether the message spans the bisection.
+func (l PartitionModel) crossesCut(m Message) bool {
+	return (m.From < l.Split) != (m.To < l.Split)
+}
+
+// Plan implements LinkModel. Like LossyRate, the inner draw happens for
+// every message so the rng stream is independent of partition timing.
+func (l PartitionModel) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
+	delay, drop := l.Inner.Plan(rng, m, now)
+	if drop {
+		return delay, true
+	}
+	if at := now + delay; l.crossesCut(m) && at >= l.Start && at < l.Heal {
+		if !l.Defer {
+			return 0, true
+		}
+		// Deliver at Heal+delay: strictly after the cut closes, never
+		// inside [Start, Heal).
+		return l.Heal - now + delay, false
+	}
+	return delay, false
+}
+
+// Jitter wraps a link model with heavy-tail straggler delays: with
+// probability TailProb the inner draw is multiplied by TailFactor. Unlike
+// Asynchronous it preserves the inner model's common case exactly, so it
+// isolates the effect of rare stragglers on convergence.
+type Jitter struct {
+	Inner LinkModel
+	// TailProb is the per-message straggler probability.
+	TailProb float64
+	// TailFactor multiplies a straggler's delay (0 defaults to 10).
+	TailFactor int64
+}
+
+// Name implements LinkModel.
+func (l Jitter) Name() string {
+	return fmt.Sprintf("jitter(tail=%.2f,×%d,%s)", l.TailProb, l.factor(), l.Inner.Name())
+}
+
+func (l Jitter) factor() int64 {
+	if l.TailFactor <= 0 {
+		return 10
+	}
+	return l.TailFactor
+}
+
+// Plan implements LinkModel. The tail draw is taken for every message so
+// the rng stream position is independent of the inner model's outcome.
+func (l Jitter) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
+	delay, drop := l.Inner.Plan(rng, m, now)
+	tail := rng.Bool(l.TailProb)
+	if drop {
+		return delay, true
+	}
+	if tail {
+		delay *= l.factor()
+	}
+	return delay, false
 }
 
 // event is a queue entry: either a delivery or a timer.
@@ -243,10 +368,14 @@ type Sim struct {
 	seq      int64
 	queue    eventHeap
 	handlers map[history.ProcID]Handler
-	crashed  map[history.ProcID]bool
-	links    LinkModel
-	rng      *prng.Source
-	rec      *history.Recorder
+	// procs caches the sorted process ids; Register invalidates it.
+	// Broadcast iterates it once per call, so the sort is paid per
+	// registration instead of per broadcast.
+	procs   []history.ProcID
+	crashed map[history.ProcID]bool
+	links   LinkModel
+	rng     *prng.Source
+	rec     *history.Recorder
 	// Delivered counts delivered messages; Dropped counts planned drops.
 	Delivered int
 	Dropped   int
@@ -289,20 +418,26 @@ func (s *Sim) Rng() *prng.Source { return s.rng }
 // Register installs the handler for a process.
 func (s *Sim) Register(p history.ProcID, h Handler) {
 	s.handlers[p] = h
+	s.procs = nil
+}
+
+// sortedProcs returns the cached ascending process ids, rebuilding the
+// cache after a Register invalidated it. Callers must not mutate the
+// returned slice.
+func (s *Sim) sortedProcs() []history.ProcID {
+	if s.procs == nil && len(s.handlers) > 0 {
+		s.procs = make([]history.ProcID, 0, len(s.handlers))
+		for p := range s.handlers {
+			s.procs = append(s.procs, p)
+		}
+		slices.Sort(s.procs)
+	}
+	return s.procs
 }
 
 // Procs returns the registered process ids in ascending order.
 func (s *Sim) Procs() []history.ProcID {
-	out := make([]history.ProcID, 0, len(s.handlers))
-	for p := range s.handlers {
-		out = append(out, p)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
+	return slices.Clone(s.sortedProcs())
 }
 
 // Crash marks the process faulty from the current instant: pending and
@@ -380,7 +515,7 @@ func (s *Sim) Run(until int64) int {
 // LRC properties of Definition 4.4 among correct processes.
 func (s *Sim) Broadcast(from history.ProcID, m Message) {
 	m.From = from
-	for _, p := range s.Procs() {
+	for _, p := range s.sortedProcs() {
 		cp := m
 		cp.To = p
 		if p == from {

@@ -60,9 +60,9 @@ func TestConfigsExpansion(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 7 systems sync/none ×2 seeds = 14, plus Bitcoin sync/selfish ×2
-	// and Bitcoin async/none ×2.
-	if len(configs) != 18 {
-		t.Fatalf("expanded %d configs, want 18", len(configs))
+	// and async/none ×2 for each PoW system (Bitcoin, Ethereum).
+	if len(configs) != 20 {
+		t.Fatalf("expanded %d configs, want 20", len(configs))
 	}
 	seen := map[string]bool{}
 	seeds := map[uint64]bool{}
@@ -75,8 +75,8 @@ func TestConfigsExpansion(t *testing.T) {
 			t.Fatalf("seed collision at %s", c.Key())
 		}
 		seeds[c.Seed] = true
-		if c.Link == LinkAsync && c.System != "Bitcoin" {
-			t.Fatalf("async leaked to %s", c.System)
+		if c.Link == LinkAsync && c.System != "Bitcoin" && c.System != "Ethereum" {
+			t.Fatalf("async leaked to the committee system %s", c.System)
 		}
 		if c.Adversary == AdvSelfish && c.System != "Bitcoin" {
 			t.Fatalf("selfish leaked to %s", c.System)

@@ -33,15 +33,11 @@ func init() {
 			stats := chains.RunSelfishMining(p, alpha)
 			// Chain quality against this model's entitlement: the
 			// adversary at process 0 holds alpha, the honest miners
-			// split the remainder equally. Mirror RunSelfishMining's
-			// process-count normalization so the vectors line up.
-			n := p.N
-			if n == 0 {
-				n = 8
-			}
-			if n < 2 {
-				n = 2
-			}
+			// split the remainder equally. The process count comes from
+			// the same normalization RunSelfishMining applies, so the
+			// entitlement vector can never drift from the processes
+			// that actually ran.
+			n := chains.NormalizeSelfishN(p.N)
 			merits := make([]float64, n)
 			merits[0] = alpha
 			for i := 1; i < n; i++ {

@@ -11,47 +11,107 @@ const (
 	// simulator uses.
 	LinkSync = "sync"
 	// LinkAsync is the asynchronous regime of the Section 4.2 open
-	// issues (bounded common case with stragglers). Only the PoW
-	// systems implement it.
+	// issues (bounded common case with stragglers). PoW systems only.
 	LinkAsync = "async"
 	// LinkPsync is the weakly synchronous (eventually synchronous)
 	// regime: asynchronous before the global stabilization time GST,
-	// δ-bounded after — the paper's weakly synchronous channels. Only
-	// the PoW systems implement it.
+	// δ-bounded after, with every pre-GST send delivered by GST+δ (the
+	// DLS partial-synchrony bound). PoW systems only.
 	LinkPsync = "psync"
+	// LinkLossy drops each message independently with a fixed seeded
+	// probability and never retransmits — the non-reliable channels of
+	// Theorem 4.7, whose runs witness the Eventual Prefix violation the
+	// theorem proves unavoidable. PoW systems only.
+	LinkLossy = "lossy"
+	// LinkPartition bisects the network for a fixed interval, deferring
+	// cross-cut deliveries until the cut heals; the sides fork while
+	// partitioned and reconverge afterwards. PoW systems only.
+	LinkPartition = "partition"
+	// LinkJitter stretches a small fraction of deliveries by 10× —
+	// heavy-tail stragglers over otherwise synchronous links. PoW
+	// systems only.
+	LinkJitter = "jitter"
 )
 
-// The three scenario link models self-register. "sync" is the default
-// (nil Run: the system's own simulator is used); "async" and "psync"
-// carry their own runners and the set of systems that implement them.
+// The six scenario link models self-register. "sync" is the default
+// (nil Run: the system's own simulator is used); the rest carry their
+// own netsim-backed runners, all supporting every PoW system
+// (chains.SupportsPoWLinks — the committee systems assume synchronous
+// rounds). Each spec's Params string is the canonical encoding of its
+// fixed parameters; it joins scenario keys and run-store cache keys, so
+// retuning a model changes scenario identity instead of reusing stale
+// caches. Expected encodes the theory's prediction: every adversity
+// model except lossy preserves eventual consistency; lossy drops
+// messages from correct processes, so by Theorem 4.7 not even Eventual
+// Prefix survives.
 func init() {
 	RegisterLink(LinkSpec{
 		Name:        LinkSync,
 		Description: "synchronous δ-bounded delivery — the Table 1 setting (Section 4.2)",
 	})
-	asyncSystems := map[string]bool{"Bitcoin": true}
 	RegisterLink(LinkSpec{
 		Name:        LinkAsync,
 		Description: "asynchronous slow-mining regime with bounded common case (Section 4.2 TBC)",
-		Supports:    func(system string) bool { return asyncSystems[system] },
+		Params:      "maxDelay=8",
+		Supports:    chains.SupportsPoWLinks,
 		Run: func(system string, p SimParams) SimResult {
 			// Slow-mining asynchronous regime: common-case delay equal to
 			// the synchronous bound, no stragglers — the configuration the
 			// Section 4.2 conjecture predicts still converges to EC.
-			return chains.RunBitcoinAsync(chains.AsyncParams{Params: p, MaxDelay: 8})
+			return chains.RunPoWAsync(system, chains.AsyncParams{Params: p, MaxDelay: 8})
 		},
 		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
 	})
 	RegisterLink(LinkSpec{
 		Name:        LinkPsync,
-		Description: "weakly synchronous: asynchronous before GST, δ-bounded after (Section 4.2)",
-		Supports:    chains.SupportsPsync,
+		Description: "weakly synchronous: async before GST, δ-bounded after, pre-GST sends delivered by GST+δ (Section 4.2)",
+		Supports:    chains.SupportsPoWLinks,
 		Run: func(system string, p SimParams) SimResult {
 			// GST and PreMax take the runner's δ-scaled defaults: the run
 			// outlives stabilization by a wide margin, so the theory still
 			// predicts (eventual) convergence.
 			return chains.RunPoWPsync(system, chains.PsyncParams{Params: p})
 		},
+		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
+	})
+	RegisterLink(LinkSpec{
+		Name:        LinkLossy,
+		Description: "seeded per-message drops, no retransmission — the Theorem 4.7 lossy channels",
+		Params:      "p=0.10",
+		Supports:    chains.SupportsPoWLinks,
+		Run: func(system string, p SimParams) SimResult {
+			return chains.RunPoWLossy(system, chains.LossyParams{Params: p, Rate: chains.DefaultLossRate})
+		},
+		// Theorem 4.7: dropping even one correct process's message makes
+		// Eventual Prefix unimplementable — the run retains no criterion
+		// of the hierarchy.
+		Expected: func(system string, sync Level) Level { return consistency.LevelNone },
+	})
+	RegisterLink(LinkSpec{
+		Name:        LinkPartition,
+		Description: "transient bisection [8δ,24δ), cross-cut traffic deferred until heal",
+		Params:      "start=8δ,heal=24δ,defer",
+		Supports:    chains.SupportsPoWLinks,
+		Run: func(system string, p SimParams) SimResult {
+			// Zero values pick the runner's δ-scaled window and the N/2
+			// bisection; the result carries the heal time for the
+			// partition_heal_lag metric.
+			return chains.RunPoWPartition(system, chains.PartitionParams{Params: p})
+		},
+		// The cut heals and deferred traffic arrives, so convergence is
+		// delayed, not destroyed: still EC.
+		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
+	})
+	RegisterLink(LinkSpec{
+		Name:        LinkJitter,
+		Description: "heavy-tail stragglers: 5% of deliveries stretched 10× over synchronous links",
+		Params:      "tail=0.05,x=10",
+		Supports:    chains.SupportsPoWLinks,
+		Run: func(system string, p SimParams) SimResult {
+			return chains.RunPoWJitter(system, chains.JitterParams{Params: p})
+		},
+		// Every message still arrives: stragglers inflate forks and
+		// finality depth but never break eventual consistency.
 		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
 	})
 }

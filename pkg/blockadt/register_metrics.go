@@ -24,6 +24,8 @@ const (
 	MetricRoundsToAgreement = metrics.RoundsToAgreementName
 	MetricAdversaryShare    = metrics.AdversaryShareName
 	MetricFairnessTVD       = metrics.FairnessTVDName
+	MetricMsgsDropped       = metrics.MsgsDroppedName
+	MetricPartitionHealLag  = metrics.PartitionHealLagName
 )
 
 // The built-in collectors self-register in a fixed order (the order
@@ -53,4 +55,8 @@ func init() {
 		"adversary's realized main-chain share (adversarial runs only)", metrics.AdversaryShare)
 	register(MetricFairnessTVD,
 		"realized-vs-entitled total variation distance (chain quality loss)", metrics.FairnessTVD)
+	register(MetricMsgsDropped,
+		"messages the link model destroyed (lossy drops, partition cuts)", metrics.MsgsDropped)
+	register(MetricPartitionHealLag,
+		"virtual time from partition heal to chain re-convergence (partition runs only)", metrics.PartitionHealLag)
 }

@@ -107,7 +107,9 @@ var registryEnumerators = []func() RegistryInfo{
 	},
 	func() RegistryInfo {
 		return enumerate("link", "links", linkRegistry,
-			func(l LinkSpec) RegistryEntry { return RegistryEntry{Name: l.Name, Description: l.Description} })
+			func(l LinkSpec) RegistryEntry {
+				return RegistryEntry{Name: l.Name, Detail: l.Params, Description: l.Description}
+			})
 	},
 	func() RegistryInfo {
 		return enumerate("adversary", "adversaries", adversaryRegistry,

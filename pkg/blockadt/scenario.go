@@ -17,6 +17,11 @@ type Scenario struct {
 	System    string `json:"system"`
 	Link      string `json:"link"`
 	Adversary string `json:"adversary"`
+	// LinkParams is the link model's canonical parameter string
+	// (LinkSpec.Params), stamped during matrix expansion. Empty for the
+	// parameterless models, so pre-existing scenario keys — and the
+	// seeds derived from them — are unchanged.
+	LinkParams string `json:"linkParams,omitempty"`
 	// Alpha is the adversary's merit share (adversarial runs only).
 	Alpha float64 `json:"alpha,omitempty"`
 	N     int     `json:"n"`
@@ -30,10 +35,16 @@ type Scenario struct {
 }
 
 // Key returns the canonical identity of the scenario — everything that
-// distinguishes it within a matrix except the derived seed itself.
+// distinguishes it within a matrix except the derived seed itself. Link
+// parameters join the key only when present, so the parameterless models
+// keep their historical keys (and derived seeds) byte for byte.
 func (c Scenario) Key() string {
-	return fmt.Sprintf("%s|%s|%s|a=%.4f|n=%d|b=%d|s=%d",
+	key := fmt.Sprintf("%s|%s|%s|a=%.4f|n=%d|b=%d|s=%d",
 		c.System, c.Link, c.Adversary, c.Alpha, c.N, c.Blocks, c.SeedIndex)
+	if c.LinkParams != "" {
+		key += "|lp=" + c.LinkParams
+	}
+	return key
 }
 
 // DeriveSeed returns the scenario's independent prng stream:
@@ -203,7 +214,8 @@ func (m Matrix) Configs() ([]Scenario, error) {
 					for s := 0; s < m.Seeds; s++ {
 						cfg := Scenario{
 							System: sys, Link: link, Adversary: adv,
-							N: n, Blocks: m.TargetBlocks, SeedIndex: s,
+							LinkParams: lspec.Params,
+							N:          n, Blocks: m.TargetBlocks, SeedIndex: s,
 						}
 						if aspec.Run != nil {
 							cfg.Alpha = m.Alpha
@@ -472,15 +484,16 @@ func metricRun(cfg Scenario, res SimResult, out Result, adversarial bool) Metric
 func newMetricRun(p SimParams, res SimResult) MetricRun {
 	p = p.WithDefaults()
 	return MetricRun{
-		N:            p.N,
-		TargetBlocks: p.TargetBlocks,
-		Blocks:       res.Blocks,
-		Forks:        res.Forks,
-		Ticks:        res.Ticks,
-		Delivered:    res.Delivered,
-		Dropped:      res.Dropped,
-		Bytes:        res.Bytes,
-		History:      res.History,
+		N:             p.N,
+		TargetBlocks:  p.TargetBlocks,
+		Blocks:        res.Blocks,
+		Forks:         res.Forks,
+		Ticks:         res.Ticks,
+		Delivered:     res.Delivered,
+		Dropped:       res.Dropped,
+		Bytes:         res.Bytes,
+		PartitionHeal: res.PartitionHeal,
+		History:       res.History,
 	}
 }
 

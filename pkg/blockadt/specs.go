@@ -53,6 +53,14 @@ type SelectorSpec struct {
 type LinkSpec struct {
 	Name        string
 	Description string
+	// Params is the canonical encoding of the model's fixed parameters
+	// ("p=0.10" for the lossy rate, "start=64,heal=192" for the
+	// partition window, …; empty for parameterless models). It is
+	// stamped into every expanded Scenario and therefore into scenario
+	// keys and run-store cache keys: changing a link's parameters
+	// changes scenario identity instead of silently serving results the
+	// new parameters would not produce.
+	Params string
 	// Supports reports whether the named system implements this link
 	// model in scenario runs; nil means every system does.
 	Supports func(system string) bool

@@ -16,7 +16,9 @@ import (
 // behavior, a metric's formula, the classifier) invalidates every cached
 // entry at once instead of silently serving results the current engine
 // would no longer produce.
-const EngineVersion = "btadt-engine-v1"
+// v2: WeaklySynchronous honors the DLS pre-GST delivery bound (psync
+// results shifted) and the link dimension gained lossy/partition/jitter.
+const EngineVersion = "btadt-engine-v2"
 
 // RunOption customizes Run and Stream (the sweep engine's entry
 // points), as Option customizes New/Simulate. The zero set of options
