@@ -506,11 +506,17 @@ func BenchmarkBroadcast(b *testing.B) {
 	for i := 0; i < procs; i++ {
 		s.Register(history.ProcID(i), netsim.HandlerFuncs{})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Broadcast(0, netsim.Message{Kind: netsim.UpdateMsg, Block: "b"})
-		if i%1024 == 0 {
-			s.Run(1 << 62) // drain so the event heap stays bounded
+		if i%1024 == 1023 {
+			// Drain so the event heap stays bounded. Run(horizon) cannot do
+			// this: it jumps virtual time to the horizon, so the next batch
+			// of deliveries lands past any fixed horizon and would pile up
+			// unprocessed forever. RunToIdle drains by queue emptiness, not
+			// by a time window.
+			s.RunToIdle(1 << 62)
 		}
 	}
 }

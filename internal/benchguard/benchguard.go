@@ -82,16 +82,29 @@ type Delta struct {
 	Base, Cur float64 // best ns/op
 	Pct       float64 // (Cur-Base)/Base * 100, positive = slower
 	Regressed bool
+	// Improved flags a current best more than the improvement gate
+	// below baseline: a real win that must be ratcheted into the
+	// baseline file, or the gate slowly goes blind (a later regression
+	// hides inside the unclaimed headroom).
+	Improved bool
 }
 
 // Compare evaluates current against baseline: every benchmark present
 // in both is compared, and a current best more than maxRegressPct
-// slower than the baseline's is a regression. Names listed in required
-// must be present in both sets — a gate that silently loses its
-// benchmarks is worse than one that fails loudly.
-func Compare(baseline, current map[string]float64, maxRegressPct float64, required []string) ([]Delta, error) {
+// slower than the baseline's is a regression. A maxImprovePct > 0
+// additionally flags benchmarks more than that percentage *faster* than
+// baseline — improvements must be committed to the baseline, not left as
+// slack for future regressions to hide in. Names listed in required must
+// be present in both sets — a gate that silently loses its benchmarks is
+// worse than one that fails loudly.
+func Compare(baseline, current map[string]float64, maxRegressPct, maxImprovePct float64, required []string) ([]Delta, error) {
 	if maxRegressPct < 0 {
 		return nil, fmt.Errorf("benchguard: max regression must be >= 0%%, got %v", maxRegressPct)
+	}
+	if maxImprovePct < 0 || maxImprovePct >= 100 {
+		if maxImprovePct != 0 {
+			return nil, fmt.Errorf("benchguard: max improvement must be in (0, 100)%% or 0 to disable, got %v", maxImprovePct)
+		}
 	}
 	for _, name := range required {
 		if _, ok := baseline[name]; !ok {
@@ -119,6 +132,7 @@ func Compare(baseline, current map[string]float64, maxRegressPct float64, requir
 			d.Pct = 100 * (cur - base) / base
 		}
 		d.Regressed = d.Pct > maxRegressPct
+		d.Improved = maxImprovePct > 0 && d.Pct < -maxImprovePct
 		deltas = append(deltas, d)
 	}
 	return deltas, nil
@@ -135,6 +149,17 @@ func Regressions(deltas []Delta) []Delta {
 	return out
 }
 
+// Improvements filters the deltas flagged as unclaimed improvements.
+func Improvements(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Improved {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Format renders the comparison as an aligned table plus a verdict
 // line, the output the CI step prints.
 func Format(deltas []Delta, maxRegressPct float64) string {
@@ -142,14 +167,21 @@ func Format(deltas []Delta, maxRegressPct float64) string {
 	fmt.Fprintf(&sb, "%-56s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
 	for _, d := range deltas {
 		flag := ""
-		if d.Regressed {
+		switch {
+		case d.Regressed:
 			flag = "  REGRESSED"
+		case d.Improved:
+			flag = "  IMPROVED (ratchet the baseline)"
 		}
 		fmt.Fprintf(&sb, "%-56s %14.0f %14.0f %+8.1f%%%s\n", d.Name, d.Base, d.Cur, d.Pct, flag)
 	}
-	if reg := Regressions(deltas); len(reg) > 0 {
+	reg, imp := Regressions(deltas), Improvements(deltas)
+	switch {
+	case len(reg) > 0:
 		fmt.Fprintf(&sb, "FAIL: %d of %d benchmarks regressed more than %.0f%%\n", len(reg), len(deltas), maxRegressPct)
-	} else {
+	case len(imp) > 0:
+		fmt.Fprintf(&sb, "FAIL: %d of %d benchmarks improved past the ratchet gate — update BENCH_baseline.txt to claim the win\n", len(imp), len(deltas))
+	default:
 		fmt.Fprintf(&sb, "ok: %d benchmarks within %.0f%% of baseline\n", len(deltas), maxRegressPct)
 	}
 	return sb.String()

@@ -55,7 +55,7 @@ func TestCompareInjectedSlowdown(t *testing.T) {
 
 	slowed := parseSample(t, sampleBench)
 	slowed["BenchmarkSweepMatrix/parallel=1"] *= 1.40
-	deltas, err := Compare(base, slowed, 30, []string{"BenchmarkSweepMatrix/parallel=1"})
+	deltas, err := Compare(base, slowed, 30, 0, []string{"BenchmarkSweepMatrix/parallel=1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestCompareInjectedSlowdown(t *testing.T) {
 
 	mild := parseSample(t, sampleBench)
 	mild["BenchmarkSweepMatrix/parallel=1"] *= 1.20
-	deltas, err = Compare(base, mild, 30, nil)
+	deltas, err = Compare(base, mild, 30, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,17 +81,58 @@ func TestCompareInjectedSlowdown(t *testing.T) {
 		t.Fatalf("clean run not reported ok:\n%s", out)
 	}
 
-	// Improvements never fail.
+	// Improvements never fail when the ratchet is disabled (max-improve 0).
 	fast := parseSample(t, sampleBench)
 	for name := range fast {
 		fast[name] *= 0.5
 	}
-	deltas, err = Compare(base, fast, 0, nil)
+	deltas, err = Compare(base, fast, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(Regressions(deltas)) != 0 {
 		t.Fatalf("an improvement regressed: %+v", deltas)
+	}
+	if len(Improvements(deltas)) != 0 {
+		t.Fatalf("ratchet disabled but improvements flagged: %+v", deltas)
+	}
+}
+
+// TestCompareImprovementRatchet pins the downward ratchet: a benchmark
+// far below baseline without a baseline update is flagged, so wins get
+// committed instead of becoming slack for later regressions to hide in.
+func TestCompareImprovementRatchet(t *testing.T) {
+	base := parseSample(t, sampleBench)
+
+	fast := parseSample(t, sampleBench)
+	fast["BenchmarkSweepMatrix/parallel=1"] *= 0.2 // 80% faster
+	deltas, err := Compare(base, fast, 30, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := Improvements(deltas)
+	if len(imp) != 1 || imp[0].Name != "BenchmarkSweepMatrix/parallel=1" {
+		t.Fatalf("80%% improvement vs 60%% ratchet: improvements = %+v", imp)
+	}
+	out := Format(deltas, 30)
+	if !strings.Contains(out, "IMPROVED") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("unclaimed improvement not flagged in output:\n%s", out)
+	}
+
+	// Within the ratchet: a 40% win passes a 60% gate.
+	mild := parseSample(t, sampleBench)
+	mild["BenchmarkSweepMatrix/parallel=1"] *= 0.6
+	deltas, err = Compare(base, mild, 30, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Improvements(deltas)) != 0 {
+		t.Fatalf("40%% win vs 60%% ratchet flagged: %+v", deltas)
+	}
+
+	// A bad ratchet percentage is rejected.
+	if _, err := Compare(base, base, 30, 100, nil); err == nil {
+		t.Fatal("max-improve 100 accepted")
 	}
 }
 
@@ -101,17 +142,17 @@ func TestCompareGuards(t *testing.T) {
 	base := parseSample(t, sampleBench)
 	cur := parseSample(t, sampleBench)
 
-	if _, err := Compare(base, cur, 30, []string{"BenchmarkGone"}); err == nil {
+	if _, err := Compare(base, cur, 30, 0, []string{"BenchmarkGone"}); err == nil {
 		t.Error("Compare accepted a required benchmark missing from both sides")
 	}
 	delete(cur, "BenchmarkSeedAggregation")
-	if _, err := Compare(base, cur, 30, []string{"BenchmarkSeedAggregation"}); err == nil {
+	if _, err := Compare(base, cur, 30, 0, []string{"BenchmarkSeedAggregation"}); err == nil {
 		t.Error("Compare accepted a required benchmark missing from the current run")
 	}
-	if _, err := Compare(base, map[string]float64{"BenchmarkOther": 1}, 30, nil); err == nil {
+	if _, err := Compare(base, map[string]float64{"BenchmarkOther": 1}, 30, 0, nil); err == nil {
 		t.Error("Compare accepted an empty intersection")
 	}
-	if _, err := Compare(base, base, -1, nil); err == nil {
+	if _, err := Compare(base, base, -1, 0, nil); err == nil {
 		t.Error("Compare accepted a negative gate")
 	}
 
@@ -119,7 +160,7 @@ func TestCompareGuards(t *testing.T) {
 	// exists on one host) are ignored, not fatal.
 	extra := parseSample(t, sampleBench)
 	extra["BenchmarkSweepMatrix/parallel=16"] = 1
-	deltas, err := Compare(base, extra, 30, nil)
+	deltas, err := Compare(base, extra, 30, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

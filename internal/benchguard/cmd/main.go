@@ -25,16 +25,17 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.txt", "checked-in `go test -bench` baseline output")
 	current := flag.String("current", "", "current `go test -bench` output to gate")
 	maxRegress := flag.Float64("max-regress", 30, "maximum tolerated ns/op regression, in percent")
+	maxImprove := flag.Float64("max-improve", 0, "fail when a benchmark is more than this percent faster than baseline without a baseline update (0 disables the ratchet)")
 	require := flag.String("require", "", "comma-separated benchmark names that must be present in both runs")
 	flag.Parse()
 
-	if err := run(*baseline, *current, *maxRegress, *require); err != nil {
+	if err := run(*baseline, *current, *maxRegress, *maxImprove, *require); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath, currentPath string, maxRegress float64, require string) error {
+func run(baselinePath, currentPath string, maxRegress, maxImprove float64, require string) error {
 	if currentPath == "" {
 		return fmt.Errorf("-current is required")
 	}
@@ -52,13 +53,16 @@ func run(baselinePath, currentPath string, maxRegress float64, require string) e
 			required = append(required, name)
 		}
 	}
-	deltas, err := benchguard.Compare(base, cur, maxRegress, required)
+	deltas, err := benchguard.Compare(base, cur, maxRegress, maxImprove, required)
 	if err != nil {
 		return err
 	}
 	fmt.Print(benchguard.Format(deltas, maxRegress))
 	if reg := benchguard.Regressions(deltas); len(reg) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(reg), maxRegress)
+	}
+	if imp := benchguard.Improvements(deltas); len(imp) > 0 {
+		return fmt.Errorf("%d benchmark(s) improved more than %.0f%% past baseline — ratchet BENCH_baseline.txt", len(imp), maxImprove)
 	}
 	return nil
 }

@@ -1,0 +1,59 @@
+package blocktree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestInsertAllocs pins the insert path's allocation budget on a pre-sized
+// tree: with NewCap the maps never rehash, the sorted leaf slice is reused,
+// and the only unavoidable allocation is each parent's children slice — so
+// a chain insert must average well under two allocations per block. This is
+// the regression guard for the sorted-at-insert rewrite: reintroducing a
+// per-read sort+copy or per-insert map rebuild blows the ceiling at once.
+func TestInsertAllocs(t *testing.T) {
+	const n = 512
+	ids := make([]BlockID, n)
+	for i := range ids {
+		ids[i] = BlockID(fmt.Sprintf("b%04d", i))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		tr := NewCap(n + 1)
+		parent := GenesisID
+		for _, id := range ids {
+			if err := tr.Insert(Block{ID: id, Parent: parent, Work: 1}); err != nil {
+				t.Fatal(err)
+			}
+			parent = id
+		}
+	})
+	perInsert := (allocs - 8) / n // subtract the NewCap fixed cost
+	if perInsert > 2 {
+		t.Fatalf("Insert averaged %.2f allocs per block (%.0f total for %d), want ≤ 2", perInsert, allocs, n)
+	}
+}
+
+// TestSelectorAllocs pins the read path: selectors on a warm tree must
+// allocate only the one chain they materialize (a Chain backing array),
+// never per-level copies or sorted scratch.
+func TestSelectorAllocs(t *testing.T) {
+	tr := New()
+	parent := GenesisID
+	for i := 0; i < 128; i++ {
+		id := BlockID(fmt.Sprintf("b%04d", i))
+		if err := tr.Insert(Block{ID: id, Parent: parent, Work: 1}); err != nil {
+			t.Fatal(err)
+		}
+		parent = id
+	}
+	for _, sel := range []Selector{LongestChain{}, HeaviestChain{}, GHOST{}, SingleChain{}} {
+		allocs := testing.AllocsPerRun(100, func() {
+			if c := sel.Select(tr); len(c) != 129 {
+				t.Fatalf("%s returned %d blocks", sel.Name(), len(c))
+			}
+		})
+		if allocs > 1 {
+			t.Fatalf("%s allocated %.1f objects per Select, want ≤ 1 (the chain)", sel.Name(), allocs)
+		}
+	}
+}

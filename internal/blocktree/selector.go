@@ -5,11 +5,35 @@ package blocktree
 // selector returns the chain {b0}. Selectors must be deterministic, so all
 // provided selectors break ties lexicographically on block id — the
 // tie-break the paper uses in its Figure 2 example.
+//
+// The selectors run on every mine and every read, so they lean on the
+// structures Tree.Insert maintains incrementally (the sorted leaf set, the
+// per-block chain work and subtree work): one lock acquisition, one scan,
+// and a single chain materialization per call.
 type Selector interface {
 	// Select returns the chosen chain {b0}⌢f(bt).
 	Select(t *Tree) Chain
 	// Name identifies the selector in reports and tables.
 	Name() string
+}
+
+// TipSelector is an optional Selector extension for selectors that can
+// name their chosen chain's tip without materializing the chain. Miners
+// select on every attempt but only extend the tip, so the fast path
+// removes the dominant allocation of the mining loop.
+type TipSelector interface {
+	// SelectTip returns the tip block of the chain Select would return.
+	SelectTip(t *Tree) Block
+}
+
+// SelectTip returns the tip of sel's chosen chain, using the selector's
+// tip-only fast path when it has one and falling back to materializing
+// the chain otherwise. Both paths choose the same block by construction.
+func SelectTip(sel Selector, t *Tree) Block {
+	if ts, ok := sel.(TipSelector); ok {
+		return ts.SelectTip(t)
+	}
+	return sel.Select(t).Tip()
 }
 
 // LongestChain selects the chain of maximal length, breaking ties by
@@ -20,17 +44,30 @@ type LongestChain struct{}
 // Name implements Selector.
 func (LongestChain) Name() string { return "longest" }
 
-// Select implements Selector.
+// Select implements Selector. A leaf's chain length is its height, so the
+// scan compares the heights the tree already carries instead of
+// materializing one chain per leaf.
 func (LongestChain) Select(t *Tree) Chain {
-	best := Chain{Genesis()}
-	bestLen, bestTip := -1, BlockID("")
-	for _, leaf := range t.Leaves() {
-		c, ok := t.ChainTo(leaf)
-		if !ok {
-			continue
-		}
-		if c.Length() > bestLen || (c.Length() == bestLen && leaf > bestTip) {
-			best, bestLen, bestTip = c, c.Length(), leaf
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chainToLocked(longestTipLocked(t))
+}
+
+// SelectTip implements TipSelector.
+func (LongestChain) SelectTip(t *Tree) Block {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes[longestTipLocked(t)].block
+}
+
+// longestTipLocked returns the slab index of the longest chain's tip (ties
+// to the lexicographically largest leaf id). Caller holds the lock.
+func longestTipLocked(t *Tree) int32 {
+	bestLen, best := -1, int32(0)
+	for _, leaf := range t.leaves {
+		n := &t.nodes[leaf]
+		if h := n.block.Height; h > bestLen || (h == bestLen && n.block.ID > t.nodes[best].block.ID) {
+			bestLen, best = h, leaf
 		}
 	}
 	return best
@@ -44,17 +81,30 @@ type HeaviestChain struct{}
 // Name implements Selector.
 func (HeaviestChain) Name() string { return "heaviest" }
 
-// Select implements Selector.
+// Select implements Selector. The chain weight of a leaf is the root-path
+// cumulative work Tree.Insert maintains, so the scan is O(#leaves) with a
+// single chain materialization.
 func (HeaviestChain) Select(t *Tree) Chain {
-	best := Chain{Genesis()}
-	bestW, bestTip := -1, BlockID("")
-	for _, leaf := range t.Leaves() {
-		c, ok := t.ChainTo(leaf)
-		if !ok {
-			continue
-		}
-		if w := c.Weight(); w > bestW || (w == bestW && leaf > bestTip) {
-			best, bestW, bestTip = c, w, leaf
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chainToLocked(heaviestTipLocked(t))
+}
+
+// SelectTip implements TipSelector.
+func (HeaviestChain) SelectTip(t *Tree) Block {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes[heaviestTipLocked(t)].block
+}
+
+// heaviestTipLocked returns the slab index of the heaviest chain's tip
+// (ties to the lexicographically largest leaf id). Caller holds the lock.
+func heaviestTipLocked(t *Tree) int32 {
+	bestW, best := -1, int32(0)
+	for _, leaf := range t.leaves {
+		n := &t.nodes[leaf]
+		if w := n.chainW; w > bestW || (w == bestW && n.block.ID > t.nodes[best].block.ID) {
+			bestW, best = w, leaf
 		}
 	}
 	return best
@@ -70,24 +120,38 @@ type GHOST struct{}
 // Name implements Selector.
 func (GHOST) Name() string { return "ghost" }
 
-// Select implements Selector.
+// Select implements Selector. The walk reads the sorted children slices
+// and subtree weights in place under one read lock — no per-level copies.
 func (GHOST) Select(t *Tree) Chain {
-	cur := GenesisID
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chainToLocked(ghostTipLocked(t))
+}
+
+// SelectTip implements TipSelector.
+func (GHOST) SelectTip(t *Tree) Block {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes[ghostTipLocked(t)].block
+}
+
+// ghostTipLocked runs the GHOST descent and returns the tip's slab index.
+// Caller holds the lock.
+func ghostTipLocked(t *Tree) int32 {
+	cur := int32(0)
 	for {
-		kids := t.Children(cur)
+		kids := t.nodes[cur].children
 		if len(kids) == 0 {
-			break
+			return cur
 		}
-		best, bestW := kids[0], t.SubtreeWork(kids[0])
+		best, bestW := kids[0], t.nodes[kids[0]].subtree
 		for _, k := range kids[1:] {
-			if w := t.SubtreeWork(k); w > bestW || (w == bestW && k > best) {
+			if w := t.nodes[k].subtree; w > bestW || (w == bestW && t.nodes[k].block.ID > t.nodes[best].block.ID) {
 				best, bestW = k, w
 			}
 		}
 		cur = best
 	}
-	c, _ := t.ChainTo(cur)
-	return c
 }
 
 // SingleChain is the trivial projection BT ↦→ BC for trees that contain a
@@ -102,10 +166,24 @@ func (SingleChain) Name() string { return "single" }
 
 // Select implements Selector.
 func (SingleChain) Select(t *Tree) Chain {
-	leaves := t.Leaves()
-	if len(leaves) == 1 {
-		c, _ := t.ChainTo(leaves[0])
+	t.mu.RLock()
+	if len(t.leaves) == 1 {
+		c := t.chainToLocked(t.leaves[0])
+		t.mu.RUnlock()
 		return c
 	}
+	t.mu.RUnlock()
 	return LongestChain{}.Select(t)
+}
+
+// SelectTip implements TipSelector.
+func (SingleChain) SelectTip(t *Tree) Block {
+	t.mu.RLock()
+	if len(t.leaves) == 1 {
+		b := t.nodes[t.leaves[0]].block
+		t.mu.RUnlock()
+		return b
+	}
+	t.mu.RUnlock()
+	return LongestChain{}.SelectTip(t)
 }

@@ -126,11 +126,21 @@ type SeqBlockTree struct {
 	tree *Tree
 	f    Selector
 	p    Predicate
+	// lastRead remembers the chain the previous ReadIDs returned, so the
+	// next read only walks the blocks appended since. The slice is shared
+	// with the recorded history and never mutated.
+	lastRead history.Chain
 }
 
 // NewSeq returns a sequential BT-ADT with parameters f and P.
 func NewSeq(f Selector, p Predicate) *SeqBlockTree {
 	return &SeqBlockTree{tree: New(), f: f, p: p}
+}
+
+// NewSeqCap is NewSeq with a capacity hint: the underlying tree is
+// pre-sized for about n blocks.
+func NewSeqCap(f Selector, p Predicate, n int) *SeqBlockTree {
+	return &SeqBlockTree{tree: NewCap(n), f: f, p: p}
 }
 
 // NewSeqFromTree wraps an existing tree as a sequential BT-ADT with
@@ -139,6 +149,11 @@ func NewSeq(f Selector, p Predicate) *SeqBlockTree {
 func NewSeqFromTree(t *Tree, f Selector) *SeqBlockTree {
 	return &SeqBlockTree{tree: t, f: f, p: AcceptAll}
 }
+
+// Tip returns the tip block of the currently selected chain without
+// recording a read or materializing the chain — the protocol-internal
+// selection miners run on every attempt.
+func (s *SeqBlockTree) Tip() Block { return SelectTip(s.f, s.tree) }
 
 // Append implements the append(b) operation of Definition 3.1: if P(b)
 // holds, b is chained to the tip of the selected chain and true is
@@ -165,6 +180,18 @@ func (s *SeqBlockTree) Update(parent BlockID, b Block) bool {
 
 // Read implements read(): it returns {b0}⌢f(bt).
 func (s *SeqBlockTree) Read() Chain { return s.f.Select(s.tree) }
+
+// ReadIDs is read() returning only the block ids of {b0}⌢f(bt) — the view
+// a read response is recorded with. Callers that drive reads for the
+// history and discard the chain use it to skip the []Block materialization.
+func (s *SeqBlockTree) ReadIDs() history.Chain {
+	ids, ok := s.tree.ChainIDsFrom(SelectTip(s.f, s.tree).ID, s.lastRead)
+	if !ok {
+		return history.Chain{GenesisID}
+	}
+	s.lastRead = ids
+	return ids
+}
 
 // Tree exposes the underlying tree for inspection.
 func (s *SeqBlockTree) Tree() *Tree { return s.tree }

@@ -5,19 +5,53 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"blockadt/internal/history"
 )
+
+// node is the slab entry for one block. Blocks are stored in a flat slice
+// in insertion order and refer to each other by index: parent walks and
+// subtree-work propagation touch no hash table, and the per-block caches
+// (root-path work, subtree work, children) live next to the block instead
+// of in separate string-keyed maps.
+type node struct {
+	block  Block
+	parent int32 // slab index of the parent; -1 for genesis
+	// children holds the slab indexes of the blocks chained to this one,
+	// sorted by block id so selectors walk them in deterministic order.
+	children []int32
+	// subtree caches the cumulative work of the subtree rooted here (for
+	// GHOST); updated incrementally on insert.
+	subtree int
+	// chainW caches the cumulative work of the root path ending here (the
+	// heaviest-chain score of ChainTo), set once on insert.
+	chainW int
+}
 
 // Tree is the BlockTree bt = (V_bt, E_bt): an append-only directed rooted
 // tree whose edges point backward to the genesis block. Tree is safe for
 // concurrent use.
+//
+// The tree is the read hot path of every simulator (selectors run on every
+// mine and read), so the structures the selectors need are maintained
+// incrementally on Insert instead of being rebuilt per read: children
+// slices stay sorted, the leaf set and fork census are updated in place,
+// and each block's cumulative chain work and subtree work are carried
+// forward — Insert pays O(k + depth), reads pay no sorting at all. The
+// only hash lookups are the id→index translations at the API boundary;
+// everything below it runs on slab indexes.
 type Tree struct {
-	mu       sync.RWMutex
-	blocks   map[BlockID]Block
-	children map[BlockID][]BlockID
-	// subtreeWork caches cumulative work of each subtree for GHOST; it is
-	// updated incrementally on insert.
-	subtreeWork map[BlockID]int
-	count       int
+	mu    sync.RWMutex
+	nodes []node
+	index map[BlockID]int32
+	// leaves is the set of blocks with no children, sorted by block id,
+	// maintained incrementally: append-only trees only ever grow a leaf
+	// set by removing the parent and inserting the new block.
+	leaves []int32
+	// forkCount counts blocks with more than one child.
+	forkCount int
+	maxFanout int
+	maxHeight int
 }
 
 // Errors returned by Tree operations.
@@ -32,13 +66,22 @@ var (
 )
 
 // New returns a tree containing only the genesis block b0.
-func New() *Tree {
-	t := &Tree{
-		blocks:      map[BlockID]Block{GenesisID: Genesis()},
-		children:    map[BlockID][]BlockID{},
-		subtreeWork: map[BlockID]int{GenesisID: 0},
-		count:       1,
+func New() *Tree { return NewCap(0) }
+
+// NewCap returns a tree containing only the genesis block, with the block
+// slab and id index pre-sized for about n blocks so simulators with a known
+// target chain length avoid incremental growth on the insert path.
+func NewCap(n int) *Tree {
+	if n < 1 {
+		n = 1
 	}
+	t := &Tree{
+		nodes:  make([]node, 1, n+1),
+		index:  make(map[BlockID]int32, n+1),
+		leaves: []int32{0},
+	}
+	t.nodes[0] = node{block: Genesis(), parent: -1}
+	t.index[GenesisID] = 0
 	return t
 }
 
@@ -51,36 +94,81 @@ func (t *Tree) Insert(b Block) error {
 	if b.ID == b.Parent {
 		return ErrSelfParent
 	}
-	if _, dup := t.blocks[b.ID]; dup {
+	if _, dup := t.index[b.ID]; dup {
 		return ErrDuplicate
 	}
-	parent, ok := t.blocks[b.Parent]
+	pi, ok := t.index[b.Parent]
 	if !ok {
 		return fmt.Errorf("%w: %s for block %s", ErrUnknownParent, string(b.Parent), string(b.ID))
 	}
-	b.Height = parent.Height + 1
-	t.blocks[b.ID] = b
-	t.children[b.Parent] = append(t.children[b.Parent], b.ID)
-	// Propagate the new block's work up to the root for GHOST.
+	b.Height = t.nodes[pi].block.Height + 1
 	w := b.work()
-	t.subtreeWork[b.ID] = w
-	for p := b.Parent; ; {
-		t.subtreeWork[p] += w
-		blk := t.blocks[p]
-		if blk.ID == GenesisID {
-			break
-		}
-		p = blk.Parent
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		block:   b,
+		parent:  pi,
+		subtree: w,
+		chainW:  t.nodes[pi].chainW + w,
+	})
+	t.index[b.ID] = idx
+	if b.Height > t.maxHeight {
+		t.maxHeight = b.Height
 	}
-	t.count++
+
+	// Keep the children slice sorted at insert time so reads never sort:
+	// selectors walk them in deterministic order directly.
+	kids := t.nodes[pi].children
+	pos := sort.Search(len(kids), func(i int) bool { return t.nodes[kids[i]].block.ID >= b.ID })
+	kids = append(kids, 0)
+	copy(kids[pos+1:], kids[pos:])
+	kids[pos] = idx
+	t.nodes[pi].children = kids
+	if len(kids) == 2 {
+		t.forkCount++
+	}
+	if len(kids) > t.maxFanout {
+		t.maxFanout = len(kids)
+	}
+
+	// Leaf set update: the parent (if it was a leaf) stops being one, the
+	// new block becomes one. Both edits keep the slice sorted.
+	if len(kids) == 1 {
+		t.removeLeaf(pi)
+	}
+	t.addLeaf(idx)
+
+	// Propagate the new block's work up to the root for GHOST — an
+	// index-chasing walk with no hashing.
+	for p := pi; p >= 0; p = t.nodes[p].parent {
+		t.nodes[p].subtree += w
+	}
 	return nil
+}
+
+// addLeaf inserts idx into the leaf slice, keeping it sorted by block id.
+func (t *Tree) addLeaf(idx int32) {
+	id := t.nodes[idx].block.ID
+	pos := sort.Search(len(t.leaves), func(i int) bool { return t.nodes[t.leaves[i]].block.ID >= id })
+	t.leaves = append(t.leaves, 0)
+	copy(t.leaves[pos+1:], t.leaves[pos:])
+	t.leaves[pos] = idx
+}
+
+// removeLeaf deletes idx from the sorted leaf slice if present.
+func (t *Tree) removeLeaf(idx int32) {
+	id := t.nodes[idx].block.ID
+	pos := sort.Search(len(t.leaves), func(i int) bool { return t.nodes[t.leaves[i]].block.ID >= id })
+	if pos < len(t.leaves) && t.leaves[pos] == idx {
+		copy(t.leaves[pos:], t.leaves[pos+1:])
+		t.leaves = t.leaves[:len(t.leaves)-1]
+	}
 }
 
 // Has reports whether the tree contains the block.
 func (t *Tree) Has(id BlockID) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, ok := t.blocks[id]
+	_, ok := t.index[id]
 	return ok
 }
 
@@ -88,30 +176,35 @@ func (t *Tree) Has(id BlockID) bool {
 func (t *Tree) Get(id BlockID) (Block, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	b, ok := t.blocks[id]
-	return b, ok
+	i, ok := t.index[id]
+	if !ok {
+		return Block{}, false
+	}
+	return t.nodes[i].block, true
 }
 
 // Size returns the number of blocks including genesis.
 func (t *Tree) Size() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.count
+	return len(t.nodes)
 }
 
 // Children returns the ids of the blocks chained to id, sorted
-// lexicographically (a deterministic order the selectors rely on).
+// lexicographically (a deterministic order the selectors rely on). The
+// slice is sorted at insert time, so this is a plain copy.
 func (t *Tree) Children(id BlockID) []BlockID {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.sortedChildrenLocked(id)
-}
-
-func (t *Tree) sortedChildrenLocked(id BlockID) []BlockID {
-	kids := t.children[id]
+	i, ok := t.index[id]
+	if !ok {
+		return nil
+	}
+	kids := t.nodes[i].children
 	out := make([]BlockID, len(kids))
-	copy(out, kids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for j, k := range kids {
+		out[j] = t.nodes[k].block.ID
+	}
 	return out
 }
 
@@ -119,53 +212,111 @@ func (t *Tree) sortedChildrenLocked(id BlockID) []BlockID {
 func (t *Tree) ChainTo(id BlockID) (Chain, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.chainToLocked(id)
-}
-
-func (t *Tree) chainToLocked(id BlockID) (Chain, bool) {
-	b, ok := t.blocks[id]
+	i, ok := t.index[id]
 	if !ok {
 		return nil, false
 	}
-	chain := make(Chain, b.Height+1)
-	for i := b.Height; ; i-- {
-		chain[i] = b
-		if b.ID == GenesisID {
+	return t.chainToLocked(i), true
+}
+
+// chainToLocked materializes the root path ending at slab index idx.
+// Caller holds the lock.
+func (t *Tree) chainToLocked(idx int32) Chain {
+	chain := make(Chain, t.nodes[idx].block.Height+1)
+	for i := idx; i >= 0; i = t.nodes[i].parent {
+		chain[t.nodes[i].block.Height] = t.nodes[i].block
+	}
+	return chain
+}
+
+// ChainIDsTo returns the ids of the path {b0}⌢…⌢{id} without copying the
+// blocks themselves — the id-only view read responses are recorded with.
+// For the provided selectors, the selected chain is exactly the root path
+// of the selected tip, so ChainIDsTo(SelectTip(f, t).ID) equals
+// f.Select(t).IDs() at a fraction of the copying.
+func (t *Tree) ChainIDsTo(id BlockID) (history.Chain, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.index[id]
+	if !ok {
+		return nil, false
+	}
+	out := make(history.Chain, t.nodes[i].block.Height+1)
+	for ; i >= 0; i = t.nodes[i].parent {
+		out[t.nodes[i].block.Height] = t.nodes[i].block.ID
+	}
+	return out, true
+}
+
+// ChainIDsFrom is ChainIDsTo accelerated by a previously returned chain of
+// the same tree: the walk stops as soon as it reaches a height where prev
+// names the same block — the tree is append-only, so a block's root path
+// never changes and the rest of prev can be copied instead of re-walked.
+// Periodic readers advance by a few blocks between reads, which turns the
+// O(height) parent walk into O(lag). prev is only read, never retained.
+func (t *Tree) ChainIDsFrom(id BlockID, prev history.Chain) (history.Chain, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.index[id]
+	if !ok {
+		return nil, false
+	}
+	out := make(history.Chain, t.nodes[i].block.Height+1)
+	for ; i >= 0; i = t.nodes[i].parent {
+		h := t.nodes[i].block.Height
+		if h < len(prev) && prev[h] == t.nodes[i].block.ID {
+			copy(out[:h+1], prev[:h+1])
 			break
 		}
-		b = t.blocks[b.Parent]
+		out[h] = t.nodes[i].block.ID
 	}
-	return chain, true
+	return out, true
 }
 
 // Leaves returns the ids of the blocks with no children, sorted
-// lexicographically.
+// lexicographically. The set is maintained incrementally on Insert, so
+// this is a plain copy.
 func (t *Tree) Leaves() []BlockID {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []BlockID
-	for id := range t.blocks {
-		if len(t.children[id]) == 0 {
-			out = append(out, id)
-		}
+	out := make([]BlockID, len(t.leaves))
+	for i, idx := range t.leaves {
+		out[i] = t.nodes[idx].block.ID
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // ForkCount returns, for each block with more than one child, the number of
 // branches departing from it. It is the per-block fork census used by the
-// k-Fork Coherence experiments (Definition 3.9).
+// k-Fork Coherence experiments (Definition 3.9). It is assembled on demand
+// — the hot paths use Forks, which is a counter.
 func (t *Tree) ForkCount() map[BlockID]int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := map[BlockID]int{}
-	for id, kids := range t.children {
-		if len(kids) > 1 {
-			out[id] = len(kids)
+	out := make(map[BlockID]int, t.forkCount)
+	for i := range t.nodes {
+		if n := len(t.nodes[i].children); n > 1 {
+			out[t.nodes[i].block.ID] = n
 		}
 	}
 	return out
+}
+
+// Forks returns the number of blocks with more than one child — the size
+// of the ForkCount census without materializing it.
+func (t *Tree) Forks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.forkCount
+}
+
+// Height returns the maximal block height — the length (excluding genesis)
+// of the longest chain, maintained on Insert so progress checks need not
+// materialize a chain.
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.maxHeight
 }
 
 // MaxFanout returns the maximum number of children of any block: the
@@ -173,13 +324,7 @@ func (t *Tree) ForkCount() map[BlockID]int {
 func (t *Tree) MaxFanout() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	maxKids := 0
-	for _, kids := range t.children {
-		if len(kids) > maxKids {
-			maxKids = len(kids)
-		}
-	}
-	return maxKids
+	return t.maxFanout
 }
 
 // SubtreeWork returns the cumulative work of the subtree rooted at id
@@ -187,7 +332,23 @@ func (t *Tree) MaxFanout() int {
 func (t *Tree) SubtreeWork(id BlockID) int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.subtreeWork[id]
+	i, ok := t.index[id]
+	if !ok {
+		return 0
+	}
+	return t.nodes[i].subtree
+}
+
+// ChainWork returns the cumulative work of the root path ending at id —
+// the heaviest-chain score of ChainTo(id) — maintained on Insert.
+func (t *Tree) ChainWork(id BlockID) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.index[id]
+	if !ok {
+		return 0
+	}
+	return t.nodes[i].chainW
 }
 
 // Clone returns a deep, independent copy of the tree.
@@ -195,21 +356,24 @@ func (t *Tree) Clone() *Tree {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	c := &Tree{
-		blocks:      make(map[BlockID]Block, len(t.blocks)),
-		children:    make(map[BlockID][]BlockID, len(t.children)),
-		subtreeWork: make(map[BlockID]int, len(t.subtreeWork)),
-		count:       t.count,
+		nodes:     make([]node, len(t.nodes)),
+		index:     make(map[BlockID]int32, len(t.index)),
+		leaves:    make([]int32, len(t.leaves)),
+		forkCount: t.forkCount,
+		maxFanout: t.maxFanout,
+		maxHeight: t.maxHeight,
 	}
-	for id, b := range t.blocks {
-		c.blocks[id] = b
+	copy(c.nodes, t.nodes)
+	for i := range c.nodes {
+		if kids := c.nodes[i].children; kids != nil {
+			cp := make([]int32, len(kids))
+			copy(cp, kids)
+			c.nodes[i].children = cp
+		}
 	}
-	for id, kids := range t.children {
-		cp := make([]BlockID, len(kids))
-		copy(cp, kids)
-		c.children[id] = cp
+	for id, i := range t.index {
+		c.index[id] = i
 	}
-	for id, w := range t.subtreeWork {
-		c.subtreeWork[id] = w
-	}
+	copy(c.leaves, t.leaves)
 	return c
 }

@@ -48,6 +48,7 @@ type bftNode struct {
 	plan   roundPlan
 	round  int
 	count  int
+	names  nameMemo
 	done   *bool
 }
 
@@ -73,7 +74,7 @@ func (n *bftNode) OnTimer(s *netsim.Sim, tag string) {
 	case proposeTimer:
 		n.propose(s)
 	case readTimer:
-		n.rep.Read()
+		n.rep.ReadIDs()
 		if !*n.done {
 			s.TimerAt(n.rep.ID(), s.Now()+n.params.ReadEvery, readTimer)
 		}
@@ -90,8 +91,8 @@ func (n *bftNode) OnMessage(s *netsim.Sim, m netsim.Message) {
 // commit). Only the first consume per predecessor succeeds; losers record a
 // failed append, which the purged histories of Section 3.4 discard.
 func (n *bftNode) propose(s *netsim.Sim) {
-	parent := n.rep.Selected().Tip()
-	candidate := blockName(parent.Height+1, n.rep.ID(), n.count)
+	parent := n.rep.SelectedTip()
+	candidate := n.names.get(parent.Height+1, n.rep.ID(), n.count)
 	tok, granted := n.orc.GetToken(n.merit, parent.ID, candidate)
 	if !granted {
 		return
@@ -114,11 +115,13 @@ func runBFT(name, refinement string, sel blocktree.Selector, plan roundPlan, p P
 	p = p.withDefaults()
 	sim := netsim.New(netsim.Synchronous{Delta: p.Delta}, p.Seed)
 	orc := oracle.NewFrugal(1, p.Seed, equalMerits(p.N, plan.tokenProb)...)
+	ops := p.TargetBlocks*p.N*5 + p.N*16
+	sim.Recorder().Reserve(2*ops, ops)
 	done := false
 	reps := map[history.ProcID]*netsim.Replica{}
 	for i := 0; i < p.N; i++ {
 		id := history.ProcID(i)
-		rep := netsim.NewReplica(id, sel, sim.Recorder())
+		rep := netsim.NewReplicaCap(id, sel, sim.Recorder(), p.TargetBlocks+p.TargetBlocks/2)
 		reps[id] = rep
 		node := &bftNode{rep: rep, orc: orc, merit: i, params: p, plan: plan, done: &done}
 		sim.Register(id, node)
@@ -138,7 +141,7 @@ func runBFT(name, refinement string, sel blocktree.Selector, plan roundPlan, p P
 	done = true
 	sim.Run(t + step + 16*p.Delta)
 	for _, id := range sim.Procs() {
-		reps[id].Read()
+		reps[id].ReadIDs()
 	}
 
 	blocks, forks := bestReplica(reps)
@@ -148,7 +151,7 @@ func runBFT(name, refinement string, sel blocktree.Selector, plan roundPlan, p P
 		OracleName:   orc.Name(),
 		SelectorName: sel.Name(),
 		K:            1,
-		History:      sim.Recorder().Snapshot(),
+		History:      sim.Recorder().Finalize(),
 		Blocks:       blocks,
 		Forks:        forks,
 		Ticks:        sim.Now(),

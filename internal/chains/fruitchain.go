@@ -80,6 +80,7 @@ type fruitNode struct {
 	// pending are fruits seen but not yet observed inside the local
 	// selected chain.
 	pending map[string]Fruit
+	names   nameMemo
 	done    *bool
 }
 
@@ -94,7 +95,7 @@ func (n *fruitNode) OnTimer(s *netsim.Sim, tag string) {
 		n.mineBlock(s)
 		s.TimerAt(n.rep.ID(), s.Now()+n.params.MineInterval, mineTimer)
 	case readTimer:
-		n.rep.Read()
+		n.rep.ReadIDs()
 		if !*n.done {
 			s.TimerAt(n.rep.ID(), s.Now()+n.params.ReadEvery, readTimer)
 		}
@@ -112,8 +113,8 @@ func (n *fruitNode) mineFruit(s *netsim.Sim) {
 }
 
 func (n *fruitNode) mineBlock(s *netsim.Sim) {
-	parent := n.rep.Selected().Tip()
-	candidate := blockName(parent.Height+1, n.rep.ID(), n.counter)
+	parent := n.rep.SelectedTip()
+	candidate := n.names.get(parent.Height+1, n.rep.ID(), n.counter)
 	tok, ok := n.orc.GetToken(n.merit, parent.ID, candidate)
 	if !ok {
 		return
@@ -253,7 +254,7 @@ func RunFruitChainAttack(p Params, alpha float64) FruitStats {
 	adv.publish(sim, len(adv.withheld))
 	sim.Run(t + 64 + 16*p.Delta)
 	for _, id := range sim.Procs() {
-		reps[id].Read()
+		reps[id].ReadIDs()
 	}
 
 	final := blocktree.HeaviestChain{}.Select(reps[1].Tree())
@@ -291,7 +292,7 @@ func RunFruitChainAttack(p Params, alpha float64) FruitStats {
 		OracleName:   orc.Name(),
 		SelectorName: "heaviest",
 		K:            oracle.Unbounded,
-		History:      sim.Recorder().Snapshot(),
+		History:      sim.Recorder().Finalize(),
 		Blocks:       blocks,
 		Forks:        forks,
 		Ticks:        sim.Now(),

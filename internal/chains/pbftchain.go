@@ -72,7 +72,7 @@ func (n *pbftChainNode) OnTimer(s *netsim.Sim, tag string) {
 		}
 		s.TimerAt(n.tree.ID(), s.Now()+3*n.params.Delta, slotTimer)
 	case readTimer:
-		n.tree.Read()
+		n.tree.ReadIDs()
 		if !*n.done {
 			s.TimerAt(n.tree.ID(), s.Now()+n.params.ReadEvery, readTimer)
 		}
@@ -172,7 +172,7 @@ func RunPBFTChain(p Params) Result {
 	done = true
 	sim.Run(t + step + 32*p.Delta)
 	for _, id := range sim.Procs() {
-		reps[id].Read()
+		reps[id].ReadIDs()
 	}
 
 	blocks, forks := bestReplica(reps)
@@ -182,7 +182,7 @@ func RunPBFTChain(p Params) Result {
 		OracleName:   "pbft(n=" + fmt.Sprint(p.N) + ")",
 		SelectorName: blocktree.SingleChain{}.Name(),
 		K:            1,
-		History:      sim.Recorder().Snapshot(),
+		History:      sim.Recorder().Finalize(),
 		Blocks:       blocks,
 		Forks:        forks,
 		Ticks:        sim.Now(),

@@ -18,6 +18,7 @@ type powNode struct {
 	merit   int
 	params  Params
 	counter int
+	names   nameMemo
 	done    *bool
 }
 
@@ -35,7 +36,7 @@ func (n *powNode) OnTimer(s *netsim.Sim, tag string) {
 			s.TimerAt(n.rep.ID(), s.Now()+n.params.MineInterval, mineTimer)
 		}
 	case readTimer:
-		n.rep.Read()
+		n.rep.ReadIDs()
 		if !*n.done {
 			s.TimerAt(n.rep.ID(), s.Now()+n.params.ReadEvery, readTimer)
 		}
@@ -48,8 +49,8 @@ func (n *powNode) OnMessage(s *netsim.Sim, m netsim.Message) {
 }
 
 func (n *powNode) mine(s *netsim.Sim) {
-	parent := n.rep.Selected().Tip()
-	candidate := blockName(parent.Height+1, n.rep.ID(), n.counter)
+	parent := n.rep.SelectedTip()
+	candidate := n.names.get(parent.Height+1, n.rep.ID(), n.counter)
 	tok, ok := n.orc.GetToken(n.merit, parent.ID, candidate)
 	if !ok {
 		return
@@ -83,11 +84,17 @@ func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.L
 	}
 	sim := netsim.New(links, p.Seed)
 	orc := newProdigal(p)
+	// The history size is bounded by the run shape: per block roughly one
+	// append plus a (send, receive, update) record fan-out per replica, plus
+	// the periodic reads. Reserving up front keeps the recorder's append
+	// path reallocation-free.
+	ops := p.TargetBlocks*p.N*5 + p.N*16
+	sim.Recorder().Reserve(2*ops, ops)
 	done := false
 	reps := map[history.ProcID]*netsim.Replica{}
 	for i := 0; i < p.N; i++ {
 		id := history.ProcID(i)
-		rep := netsim.NewReplica(id, sel, sim.Recorder())
+		rep := netsim.NewReplicaCap(id, sel, sim.Recorder(), p.TargetBlocks+p.TargetBlocks/2)
 		reps[id] = rep
 		node := &powNode{rep: rep, orc: orc, merit: i, params: p, done: &done}
 		sim.Register(id, node)
@@ -107,9 +114,16 @@ func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.L
 		}
 	}
 	done = true
-	sim.Run(t + 64 + 16*p.Delta) // drain the network
+	// Drain every in-flight message before the final convergence reads.
+	// A fixed window (the old `sim.Run(t + 64 + 16*p.Delta)`) is wrong
+	// under heavy-tail links: a Jitter straggler or an Asynchronous tail
+	// can exceed any constant multiple of Delta, leaving deliveries
+	// pending when the reads run — a harness artifact the consistency
+	// checkers then misattribute to the model. RunToIdle stops at the last
+	// real delivery; the cap only bounds runaway schedules.
+	sim.RunToIdle(t + 64 + p.MaxTicks)
 	for _, id := range sim.Procs() {
-		reps[id].Read()
+		reps[id].ReadIDs()
 	}
 
 	blocks, forks := bestReplica(reps)
@@ -119,7 +133,7 @@ func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.L
 		OracleName:   orc.Name(),
 		SelectorName: sel.Name(),
 		K:            oracle.Unbounded,
-		History:      sim.Recorder().Snapshot(),
+		History:      sim.Recorder().Finalize(),
 		Blocks:       blocks,
 		Forks:        forks,
 		Ticks:        sim.Now(),

@@ -207,7 +207,7 @@ func RunSelfishMining(p Params, alpha float64) SelfishStats {
 	adv.publish(sim, len(adv.withheld))
 	sim.Run(t + 64 + 16*p.Delta)
 	for _, id := range sim.Procs() {
-		reps[id].Read()
+		reps[id].ReadIDs()
 	}
 
 	// Count main-chain authorship at an honest replica.
@@ -226,7 +226,7 @@ func RunSelfishMining(p Params, alpha float64) SelfishStats {
 		AdversaryMerit:  alpha,
 		MainChainByProc: byProc,
 	}
-	h := sim.Recorder().Snapshot()
+	h := sim.Recorder().Finalize()
 	mined := map[history.ProcID]int{}
 	for _, a := range h.SuccessfulAppends() {
 		mined[a.Op.Proc]++

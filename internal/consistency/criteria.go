@@ -67,7 +67,9 @@ func LocalMonotonicRead(h *history.History, opts Options) Verdict {
 	last := map[history.ProcID]int{}
 	lastChain := map[history.ProcID]history.Chain{}
 	checked := 0
-	for _, r := range readsByProcessOrder(h) {
+	reads := h.Reads()
+	for _, i := range readsByProcessOrder(h) {
+		r := &reads[i]
 		s := score(r.Chain)
 		if prev, ok := last[r.Op.Proc]; ok {
 			checked++
@@ -81,17 +83,24 @@ func LocalMonotonicRead(h *history.History, opts Options) Verdict {
 	return sink.verdict("LocalMonotonicRead", checked)
 }
 
-// readsByProcessOrder returns completed reads sorted by (proc, invocation
-// sequence): the per-process order ↦→.
-func readsByProcessOrder(h *history.History) []history.ReadOp {
+// readsByProcessOrder returns the indexes into h.Reads() sorted by (proc,
+// invocation sequence): the per-process order ↦→. History.Reads returns a
+// shared cached slice, so the permutation is sorted instead of a private
+// copy of the (much larger) read records.
+func readsByProcessOrder(h *history.History) []int32 {
 	reads := h.Reads()
-	sort.Slice(reads, func(i, j int) bool {
-		if reads[i].Op.Proc != reads[j].Op.Proc {
-			return reads[i].Op.Proc < reads[j].Op.Proc
+	order := make([]int32, len(reads))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &reads[order[i]].Op, &reads[order[j]].Op
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
 		}
-		return reads[i].Op.InvSeq < reads[j].Op.InvSeq
+		return a.InvSeq < b.InvSeq
 	})
-	return reads
+	return order
 }
 
 // StrongPrefix checks Definition 3.2's Strong prefix: for every pair of
@@ -144,12 +153,20 @@ func EverGrowingTree(h *history.History, opts Options) Verdict {
 		scores[i] = score(r.Chain)
 	}
 	// growthTimes holds the invocation times of growth events, sorted.
+	// Collected in one pass over the raw operations — building the
+	// per-kind cached views just to read invocation times would copy far
+	// more than this check needs.
 	var growthTimes []int64
-	for _, a := range h.SuccessfulAppends() {
-		growthTimes = append(growthTimes, a.Op.InvTime)
-	}
-	for _, u := range h.OpsOfKind(history.KindUpdate) {
-		growthTimes = append(growthTimes, u.InvTime)
+	for i := range h.Ops() {
+		op := &h.Ops()[i]
+		switch op.Label.Kind {
+		case history.KindAppend:
+			if op.Complete && op.Response.OK {
+				growthTimes = append(growthTimes, op.InvTime)
+			}
+		case history.KindUpdate:
+			growthTimes = append(growthTimes, op.InvTime)
+		}
 	}
 	sort.Slice(growthTimes, func(a, b int) bool { return growthTimes[a] < growthTimes[b] })
 	growthAfter := func(t int64) int {

@@ -116,9 +116,22 @@ type Classification struct {
 }
 
 // Classify determines the strongest criterion the history satisfies.
+// SC and EC share three of their four constituent properties (Definitions
+// 3.2 and 3.4), so Classify evaluates each property once and assembles
+// both reports from the shared verdicts instead of delegating to CheckSC
+// and CheckEC, which would walk the history twice.
 func Classify(h *history.History, opts Options) Classification {
-	sc := CheckSC(h, opts)
-	ec := CheckEC(h, opts)
+	bv := BlockValidity(h, opts)
+	lmr := LocalMonotonicRead(h, opts)
+	egt := EverGrowingTree(h, opts)
+	sc := Report{
+		Criterion: "BT Strong Consistency",
+		Verdicts:  []Verdict{bv, lmr, StrongPrefix(h, opts), egt},
+	}
+	ec := Report{
+		Criterion: "BT Eventual Consistency",
+		Verdicts:  []Verdict{bv, lmr, egt, EventualPrefix(h, opts)},
+	}
 	c := Classification{SC: sc, EC: ec, Level: LevelNone}
 	switch {
 	case sc.Satisfied():

@@ -197,9 +197,23 @@ type Op struct {
 }
 
 // History is an immutable concurrent history H.
+//
+// Because the history never changes after Snapshot, the derived views the
+// consistency checkers and metric collectors iterate (Reads, Appends,
+// OpsOfKind) are computed once and cached: every checker of a
+// classification pass walks the same slices instead of re-filtering and
+// re-sorting the event set per call. The cached slices are shared —
+// callers must not mutate or reorder them (clone first, as
+// readsByProcessOrder in internal/consistency does).
 type History struct {
 	events []Event
 	ops    []Op
+
+	mu          sync.Mutex
+	readsCache  []ReadOp
+	appendCache []AppendOp
+	okAppends   []AppendOp
+	kindCache   map[Kind][]Op
 }
 
 // Events returns the event set E in global (Seq) order.
@@ -219,16 +233,22 @@ type ReadOp struct {
 
 // Reads returns the completed read() operations in response order (the
 // order their responses occurred), which is the order the consistency
-// criteria quantify over.
+// criteria quantify over. The slice is computed once and shared across
+// calls; callers must not mutate or reorder it.
 func (h *History) Reads() []ReadOp {
-	var out []ReadOp
-	for _, op := range h.ops {
-		if op.Label.Kind == KindRead && op.Complete {
-			out = append(out, ReadOp{Op: op, Chain: op.Response.Chain})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.readsCache == nil {
+		out := []ReadOp{}
+		for _, op := range h.ops {
+			if op.Label.Kind == KindRead && op.Complete {
+				out = append(out, ReadOp{Op: op, Chain: op.Response.Chain})
+			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Op.RspSeq < out[j].Op.RspSeq })
+		h.readsCache = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Op.RspSeq < out[j].Op.RspSeq })
-	return out
+	return h.readsCache
 }
 
 // AppendOp is a completed append() operation.
@@ -239,37 +259,60 @@ type AppendOp struct {
 }
 
 // Appends returns the completed append() operations in invocation order.
+// The slice is computed once and shared; callers must not mutate it.
 func (h *History) Appends() []AppendOp {
-	var out []AppendOp
-	for _, op := range h.ops {
-		if op.Label.Kind == KindAppend && op.Complete {
-			out = append(out, AppendOp{Op: op, Block: op.Label.Block, OK: op.Response.OK})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.appendCache == nil {
+		out := []AppendOp{}
+		for _, op := range h.ops {
+			if op.Label.Kind == KindAppend && op.Complete {
+				out = append(out, AppendOp{Op: op, Block: op.Label.Block, OK: op.Response.OK})
+			}
 		}
+		h.appendCache = out
 	}
-	return out
+	return h.appendCache
 }
 
 // SuccessfulAppends returns the appends whose response is true. The
 // hierarchy results (Section 3.4) consider histories purged of unsuccessful
-// append responses; this accessor implements that purge.
+// append responses; this accessor implements that purge. The slice is
+// computed once and shared; callers must not mutate it.
 func (h *History) SuccessfulAppends() []AppendOp {
-	var out []AppendOp
-	for _, a := range h.Appends() {
-		if a.OK {
-			out = append(out, a)
+	appends := h.Appends()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.okAppends == nil {
+		out := []AppendOp{}
+		for _, a := range appends {
+			if a.OK {
+				out = append(out, a)
+			}
 		}
+		h.okAppends = out
 	}
-	return out
+	return h.okAppends
 }
 
 // OpsOfKind returns completed operations with the given kind, in invocation
-// order.
+// order. The slice is computed once per kind and shared; callers must not
+// mutate it.
 func (h *History) OpsOfKind(k Kind) []Op {
-	var out []Op
-	for _, op := range h.ops {
-		if op.Label.Kind == k {
-			out = append(out, op)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out, ok := h.kindCache[k]
+	if !ok {
+		out = []Op{}
+		for _, op := range h.ops {
+			if op.Label.Kind == k {
+				out = append(out, op)
+			}
 		}
+		if h.kindCache == nil {
+			h.kindCache = map[Kind][]Op{}
+		}
+		h.kindCache[k] = out
 	}
 	return out
 }
@@ -320,6 +363,11 @@ type Recorder struct {
 	events []Event
 	ops    []Op
 	clock  Clock
+	// respSlab is the current response-label chunk. Respond hands out
+	// pointers into it; append never reallocates within a chunk (a fresh
+	// chunk is started when the current one fills), so the pointers stay
+	// valid and one allocation serves many responses.
+	respSlab []Label
 }
 
 // Clock supplies timestamps for the operation order ≺. Virtual-time
@@ -355,6 +403,28 @@ func NewRecorderWithClock(c Clock) *Recorder {
 	return &Recorder{clock: c}
 }
 
+// Reserve grows the recorder's event and operation buffers to at least the
+// given capacities. Simulators that can bound the history size from their
+// parameters (TargetBlocks × replicas × ops-per-block) call this once so the
+// append path never reallocates mid-run.
+func (r *Recorder) Reserve(events, ops int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cap(r.events) < events {
+		grown := make([]Event, len(r.events), events)
+		copy(grown, r.events)
+		r.events = grown
+	}
+	if cap(r.ops) < ops {
+		grown := make([]Op, len(r.ops), ops)
+		copy(grown, r.ops)
+		r.ops = grown
+	}
+	if cap(r.respSlab)-len(r.respSlab) < ops {
+		r.respSlab = make([]Label, 0, ops)
+	}
+}
+
 // Invoke records the invocation event of a new operation and returns its
 // OpID, to be passed to Respond.
 func (r *Recorder) Invoke(p ProcID, l Label) OpID {
@@ -377,8 +447,11 @@ func (r *Recorder) Respond(id OpID, result Label) {
 	now := r.clock.Now()
 	op := &r.ops[id]
 	r.events = append(r.events, Event{Seq: seq, Type: Response, Proc: op.Proc, Op: id, Label: result, Time: now})
-	res := result
-	op.Response = &res
+	if len(r.respSlab) == cap(r.respSlab) {
+		r.respSlab = make([]Label, 0, 256)
+	}
+	r.respSlab = append(r.respSlab, result)
+	op.Response = &r.respSlab[len(r.respSlab)-1]
 	op.RspTime = now
 	op.RspSeq = seq
 	op.Complete = true
@@ -386,9 +459,30 @@ func (r *Recorder) Respond(id OpID, result Label) {
 
 // Record records an instantaneous (invocation+response collapsed) event,
 // used for send/receive/update events which have no call/return structure.
+// It appends both events under one lock acquisition — equivalent to
+// Invoke+Respond (including drawing two clock values) but cheaper on the
+// simulator's per-delivery path, where Record is the dominant call.
 func (r *Recorder) Record(p ProcID, l Label) {
-	id := r.Invoke(p, l)
-	r.Respond(id, l)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := OpID(len(r.ops))
+	seq := len(r.events)
+	tInv := r.clock.Now()
+	tRsp := r.clock.Now()
+	r.events = append(r.events,
+		Event{Seq: seq, Type: Invocation, Proc: p, Op: id, Label: l, Time: tInv},
+		Event{Seq: seq + 1, Type: Response, Proc: p, Op: id, Label: l, Time: tRsp})
+	if len(r.respSlab) == cap(r.respSlab) {
+		r.respSlab = make([]Label, 0, 256)
+	}
+	r.respSlab = append(r.respSlab, l)
+	r.ops = append(r.ops, Op{
+		ID: id, Proc: p, Label: l,
+		Response: &r.respSlab[len(r.respSlab)-1],
+		InvTime:  tInv, RspTime: tRsp,
+		InvSeq: seq, RspSeq: seq + 1,
+		Complete: true,
+	})
 }
 
 // Snapshot returns an immutable copy of the history recorded so far.
@@ -401,11 +495,37 @@ func (r *Recorder) Snapshot() *History {
 	}
 	copy(h.events, r.events)
 	copy(h.ops, r.ops)
-	for i := range h.ops {
+	// One response slab for the whole snapshot instead of one heap object
+	// per completed operation: the copies stay independent of the recorder
+	// (the slab is owned by the snapshot) without per-op allocations.
+	n := 0
+	for i := range r.ops {
 		if r.ops[i].Response != nil {
-			res := *r.ops[i].Response
-			h.ops[i].Response = &res
+			n++
 		}
 	}
+	slab := make([]Label, 0, n)
+	for i := range h.ops {
+		if r.ops[i].Response != nil {
+			slab = append(slab, *r.ops[i].Response)
+			h.ops[i].Response = &slab[len(slab)-1]
+		}
+	}
+	return h
+}
+
+// Finalize returns the recorded history by transferring ownership of the
+// recorder's buffers — no copy. The recorder is reset to empty and must
+// not be reused, or the returned history would observe the new events.
+// Single-use harnesses (one recorder per simulation run) call this instead
+// of Snapshot to avoid duplicating the full event set at the end of every
+// run.
+func (r *Recorder) Finalize() *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := &History{events: r.events, ops: r.ops}
+	r.events = nil
+	r.ops = nil
+	r.respSlab = nil
 	return h
 }

@@ -78,6 +78,11 @@ type Quantile struct {
 	probes []float64
 	buf    []float64
 	p2     []*p2Estimator
+	// sorted is the cached sorted view of buf on the exact path; Add
+	// invalidates it, Get (re)builds it at most once per batch of Adds —
+	// `btadt stats` calls Get once per probe per (config, metric), so
+	// re-sorting per call would dominate aggregation.
+	sorted []float64
 }
 
 // NewQuantile returns an estimator for the given probe points (each in
@@ -95,6 +100,7 @@ func (q *Quantile) Add(x float64) {
 		return
 	}
 	q.buf = append(q.buf, x)
+	q.sorted = q.sorted[:0]
 	if len(q.buf) > exactLimit {
 		// Switch to P²: seed each estimator with the buffered samples in
 		// arrival order, then drop the buffer.
@@ -106,6 +112,7 @@ func (q *Quantile) Add(x float64) {
 			}
 		}
 		q.buf = nil
+		q.sorted = nil
 	}
 }
 
@@ -134,8 +141,11 @@ func (q *Quantile) Get(p float64) float64 {
 	if len(q.buf) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), q.buf...)
-	sort.Float64s(s)
+	if len(q.sorted) != len(q.buf) {
+		q.sorted = append(q.sorted[:0], q.buf...)
+		sort.Float64s(q.sorted)
+	}
+	s := q.sorted
 	// Nearest-rank on the sorted sample: index ⌈p·n⌉-1.
 	idx := int(math.Ceil(p*float64(len(s)))) - 1
 	if idx < 0 {

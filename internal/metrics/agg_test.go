@@ -76,6 +76,32 @@ func TestQuantileExactSmall(t *testing.T) {
 	}
 }
 
+// TestQuantileCachedSortMatchesFresh pins the sorted-view cache: a Get
+// interleaved with Adds (invalidating and rebuilding the cache each time)
+// must return exactly what a freshly built estimator over the same prefix
+// returns, for every prefix and probe. This is the before/after guarantee
+// of the caching change — Get is still a pure function of the Adds so far.
+func TestQuantileCachedSortMatchesFresh(t *testing.T) {
+	src := prng.New(42)
+	probes := []float64{0.5, 0.9, 0.99}
+	q := NewQuantile(probes...)
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		x := src.Float64() * 100
+		xs = append(xs, x)
+		q.Add(x)
+		for _, p := range probes {
+			fresh := NewQuantile(probes...)
+			for _, v := range xs {
+				fresh.Add(v)
+			}
+			if got, want := q.Get(p), fresh.Get(p); got != want {
+				t.Fatalf("after %d adds, cached Get(%v) = %v, fresh = %v", i+1, p, got, want)
+			}
+		}
+	}
+}
+
 // TestQuantileP2Engages feeds past exactLimit and checks the P²
 // estimates track the true quantiles of a uniform stream.
 func TestQuantileP2Engages(t *testing.T) {

@@ -1,0 +1,28 @@
+package netsim
+
+import (
+	"testing"
+
+	"blockadt/internal/history"
+)
+
+// TestBroadcastAllocs pins the allocation-free event core: once the queue's
+// backing array and the batch-planning scratch have warmed up, a broadcast
+// fan-out plus its delivery drain must not allocate at all — events are
+// values in a reused heap, and Synchronous plans the whole fan-out through
+// the batched path. AllocsPerRun's warm-up call grows the buffers; the
+// measured runs must then stay on the steady state.
+func TestBroadcastAllocs(t *testing.T) {
+	const n = 64
+	s := New(Synchronous{Delta: 8}, 1)
+	for i := 0; i < n; i++ {
+		s.Register(history.ProcID(i), HandlerFuncs{})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Broadcast(0, Message{Kind: "ping"})
+		s.Run(s.Now() + 16)
+	})
+	if allocs > 0 {
+		t.Fatalf("Broadcast+Run allocated %.1f objects per fan-out, want 0", allocs)
+	}
+}

@@ -22,7 +22,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"slices"
 
@@ -134,6 +133,24 @@ func (l Synchronous) Plan(rng *prng.Source, _ Message, _ int64) (int64, bool) {
 		hi = lo
 	}
 	return lo + rng.Int63n(hi-lo+1), false
+}
+
+// PlanBatch implements BatchPlanner. The delays are drawn in slice order
+// with one rng draw each, exactly as len(delays) consecutive Plan calls
+// would, so batched and per-send planning produce identical executions.
+func (l Synchronous) PlanBatch(rng *prng.Source, _ Message, _ int64, delays []int64) {
+	lo := l.Min
+	if lo < 1 {
+		lo = 1
+	}
+	hi := l.Delta
+	if hi < lo {
+		hi = lo
+	}
+	span := hi - lo + 1
+	for i := range delays {
+		delays[i] = lo + rng.Int63n(span)
+	}
 }
 
 // Asynchronous delivers every message eventually but with no bound: delays
@@ -335,38 +352,59 @@ func (l Jitter) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
 	return delay, false
 }
 
-// event is a queue entry: either a delivery or a timer.
+// BatchPlanner is an optional LinkModel extension for models whose draws
+// do not depend on the individual message: PlanBatch fills delays with one
+// value per message, consuming the rng exactly as len(delays) consecutive
+// Plan calls on the same stream would. Broadcast uses it to plan a whole
+// fan-out with one call; the drop decision must be uniformly "keep" (models
+// that can drop cannot implement BatchPlanner without changing semantics).
+type BatchPlanner interface {
+	PlanBatch(rng *prng.Source, m Message, now int64, delays []int64)
+}
+
+// event is a queue entry's payload: either a delivery or a timer. Events
+// live in a slab the simulator recycles through a free list — scheduling
+// never heap-allocates, and both the slab and the heap's backing array are
+// reused across Run iterations.
 type event struct {
-	at    int64
-	seq   int64 // FIFO tie-break for determinism
 	msg   Message
 	timer bool
 	tag   string
 	proc  history.ProcID
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// heapItem is what the priority queue actually orders: the (at, seq) key
+// plus the slab index of the payload. Sift operations move these 24-byte
+// items instead of full event structs, which keeps the heap's memory
+// traffic independent of the message size.
+type heapItem struct {
+	at  int64
+	seq int64 // FIFO tie-break for determinism
+	idx int32
 }
-func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)     { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
-func (h eventHeap) Peek() *event    { return h[0] }
 
-var _ heap.Interface = (*eventHeap)(nil)
+// itemLess orders the min-heap by (at, seq).
+func itemLess(a, b heapItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
 
 // Sim is the discrete-event simulator. It is single-goroutine: handlers run
 // sequentially in virtual-time order.
 type Sim struct {
-	now      int64
-	seq      int64
-	queue    eventHeap
+	now   int64
+	seq   int64
+	queue []heapItem
+	// slab holds the queued events' payloads; free lists the vacated slots.
+	// Together they pool event structs: a pop releases its slot for the
+	// next push, so steady-state scheduling allocates nothing.
+	slab []event
+	free []int32
+	// delays is Broadcast's scratch buffer for batched link planning; it is
+	// reused across calls so batched fan-outs allocate nothing steady-state.
+	delays   []int64
 	handlers map[history.ProcID]Handler
 	// procs caches the sorted process ids; Register invalidates it.
 	// Broadcast iterates it once per call, so the sort is paid per
@@ -447,6 +485,62 @@ func (s *Sim) Crash(p history.ProcID) { s.crashed[p] = true }
 // Crashed reports whether the process has crashed.
 func (s *Sim) Crashed(p history.ProcID) bool { return s.crashed[p] }
 
+// push assigns the event a sequence number, parks its payload in a slab
+// slot (recycled from the free list when one is available) and sifts the
+// 24-byte heap item up — no per-event allocation.
+func (s *Sim) push(at int64, ev event) {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.slab[idx] = ev
+	} else {
+		idx = int32(len(s.slab))
+		s.slab = append(s.slab, ev)
+	}
+	s.seq++
+	s.queue = append(s.queue, heapItem{at: at, seq: s.seq, idx: idx})
+	q := s.queue
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !itemLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes the minimum item (sift-down) and returns its payload, with
+// the event's timestamp. The slab slot is zeroed — so the pool does not
+// retain message payloads — and released to the free list.
+func (s *Sim) pop() (int64, event) {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	s.queue = q
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && itemLess(q[r], q[c]) {
+			c = r
+		}
+		if !itemLess(q[c], q[i]) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	ev := s.slab[top.idx]
+	s.slab[top.idx] = event{}
+	s.free = append(s.free, top.idx)
+	return top.at, ev
+}
+
 // Send transmits m (with From/To already set) through the link model. Loss
 // and delay are decided at send time; the send itself is not recorded here —
 // protocol code records send events explicitly, because the paper's send
@@ -461,8 +555,7 @@ func (s *Sim) Send(m Message) {
 	if delay < 1 {
 		delay = 1
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, msg: m, proc: m.To})
+	s.push(s.now+delay, event{msg: m, proc: m.To})
 }
 
 // TimerAt schedules Handler.OnTimer(tag) at process p at absolute virtual
@@ -471,8 +564,30 @@ func (s *Sim) TimerAt(p history.ProcID, at int64, tag string) {
 	if at <= s.now {
 		at = s.now + 1
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, timer: true, tag: tag, proc: p})
+	s.push(at, event{timer: true, tag: tag, proc: p})
+}
+
+// Pending returns the number of queued (undelivered) events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// dispatch delivers one event to its handler, returning whether a handler
+// actually ran (crashed or unregistered processes consume the event
+// silently).
+func (s *Sim) dispatch(ev *event) bool {
+	if s.crashed[ev.proc] {
+		return false
+	}
+	h, ok := s.handlers[ev.proc]
+	if !ok {
+		return false
+	}
+	if ev.timer {
+		h.OnTimer(s, ev.tag)
+	} else {
+		s.Delivered++
+		h.OnMessage(s, ev.msg)
+	}
+	return true
 }
 
 // Run processes events until the queue drains or virtual time exceeds
@@ -480,28 +595,40 @@ func (s *Sim) TimerAt(p history.ProcID, at int64, tag string) {
 func (s *Sim) Run(until int64) int {
 	n := 0
 	for len(s.queue) > 0 {
-		if s.queue.Peek().at > until {
+		if s.queue[0].at > until {
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
-		if s.crashed[ev.proc] {
-			continue
-		}
-		h, ok := s.handlers[ev.proc]
-		if !ok {
-			continue
-		}
-		n++
-		if ev.timer {
-			h.OnTimer(s, ev.tag)
-		} else {
-			s.Delivered++
-			h.OnMessage(s, ev.msg)
+		at, ev := s.pop()
+		s.now = at
+		if s.dispatch(&ev) {
+			n++
 		}
 	}
 	if s.now < until {
 		s.now = until
+	}
+	return n
+}
+
+// RunToIdle processes events until the queue is empty, however far into
+// virtual time they reach — the drain harnesses use it so final reads
+// never race in-flight deliveries whose link-model delay (heavy-tail
+// jitter, asynchronous stragglers) exceeds any fixed window. Unlike Run,
+// virtual time stops at the last processed event rather than jumping to a
+// horizon. safetyCap bounds the drain loudly: an event scheduled past it
+// indicates a runaway model (or a handler scheduling unboundedly) rather
+// than a legitimate tail, and panics instead of spinning forever.
+func (s *Sim) RunToIdle(safetyCap int64) int {
+	n := 0
+	for len(s.queue) > 0 {
+		if at := s.queue[0].at; at > safetyCap {
+			panic(fmt.Sprintf("netsim: RunToIdle exceeded safety cap %d: next event at t=%d with %d pending", safetyCap, at, len(s.queue)))
+		}
+		at, ev := s.pop()
+		s.now = at
+		if s.dispatch(&ev) {
+			n++
+		}
 	}
 	return n
 }
@@ -515,15 +642,55 @@ func (s *Sim) Run(until int64) int {
 // LRC properties of Definition 4.4 among correct processes.
 func (s *Sim) Broadcast(from history.ProcID, m Message) {
 	m.From = from
-	for _, p := range s.sortedProcs() {
+	procs := s.sortedProcs()
+	if bp, ok := s.links.(BatchPlanner); ok {
+		s.broadcastBatched(from, m, procs, bp)
+		return
+	}
+	for _, p := range procs {
 		cp := m
 		cp.To = p
 		if p == from {
 			// Self-delivery bypasses the wire: local, next instant.
-			s.seq++
-			heap.Push(&s.queue, &event{at: s.now + 1, seq: s.seq, msg: cp, proc: p})
+			s.push(s.now+1, event{msg: cp, proc: p})
 			continue
 		}
 		s.Send(cp)
+	}
+}
+
+// broadcastBatched plans the whole fan-out with one BatchPlanner call. The
+// delays are drawn in ascending destination order — the same rng sequence
+// the per-send loop consumes — so batched and unbatched broadcasts yield
+// byte-identical executions.
+func (s *Sim) broadcastBatched(from history.ProcID, m Message, procs []history.ProcID, bp BatchPlanner) {
+	wire := 0
+	for _, p := range procs {
+		if p != from {
+			wire++
+		}
+	}
+	if cap(s.delays) < wire {
+		s.delays = make([]int64, wire)
+	}
+	delays := s.delays[:wire]
+	bp.PlanBatch(s.rng, m, s.now, delays)
+	ws := m.wireSize()
+	i := 0
+	for _, p := range procs {
+		cp := m
+		cp.To = p
+		if p == from {
+			// Self-delivery bypasses the wire: local, next instant.
+			s.push(s.now+1, event{msg: cp, proc: p})
+			continue
+		}
+		s.Bytes += ws
+		d := delays[i]
+		i++
+		if d < 1 {
+			d = 1
+		}
+		s.push(s.now+d, event{msg: cp, proc: p})
 	}
 }

@@ -38,9 +38,16 @@ const UpdateMsg = "update"
 // the oracle (only validated blocks are ever broadcast, per Definition 4.2
 // which restricts histories to appends of valid blocks).
 func NewReplica(id history.ProcID, f blocktree.Selector, rec *history.Recorder) *Replica {
+	return NewReplicaCap(id, f, rec, 0)
+}
+
+// NewReplicaCap is NewReplica with a capacity hint: the local tree is
+// pre-sized for about n blocks, so simulators that know their target chain
+// length avoid incremental map growth on the hot insert path.
+func NewReplicaCap(id history.ProcID, f blocktree.Selector, rec *history.Recorder, n int) *Replica {
 	return &Replica{
 		id:      id,
-		bt:      blocktree.NewSeq(f, blocktree.AcceptAll),
+		bt:      blocktree.NewSeqCap(f, blocktree.AcceptAll, n),
 		rec:     rec,
 		pending: map[blocktree.BlockID][]pendingBlock{},
 	}
@@ -109,6 +116,17 @@ func (r *Replica) Read() blocktree.Chain {
 	return c
 }
 
+// ReadIDs performs read() recording only the chain's block ids — the same
+// response label Read records, without materializing the []Block chain.
+// The simulation drivers call it on their periodic read timers, where the
+// returned chain is only ever recorded, never inspected.
+func (r *Replica) ReadIDs() history.Chain {
+	op := r.rec.Invoke(r.id, history.Label{Kind: history.KindRead})
+	ids := r.bt.ReadIDs()
+	r.rec.Respond(op, history.Label{Kind: history.KindRead, Chain: ids})
+	return ids
+}
+
 // ApplyDecided applies a block this replica learned through an agreement
 // protocol (rather than a network update message): the decision
 // certificate replaces the wire hop, so the block is inserted directly and
@@ -122,6 +140,11 @@ func (r *Replica) ApplyDecided(parent blocktree.BlockID, b blocktree.Block, orig
 // miners use to choose the block to extend (distinct from the ADT's read()
 // operation, which belongs to the application-facing history).
 func (r *Replica) Selected() blocktree.Chain { return r.bt.Read() }
+
+// SelectedTip is Selected().Tip() without materializing the chain: the
+// tip-only fast path for miners, which select on every attempt but only
+// ever extend the tip.
+func (r *Replica) SelectedTip() blocktree.Block { return r.bt.Tip() }
 
 // Resync re-broadcasts every non-genesis block of the local tree — a
 // one-shot anti-entropy pass. Partition-prone systems need it: updates

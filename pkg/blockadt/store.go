@@ -18,7 +18,11 @@ import (
 // would no longer produce.
 // v2: WeaklySynchronous honors the DLS pre-GST delivery bound (psync
 // results shifted) and the link dimension gained lossy/partition/jitter.
-const EngineVersion = "btadt-engine-v2"
+// v3: the PoW harness drains the event queue to idle before its final
+// convergence reads instead of running a fixed 64+16δ window, so Ticks now
+// ends at the last real delivery (and heavy-tail stragglers are no longer
+// read past) — Ticks-derived metrics shifted for every PoW scenario.
+const EngineVersion = "btadt-engine-v3"
 
 // RunOption customizes Run and Stream (the sweep engine's entry
 // points), as Option customizes New/Simulate. The zero set of options
