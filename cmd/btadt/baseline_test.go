@@ -30,7 +30,7 @@ const baselinePath = "../../SWEEP_baseline.json"
 //
 // and review the diff (`btadt diff` renders it per config and metric).
 func TestSweepBaselineCurrent(t *testing.T) {
-	got := captureStdout(t, func() error { return cmdSweep(baselineArgs()) })
+	got := captureStdout(t, func() error { return cmdSweep(t.Context(), baselineArgs()) })
 	if *update {
 		if err := os.WriteFile(baselinePath, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
@@ -59,13 +59,13 @@ func TestSweepBaselineShardsCoverMatrix(t *testing.T) {
 			// Shards share one store: unioning dirs is exercised by
 			// TestSweepShardStoreUnionServesFullMatrix; here both shards
 			// write into one store like a single runner would.
-			return cmdSweep(baselineArgs("-shard", fmt.Sprintf("%d/2", i), "-store", store, "-resume"))
+			return cmdSweep(t.Context(), baselineArgs("-shard", fmt.Sprintf("%d/2", i), "-store", store, "-resume"))
 		})
 		if !strings.Contains(out, `"config"`) {
 			t.Fatalf("shard %d/2 of the baseline matrix is empty", i)
 		}
 	}
-	served := captureStdout(t, func() error { return cmdSweep(baselineArgs("-store", store, "-resume")) })
+	served := captureStdout(t, func() error { return cmdSweep(t.Context(), baselineArgs("-store", store, "-resume")) })
 	want, err := os.ReadFile(baselinePath)
 	if err != nil {
 		t.Fatalf("missing baseline (regenerate with -update): %v", err)

@@ -13,7 +13,7 @@ import (
 // writes the report to a file, optionally mutating it first.
 func writeSweepJSON(t *testing.T, path string, mutate func(*blockadt.Report)) {
 	t.Helper()
-	out := captureStdout(t, func() error { return cmdSweep(sweepArgs()) })
+	out := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs()) })
 	if mutate != nil {
 		rep, err := blockadt.DecodeReport([]byte(out))
 		if err != nil {

@@ -50,13 +50,28 @@
 //	    configuration across its seeds (mean/std/min/max/p50/p99 per
 //	    metric, streaming accumulators). Byte-identical at any -parallel
 //	    value, like sweep.
+//
+//	btadt serve      [-addr :8423] -store DIR [-parallel 0] [-max-body BYTES]
+//	                 [-max-sweeps N] [-lease-ttl 5m]
+//	btadt serve      -worker URL -store DIR [-name ID] [-idle-exit] [-poll 2s]
+//	    Run the cache-first sweep service: POST /v1/sweeps streams a
+//	    matrix's results back as NDJSON, identical (even concurrent)
+//	    resubmissions are served from the shared run store without
+//	    re-simulating, and POST /v1/work fans a matrix out across
+//	    -worker processes that lease deterministic shards and upload
+//	    their content-addressed results. SIGINT/SIGTERM drains
+//	    gracefully. See docs/serve.md for the API.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	"blockadt/pkg/blockadt"
 )
@@ -66,6 +81,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One signal-aware context feeds every long-running command: the
+	// first SIGINT/SIGTERM cancels it (sweeps stop admitting scenarios,
+	// flush their store index and exit; serve drains connections), the
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
@@ -85,9 +106,11 @@ func main() {
 	case "selfish":
 		err = cmdSelfish(os.Args[2:])
 	case "sweep":
-		err = cmdSweep(os.Args[2:])
+		err = cmdSweep(ctx, os.Args[2:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
 	case "-h", "--help", "help":
@@ -98,6 +121,13 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Interrupted by signal after a clean teardown: completed
+			// store writes are flushed, so the next -resume picks up
+			// where this run stopped.
+			fmt.Fprintln(os.Stderr, "btadt: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "btadt:", err)
 		os.Exit(1)
 	}
@@ -118,6 +148,7 @@ commands:
   sweep        run a concurrent scenario matrix (system × link × adversary × n × seed)
                [-shard i/n] [-store DIR] [-resume] for incremental / CI-sharded sweeps
   stats        sweep a matrix with metric collection and print per-config aggregates
+  serve        run the cache-first sweep service (or, with -worker URL, a shard worker)
   diff         compare two sweep JSON reports with a per-field tolerance (CI gate)`)
 }
 

@@ -82,10 +82,10 @@ func TestClassifyGolden(t *testing.T) {
 func TestStatsGolden(t *testing.T) {
 	args := []string{"-systems", "Bitcoin", "-adversaries", "none,selfish",
 		"-seeds", "3", "-blocks", "15", "-seed", "7"}
-	table := captureStdout(t, func() error { return cmdStats(args) })
+	table := captureStdout(t, func() error { return cmdStats(t.Context(), args) })
 	checkGolden(t, "stats_table", table)
 
-	jsonOut := captureStdout(t, func() error { return cmdStats(append(args, "-format", "json")) })
+	jsonOut := captureStdout(t, func() error { return cmdStats(t.Context(), append(args, "-format", "json")) })
 	checkGolden(t, "stats_json", jsonOut)
 }
 
@@ -97,10 +97,10 @@ func TestStatsByteIdenticalAcrossParallelism(t *testing.T) {
 		"-seeds", "3", "-blocks", "12", "-seed", "5"}
 	for _, format := range []string{"table", "json", "csv"} {
 		serial := captureStdout(t, func() error {
-			return cmdStats(append(base, "-format", format, "-parallel", "1"))
+			return cmdStats(t.Context(), append(base, "-format", format, "-parallel", "1"))
 		})
 		parallel := captureStdout(t, func() error {
-			return cmdStats(append(base, "-format", format, "-parallel", fmt.Sprint(runtime.NumCPU())))
+			return cmdStats(t.Context(), append(base, "-format", format, "-parallel", fmt.Sprint(runtime.NumCPU())))
 		})
 		if serial != parallel {
 			t.Errorf("%s output differs between -parallel 1 and -parallel %d", format, runtime.NumCPU())
@@ -110,16 +110,16 @@ func TestStatsByteIdenticalAcrossParallelism(t *testing.T) {
 
 // TestStatsRejectsBadInput covers the fail-before-output contract.
 func TestStatsRejectsBadInput(t *testing.T) {
-	if err := cmdStats([]string{"-metrics", "nope"}); err == nil {
+	if err := cmdStats(t.Context(), []string{"-metrics", "nope"}); err == nil {
 		t.Error("stats accepted an unregistered metric")
 	}
-	if err := cmdStats([]string{"-systems", "Dogecoin"}); err == nil {
+	if err := cmdStats(t.Context(), []string{"-systems", "Dogecoin"}); err == nil {
 		t.Error("stats accepted an unregistered system")
 	}
-	if err := cmdStats([]string{"-format", "xml", "-systems", "Bitcoin", "-seeds", "1", "-blocks", "5"}); err == nil {
+	if err := cmdStats(t.Context(), []string{"-format", "xml", "-systems", "Bitcoin", "-seeds", "1", "-blocks", "5"}); err == nil {
 		t.Error("stats accepted an unknown format")
 	}
-	if err := cmdStats([]string{"-systems", "Hyperledger", "-links", "async"}); err == nil {
+	if err := cmdStats(t.Context(), []string{"-systems", "Hyperledger", "-links", "async"}); err == nil {
 		t.Error("stats accepted a fully pruned matrix")
 	}
 }

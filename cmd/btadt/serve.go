@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"blockadt/pkg/blockadt"
+	"blockadt/pkg/blockadt/serve"
+)
+
+// cmdServe runs the cache-first sweep service (docs/serve.md). The
+// default mode is the coordinator: an HTTP server that accepts sweep
+// matrices at POST /v1/sweeps, streams results back as NDJSON, serves
+// repeats from the content-addressed run store, and fans sharded jobs
+// (POST /v1/work) out to workers. With -worker URL the same binary is
+// instead a worker: it leases shards from that coordinator, sweeps them
+// against its own -store, and uploads the results.
+//
+// Shutdown is signal-aware either way: the first SIGINT/SIGTERM stops
+// accepting connections and drains in-flight requests (workers finish
+// their current shard), bounded by -drain.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8423", "coordinator listen address")
+	storeDir := fs.String("store", "", "content-addressed run store directory (required; the service cache, or the worker's local store)")
+	parallelism := fs.Int("parallel", 0, "per-sweep worker pool size (<1 = NumCPU)")
+	maxBody := fs.Int64("max-body", 1<<20, "maximum matrix submission size in bytes")
+	maxSweeps := fs.Int("max-sweeps", 1024, "maximum sweeps retained for polling before the oldest finished ones are evicted")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Minute, "how long a worker may hold a leased shard before it is re-offered")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+	workerURL := fs.String("worker", "", "run as a worker against this coordinator URL instead of serving")
+	name := fs.String("name", "", "worker identity reported in leases (default: the hostname)")
+	idleExit := fs.Bool("idle-exit", false, "worker: exit once the coordinator has no work instead of polling")
+	poll := fs.Duration("poll", 2*time.Second, "worker: idle re-poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("serve requires -store (the run store is the service's cache)")
+	}
+	store, err := blockadt.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+
+	if *workerURL != "" {
+		if *name == "" {
+			if host, err := os.Hostname(); err == nil {
+				*name = host
+			}
+		}
+		w := &serve.Worker{
+			Coordinator: *workerURL,
+			Store:       store,
+			Parallelism: *parallelism,
+			Name:        *name,
+			IdleExit:    *idleExit,
+			Poll:        *poll,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "btadt serve worker: "+format+"\n", args...)
+			},
+		}
+		err := w.Run(ctx)
+		if errors.Is(err, context.Canceled) {
+			return nil // interrupted while idle: a clean worker exit
+		}
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Store:        store,
+		Parallelism:  *parallelism,
+		MaxBodyBytes: *maxBody,
+		MaxSweeps:    *maxSweeps,
+		LeaseTTL:     *leaseTTL,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "btadt serve: listening on %s (store %s, %d entries)\n",
+		ln.Addr(), *storeDir, store.Len())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "btadt serve: draining (up to %s)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("drain: %w", err)
+		}
+		<-done // Serve has returned http.ErrServerClosed
+		return store.Flush()
+	}
+}

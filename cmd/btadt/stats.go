@@ -17,7 +17,7 @@ import (
 // Like `btadt sweep`, every configuration derives an independent prng
 // stream from the root seed, so the output is byte-identical at any
 // -parallel value.
-func cmdStats(args []string) error {
+func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
 	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
@@ -70,14 +70,14 @@ func cmdStats(args []string) error {
 	if len(configs) == 0 {
 		return errEmptyMatrix
 	}
-	runOpts, err := storeOptions(m, *storeDir, *resume, false)
+	runOpts, _, err := storeOptions(m, *storeDir, *resume, false)
 	if err != nil {
 		return err
 	}
 
 	agg := blockadt.NewSeedAggregator()
 	total := 0
-	for r, err := range blockadt.Stream(context.Background(), m, *parallelism, runOpts...) {
+	for r, err := range blockadt.Stream(ctx, m, *parallelism, runOpts...) {
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,7 @@ import (
 // either way. With -shard i/n only the i'th deterministic partition of
 // the matrix runs; per-shard stores from the same matrix can be unioned
 // with a plain file copy and served back as the full sweep (docs/runstore.md).
-func cmdSweep(args []string) error {
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
 	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
@@ -42,6 +43,8 @@ func cmdSweep(args []string) error {
 	storeDir := fs.String("store", "", "back the sweep with the content-addressed run store at this directory")
 	resume := fs.Bool("resume", false, "serve scenarios already in -store from cache instead of failing on a pre-populated store")
 	storeGC := fs.Bool("store-gc", false, "after the sweep, delete store entries outside this matrix's full expansion")
+	verbose := fs.Bool("v", false, "with -store, print the store's hit/miss/put/byte counters after the sweep")
+	printMatrix := fs.Bool("print-matrix", false, "print the expanded matrix as JSON and exit without sweeping (input for `btadt serve` submissions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +82,22 @@ func cmdSweep(args []string) error {
 		}
 	}
 
-	runOpts, err := storeOptions(m, *storeDir, *resume, *storeGC)
+	if *printMatrix {
+		// Validate before printing, so a typo fails here, not at the
+		// server. The emitted JSON round-trips through Matrix and is the
+		// exact body `btadt serve` expects at POST /v1/sweeps.
+		if _, err := m.Configs(); err != nil {
+			return err
+		}
+		enc, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(append(enc, '\n'))
+		return nil
+	}
+
+	runOpts, store, err := storeOptions(m, *storeDir, *resume, *storeGC)
 	if err != nil {
 		return err
 	}
@@ -94,6 +112,7 @@ func cmdSweep(args []string) error {
 			return errEmptyMatrix
 		}
 		reportStoreUse(*storeDir, rep.Total, runsBefore)
+		reportStoreStats(store, *verbose)
 		enc, err := rep.EncodeJSON()
 		if err != nil {
 			return err
@@ -122,7 +141,7 @@ func cmdSweep(args []string) error {
 		start          = time.Now()
 	)
 	fmt.Print(blockadt.FormatTableHeader())
-	for r, err := range blockadt.Stream(context.Background(), m, *parallelism, runOpts...) {
+	for r, err := range blockadt.Stream(ctx, m, *parallelism, runOpts...) {
 		if err != nil {
 			return err
 		}
@@ -134,6 +153,7 @@ func cmdSweep(args []string) error {
 		ticks += r.Ticks
 	}
 	reportStoreUse(*storeDir, total, runsBefore)
+	reportStoreStats(store, *verbose)
 	fmt.Printf("\n%d/%d configurations matched; %d virtual ticks in %.1fms across %d workers\n",
 		matched, total, ticks, float64(time.Since(start).Nanoseconds())/1e6, blockadt.Parallelism(*parallelism))
 	if matched != total {
@@ -160,32 +180,55 @@ func reportStoreUse(storeDir string, total int, runsBefore uint64) {
 // stats, enforcing the resume contract: a sweep never silently serves a
 // pre-populated store. Without -resume, cached entries for this sweep
 // are an error (point -store somewhere fresh, or opt in); with it, the
-// hit count goes to stderr so table/JSON output stays canonical.
-func storeOptions(m blockadt.Matrix, storeDir string, resume, storeGC bool) ([]blockadt.RunOption, error) {
+// hit count goes to stderr so table/JSON output stays canonical. The
+// returned handle (nil without -store) is the one the sweep runs
+// against, so its Stats reflect exactly this command's traffic.
+func storeOptions(m blockadt.Matrix, storeDir string, resume, storeGC bool) ([]blockadt.RunOption, *blockadt.RunStore, error) {
 	if storeDir == "" {
 		if resume {
-			return nil, fmt.Errorf("-resume requires -store")
+			return nil, nil, fmt.Errorf("-resume requires -store")
 		}
 		if storeGC {
-			return nil, fmt.Errorf("-store-gc requires -store")
+			return nil, nil, fmt.Errorf("-store-gc requires -store")
 		}
-		return nil, nil
+		return nil, nil, nil
 	}
-	cached, total, err := blockadt.StorePreflight(storeDir, m)
+	store, err := blockadt.OpenStore(storeDir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	keys, err := m.StoreKeys()
+	if err != nil {
+		return nil, nil, err
+	}
+	cached, total := 0, len(keys)
+	for _, k := range keys {
+		if store.Has(k) {
+			cached++
+		}
 	}
 	if cached > 0 && !resume {
-		return nil, fmt.Errorf("store %s already holds %d of this sweep's %d results; pass -resume to serve them from cache, or use a fresh -store directory", storeDir, cached, total)
+		return nil, nil, fmt.Errorf("store %s already holds %d of this sweep's %d results; pass -resume to serve them from cache, or use a fresh -store directory", storeDir, cached, total)
 	}
 	if resume {
 		fmt.Fprintf(os.Stderr, "resuming from %s: %d/%d scenarios cached, %d to simulate\n", storeDir, cached, total, total-cached)
 	}
-	opts := []blockadt.RunOption{blockadt.WithStore(storeDir)}
+	opts := []blockadt.RunOption{blockadt.WithRunStore(store)}
 	if storeGC {
 		opts = append(opts, blockadt.WithStoreGC())
 	}
-	return opts, nil
+	return opts, store, nil
+}
+
+// reportStoreStats prints the store handle's operation counters to
+// stderr — the `-v` summary line behind a store-backed sweep.
+func reportStoreStats(store *blockadt.RunStore, verbose bool) {
+	if store == nil || !verbose {
+		return
+	}
+	st := store.Stats()
+	fmt.Fprintf(os.Stderr, "store stats: %d hits, %d misses, %d puts, %d bytes read, %d bytes written\n",
+		st.Hits, st.Misses, st.Puts, st.BytesRead, st.BytesWritten)
 }
 
 // parseShard parses the -shard flag's i/n form.

@@ -50,10 +50,10 @@ func captureStdoutErr(t *testing.T, fn func() error) (string, error) {
 func TestSweepStoreResumeByteIdentical(t *testing.T) {
 	dir := t.TempDir()
 	store := filepath.Join(dir, "store")
-	cold := captureStdout(t, func() error { return cmdSweep(sweepArgs("-store", store)) })
+	cold := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs("-store", store)) })
 
 	before := blockadt.ScenarioRuns()
-	cached := captureStdout(t, func() error { return cmdSweep(sweepArgs("-store", store, "-resume")) })
+	cached := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs("-store", store, "-resume")) })
 	if ran := blockadt.ScenarioRuns() - before; ran != 0 {
 		t.Fatalf("resumed sweep simulated %d scenarios, want 0", ran)
 	}
@@ -61,7 +61,7 @@ func TestSweepStoreResumeByteIdentical(t *testing.T) {
 		t.Fatal("resumed sweep output is not byte-identical to the cold run")
 	}
 
-	plain := captureStdout(t, func() error { return cmdSweep(sweepArgs()) })
+	plain := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs()) })
 	if plain != cold {
 		t.Fatal("store-backed sweep output diverged from the plain sweep")
 	}
@@ -73,17 +73,17 @@ func TestSweepStoreResumeByteIdentical(t *testing.T) {
 func TestSweepRefusesPopulatedStoreWithoutResume(t *testing.T) {
 	dir := t.TempDir()
 	store := filepath.Join(dir, "store")
-	captureStdout(t, func() error { return cmdSweep(sweepArgs("-store", store)) })
+	captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs("-store", store)) })
 
-	_, err := captureStdoutErr(t, func() error { return cmdSweep(sweepArgs("-store", store)) })
+	_, err := captureStdoutErr(t, func() error { return cmdSweep(t.Context(), sweepArgs("-store", store)) })
 	if err == nil || !strings.Contains(err.Error(), "-resume") {
 		t.Fatalf("populated store without -resume: got err %v, want a pointer to -resume", err)
 	}
 
-	if err := cmdSweep(sweepArgs("-resume")); err == nil || !strings.Contains(err.Error(), "-store") {
+	if err := cmdSweep(t.Context(), sweepArgs("-resume")); err == nil || !strings.Contains(err.Error(), "-store") {
 		t.Fatalf("-resume without -store: got err %v", err)
 	}
-	if err := cmdSweep(sweepArgs("-store-gc")); err == nil || !strings.Contains(err.Error(), "-store") {
+	if err := cmdSweep(t.Context(), sweepArgs("-store-gc")); err == nil || !strings.Contains(err.Error(), "-store") {
 		t.Fatalf("-store-gc without -store: got err %v", err)
 	}
 }
@@ -99,7 +99,7 @@ func TestSweepShardStoreUnionServesFullMatrix(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		shardStore := filepath.Join(dir, fmt.Sprintf("shard-%d", i))
 		out := captureStdout(t, func() error {
-			return cmdSweep(sweepArgs("-shard", fmt.Sprintf("%d/2", i), "-store", shardStore))
+			return cmdSweep(t.Context(), sweepArgs("-shard", fmt.Sprintf("%d/2", i), "-store", shardStore))
 		})
 		shardTotal += strings.Count(out, `"config"`)
 		// Union: copy the shard's objects tree into the merged store.
@@ -126,13 +126,13 @@ func TestSweepShardStoreUnionServesFullMatrix(t *testing.T) {
 		}
 	}
 
-	plain := captureStdout(t, func() error { return cmdSweep(sweepArgs()) })
+	plain := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs()) })
 	if got := strings.Count(plain, `"config"`); shardTotal != got {
 		t.Fatalf("shards covered %d scenarios, full matrix has %d", shardTotal, got)
 	}
 
 	before := blockadt.ScenarioRuns()
-	served := captureStdout(t, func() error { return cmdSweep(sweepArgs("-store", merged, "-resume")) })
+	served := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs("-store", merged, "-resume")) })
 	if ran := blockadt.ScenarioRuns() - before; ran != 0 {
 		t.Fatalf("union-served sweep simulated %d scenarios, want 0", ran)
 	}
@@ -144,7 +144,7 @@ func TestSweepShardStoreUnionServesFullMatrix(t *testing.T) {
 // TestSweepShardRejectsBadSpec pins -shard parsing and validation.
 func TestSweepShardRejectsBadSpec(t *testing.T) {
 	for _, bad := range []string{"2", "a/2", "0/x", "2/2", "-1/2", "0/0"} {
-		if err := cmdSweep(sweepArgs("-shard", bad)); err == nil {
+		if err := cmdSweep(t.Context(), sweepArgs("-shard", bad)); err == nil {
 			t.Errorf("-shard %q accepted", bad)
 		}
 	}
@@ -154,7 +154,7 @@ func TestSweepShardRejectsBadSpec(t *testing.T) {
 // pin: an unknown -metrics name errors out before any output, and the
 // message lists the registered metric names.
 func TestSweepRejectsUnknownMetricListingRegistered(t *testing.T) {
-	err := cmdSweep(sweepArgs("-metrics", "nope"))
+	err := cmdSweep(t.Context(), sweepArgs("-metrics", "nope"))
 	if err == nil {
 		t.Fatal("sweep accepted an unregistered metric")
 	}
@@ -168,7 +168,7 @@ func TestSweepRejectsUnknownMetricListingRegistered(t *testing.T) {
 		}
 	}
 	// Same contract through stats' -metrics flag.
-	if err := cmdStats([]string{"-metrics", "nope"}); err == nil || !strings.Contains(err.Error(), "registered:") {
+	if err := cmdStats(t.Context(), []string{"-metrics", "nope"}); err == nil || !strings.Contains(err.Error(), "registered:") {
 		t.Fatalf("stats unknown-metric error does not list registered names: %v", err)
 	}
 }
@@ -183,9 +183,9 @@ func TestParallelFlagZeroAndNegative(t *testing.T) {
 	if got := blockadt.Parallelism(-3); got != runtime.NumCPU() {
 		t.Errorf("Parallelism(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
 	}
-	serial := captureStdout(t, func() error { return cmdSweep(sweepArgs("-parallel", "1")) })
+	serial := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs("-parallel", "1")) })
 	for _, par := range []string{"0", "-3"} {
-		out := captureStdout(t, func() error { return cmdSweep(sweepArgs("-parallel", par)) })
+		out := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs("-parallel", par)) })
 		if out != serial {
 			t.Errorf("-parallel %s output diverged from -parallel 1", par)
 		}

@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Hash returns the store address of a key: hex SHA-256 of its bytes.
@@ -63,6 +64,24 @@ type entry struct {
 	Key string `json:"key"`
 }
 
+// Stats snapshots one Store handle's operation counters. Counters are
+// per-handle and in-memory only: they start at zero at Open and are
+// never persisted, so they measure the traffic this process sent to the
+// store, not the store's lifetime history.
+type Stats struct {
+	// Hits / Misses partition Get calls: a hit returned a decodable
+	// cached value, a miss is everything else (unknown key, unreadable
+	// or corrupt object — the degrade-to-recompute path).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Puts counts successful Put calls.
+	Puts uint64 `json:"puts"`
+	// BytesRead / BytesWritten total the envelope bytes moved by hits
+	// and successful puts respectively.
+	BytesRead    uint64 `json:"bytesRead"`
+	BytesWritten uint64 `json:"bytesWritten"`
+}
+
 // Store is a goroutine-safe handle on one store directory.
 type Store struct {
 	dir string
@@ -70,6 +89,9 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]entry // hash → entry
 	dirty   bool             // entries diverged from index.json
+
+	hits, misses, puts      atomic.Uint64
+	bytesRead, bytesWritten atomic.Uint64
 }
 
 // Open opens (creating if necessary) the store rooted at dir, loads the
@@ -172,16 +194,21 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	_, known := s.entries[hash]
 	s.mu.Unlock()
 	if !known {
+		s.misses.Add(1)
 		return nil, false, nil
 	}
 	raw, err := os.ReadFile(s.objectPath(hash))
 	if err != nil {
+		s.misses.Add(1)
 		return nil, false, nil
 	}
 	var env envelope
 	if json.Unmarshal(raw, &env) != nil || env.Key != key {
+		s.misses.Add(1)
 		return nil, false, nil
 	}
+	s.hits.Add(1)
+	s.bytesRead.Add(uint64(len(raw)))
 	return env.Data, true, nil
 }
 
@@ -219,7 +246,20 @@ func (s *Store) Put(key string, value []byte) error {
 	s.entries[hash] = entry{Key: key}
 	s.dirty = true
 	s.mu.Unlock()
+	s.puts.Add(1)
+	s.bytesWritten.Add(uint64(len(enc)))
 	return nil
+}
+
+// Stats snapshots the handle's operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
 }
 
 // Len reports the number of cached entries.

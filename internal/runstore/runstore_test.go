@@ -235,3 +235,65 @@ func TestConcurrentPuts(t *testing.T) {
 		t.Fatalf("Len = %d, want 8", s.Len())
 	}
 }
+
+// TestStatsScriptedSequence pins the Stats counters against an explicit
+// hit/miss/put script: misses for unknown keys and corrupt objects, hits
+// (with byte totals) only for decodable cached values, puts (with byte
+// totals) for successful writes. Counters are per-handle, so a reopened
+// store starts from zero.
+func TestStatsScriptedSequence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got != (Stats{}) {
+		t.Fatalf("fresh handle has non-zero stats: %+v", got)
+	}
+
+	// 1. Get of an unknown key: one miss, nothing else.
+	if _, ok, _ := s.Get("absent"); ok {
+		t.Fatal("unknown key reported as a hit")
+	}
+	// 2-3. Two puts.
+	if err := s.Put("a", []byte(`"alpha"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte(`"beta"`)); err != nil {
+		t.Fatal(err)
+	}
+	// 4-5. Hit each once.
+	for _, key := range []string{"a", "b"} {
+		if _, ok, _ := s.Get(key); !ok {
+			t.Fatalf("put key %q missed", key)
+		}
+	}
+	// 6. Corrupt b's object on disk: the next Get degrades to a miss.
+	if err := os.WriteFile(s.objectPath(Hash("b")), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("b"); ok {
+		t.Fatal("corrupt object reported as a hit")
+	}
+
+	got := s.Stats()
+	if got.Hits != 2 || got.Misses != 2 || got.Puts != 2 {
+		t.Fatalf("stats = %+v, want 2 hits, 2 misses, 2 puts", got)
+	}
+	// Each object is the envelope {"key":...,"data":...}; both byte
+	// totals count envelope bytes, and the two hits read back exactly
+	// what the two puts wrote.
+	if got.BytesWritten == 0 || got.BytesRead != got.BytesWritten {
+		t.Fatalf("stats bytes = read %d, written %d; want equal and non-zero",
+			got.BytesRead, got.BytesWritten)
+	}
+
+	// A fresh handle on the same directory starts from zero.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats(); got != (Stats{}) {
+		t.Fatalf("reopened handle inherited stats: %+v", got)
+	}
+}

@@ -2,7 +2,6 @@ package blockadt
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"blockadt/internal/fairness"
@@ -321,33 +320,19 @@ func Run(m Matrix, parallelism int, opts ...RunOption) (*Report, error) {
 		return nil, err
 	}
 	rcfg := applyRunOptions(opts)
-	cache, err := newRunCache(rcfg, m, configs)
+	runner, err := newSweepRunner(rcfg, m, configs, specs)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	var storeErr atomic.Pointer[error]
 	results := parallel.Map(configs, parallelism, func(i int, cfg Scenario) Result {
-		if cache != nil {
-			if r, ok := cache.get(i); ok {
-				return r
-			}
-		}
-		r := runScenario(cfg, specs)
-		if cache != nil {
-			if err := cache.put(i, r); err != nil {
-				storeErr.CompareAndSwap(nil, &err)
-			}
-		}
-		return r
+		return runner.exec(nil, i, cfg)
 	})
-	if errp := storeErr.Load(); errp != nil {
-		return nil, *errp
+	if err := runner.err(); err != nil {
+		return nil, err
 	}
-	if cache != nil {
-		if err := cache.finish(rcfg.storeGC, m); err != nil {
-			return nil, err
-		}
+	if err := runner.finish(rcfg.storeGC, m); err != nil {
+		return nil, err
 	}
 	rep := &Report{
 		RootSeed:    m.RootSeed,

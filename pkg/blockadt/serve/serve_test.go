@@ -1,0 +1,620 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blockadt/pkg/blockadt"
+)
+
+// serveTestMatrix is a small metrics-enabled matrix with pinned
+// dimensions, so registrations made by other tests cannot change the
+// expansion. RootSeed is distinct per test to keep store keys disjoint
+// across the suite's stores (they are per-TempDir anyway — the seed just
+// keeps ScenarioRuns deltas attributable).
+func serveTestMatrix(rootSeed uint64) blockadt.Matrix {
+	return blockadt.Matrix{
+		Systems:      []string{"Bitcoin"},
+		Links:        []string{blockadt.LinkSync, blockadt.LinkAsync},
+		Adversaries:  []string{blockadt.AdvNone, blockadt.AdvSelfish},
+		Seeds:        2,
+		RootSeed:     rootSeed,
+		TargetBlocks: 8,
+		Metrics:      []string{"fork_rate", "msgs_delivered"},
+	}
+}
+
+// newTestServer builds a Server over a fresh temp store and mounts it on
+// an httptest.Server.
+func newTestServer(t *testing.T, mutate func(*Config)) (*httptest.Server, *Server) {
+	t.Helper()
+	store, err := blockadt.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Store: store, Parallelism: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// submitSweep POSTs a matrix and parses the NDJSON stream into results
+// plus the trailing summary.
+func submitSweep(t *testing.T, base string, m blockadt.Matrix) ([]blockadt.Result, SweepSummary, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(mustJSON(t, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	var results []blockadt.Result
+	var summary SweepSummary
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var wrapped struct {
+			Summary *SweepSummary `json:"summary"`
+			Error   string        `json:"error"`
+		}
+		if err := json.Unmarshal(line, &wrapped); err == nil && wrapped.Error != "" {
+			t.Fatalf("stream error: %s", wrapped.Error)
+		}
+		if err := json.Unmarshal(line, &wrapped); err == nil && wrapped.Summary != nil {
+			summary = *wrapped.Summary
+			sawSummary = true
+			continue
+		}
+		var r blockadt.Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSummary {
+		t.Fatal("stream ended without a summary line")
+	}
+	return results, summary, resp
+}
+
+// TestSubmitValidation pins the HTTP boundary: unknown names are 400s
+// that teach the registered alternatives, malformed JSON is a 400 (not a
+// 500), and oversized bodies are 413 with the configured limit.
+func TestSubmitValidation(t *testing.T) {
+	ts, _ := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 512 })
+
+	post := func(body []byte) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, string(raw)
+	}
+
+	bad := serveTestMatrix(1)
+	bad.Systems = []string{"Dogecoin"}
+	resp, body := post(mustJSON(t, bad))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown system: got %s, want 400 (body %s)", resp.Status, body)
+	}
+	if !strings.Contains(body, "registered") || !strings.Contains(body, "Bitcoin") {
+		t.Fatalf("unknown-system 400 should list registered systems, got %s", body)
+	}
+
+	badLink := serveTestMatrix(1)
+	badLink.Links = []string{"carrier-pigeon"}
+	resp, body = post(mustJSON(t, badLink))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "registered") {
+		t.Fatalf("unknown link: got %s body %s, want 400 listing registered links", resp.Status, body)
+	}
+
+	resp, body = post([]byte(`{"systems": ["Bitcoin"`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: got %s (body %s), want 400", resp.Status, body)
+	}
+
+	resp, body = post([]byte(`[1,2,3]`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-object JSON: got %s (body %s), want 400", resp.Status, body)
+	}
+
+	huge := append([]byte(`{"systems": ["`), bytes.Repeat([]byte("x"), 1024)...)
+	huge = append(huge, []byte(`"]}`)...)
+	resp, body = post(huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %s, want 413", resp.Status)
+	}
+	if !strings.Contains(body, "512") {
+		t.Fatalf("413 should name the configured limit, got %s", body)
+	}
+}
+
+// TestSubmitCacheFirst is the service's core contract over HTTP: the
+// second submission of an identical matrix simulates nothing, streams
+// the identical results, and both passes agree with a direct engine run.
+func TestSubmitCacheFirst(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	m := serveTestMatrix(31)
+	total := matrixTotal(t, m)
+
+	before := blockadt.ScenarioRuns()
+	cold, coldSummary, coldResp := submitSweep(t, ts.URL, m)
+	if ran := blockadt.ScenarioRuns() - before; ran != uint64(total) {
+		t.Fatalf("cold submission simulated %d, want %d", ran, total)
+	}
+	if coldSummary.Simulated != uint64(total) || coldSummary.CacheHits != 0 {
+		t.Fatalf("cold summary: %+v, want %d simulated / 0 cached", coldSummary, total)
+	}
+	if len(cold) != total {
+		t.Fatalf("cold stream yielded %d results, want %d", len(cold), total)
+	}
+	id := coldResp.Header.Get("X-Sweep-Id")
+	if id == "" {
+		t.Fatal("submission response carries no X-Sweep-Id")
+	}
+	wantID, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != wantID {
+		t.Fatalf("X-Sweep-Id %q is not the matrix fingerprint %q", id, wantID)
+	}
+
+	before = blockadt.ScenarioRuns()
+	warm, warmSummary, _ := submitSweep(t, ts.URL, m)
+	if ran := blockadt.ScenarioRuns() - before; ran != 0 {
+		t.Fatalf("cached submission simulated %d, want 0", ran)
+	}
+	if warmSummary.CacheHits != uint64(total) || warmSummary.Simulated != 0 {
+		t.Fatalf("warm summary: %+v, want %d cached / 0 simulated", warmSummary, total)
+	}
+	if mustString(t, cold) != mustString(t, warm) {
+		t.Fatal("cached stream diverged from the cold stream")
+	}
+}
+
+func matrixTotal(t *testing.T, m blockadt.Matrix) int {
+	t.Helper()
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(configs)
+}
+
+func mustString(t *testing.T, v any) string {
+	t.Helper()
+	return string(mustJSON(t, v))
+}
+
+// TestConcurrentIdenticalSubmissions fires 32 concurrent identical
+// submissions at one server and asserts each scenario simulated at most
+// once — the singleflight + store double-check contract, now across the
+// full HTTP stack.
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	m := serveTestMatrix(32)
+	total := matrixTotal(t, m)
+
+	const clients = 32
+	summaries := make([]SweepSummary, clients)
+	streams := make([]string, clients)
+	before := blockadt.ScenarioRuns()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results, summary, _ := submitSweep(t, ts.URL, m)
+			summaries[c] = summary
+			streams[c] = mustString(t, results)
+		}(c)
+	}
+	wg.Wait()
+
+	if ran := blockadt.ScenarioRuns() - before; ran != uint64(total) {
+		t.Fatalf("%d concurrent submissions simulated %d scenarios, want exactly %d", clients, ran, total)
+	}
+	var simulated uint64
+	for c, s := range summaries {
+		simulated += s.Simulated
+		if got := s.Simulated + s.CacheHits + s.Coalesced; got != uint64(total) {
+			t.Fatalf("client %d summary covers %d of %d scenarios: %+v", c, got, total, s)
+		}
+		if streams[c] != streams[0] {
+			t.Fatalf("client %d stream diverged from client 0", c)
+		}
+	}
+	if simulated != uint64(total) {
+		t.Fatalf("summaries claim %d simulations, want %d", simulated, total)
+	}
+}
+
+// TestPollAndReport walks the poll lifecycle: 404 before submission,
+// done + ETag after, 304 on If-None-Match, and a report byte-identical
+// to the engine's canonical encoding, served from cache.
+func TestPollAndReport(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	m := serveTestMatrix(33)
+	id, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("poll before submission: got %s, want 404", resp.Status)
+	}
+
+	submitSweep(t, ts.URL, m)
+
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status sweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Status != "done" || status.Completed != status.Total {
+		t.Fatalf("poll after submission: %+v, want done and complete", status)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"`+id+`"` {
+		t.Fatalf("done sweep ETag = %q, want quoted fingerprint", etag)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/sweeps/"+id, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional poll: got %s, want 304", resp.Status)
+	}
+
+	// The report endpoint serves the canonical encoding without
+	// simulating anything.
+	want, err := blockadt.Run(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := blockadt.ScenarioRuns()
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %s: %s", resp.Status, got)
+	}
+	if string(got) != string(wantJSON) {
+		t.Fatal("served report is not byte-identical to the engine's canonical encoding")
+	}
+	if ran := blockadt.ScenarioRuns() - before; ran != 0 {
+		t.Fatalf("serving the report simulated %d scenarios, want 0", ran)
+	}
+}
+
+// TestWorkerShardedSweep runs the whole distributed path in-process: a
+// 2-shard job, two idle-exit workers with their own local stores, and a
+// final report served from the coordinator's merged store — byte-equal
+// to a single-machine run and simulated exactly once across the fleet.
+func TestWorkerShardedSweep(t *testing.T) {
+	ts, srv := newTestServer(t, nil)
+	m := serveTestMatrix(34)
+	total := matrixTotal(t, m)
+
+	resp, err := http.Post(ts.URL+"/v1/work", "application/json",
+		bytes.NewReader(mustJSON(t, enqueueRequest{Matrix: mustJSON(t, m), Shards: 2})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("enqueue: got %s, want 201", resp.Status)
+	}
+	if job.Shards != 2 || job.Status != "running" {
+		t.Fatalf("fresh job: %+v", job)
+	}
+
+	// Re-enqueueing is idempotent: same job, 200.
+	resp, err = http.Post(ts.URL+"/v1/work", "application/json",
+		bytes.NewReader(mustJSON(t, enqueueRequest{Matrix: mustJSON(t, m), Shards: 2})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-enqueue: got %s, want 200", resp.Status)
+	}
+
+	before := blockadt.ScenarioRuns()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		store, err := blockadt.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &Worker{
+			Coordinator: ts.URL, Store: store, Parallelism: 2,
+			Name: fmt.Sprintf("w%d", i), IdleExit: true, Poll: 10 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(t.Context()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if ran := blockadt.ScenarioRuns() - before; ran != uint64(total) {
+		t.Fatalf("worker fleet simulated %d scenarios, want exactly %d", ran, total)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/work/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.Status != "done" || job.Done != 2 {
+		t.Fatalf("job after workers: %+v, want done 2/2", job)
+	}
+
+	// The coordinator's store now covers the full matrix: submitting the
+	// unsharded sweep is pure cache, and its stream matches a direct run.
+	before = blockadt.ScenarioRuns()
+	_, summary, _ := submitSweep(t, ts.URL, m)
+	if ran := blockadt.ScenarioRuns() - before; ran != 0 {
+		t.Fatalf("post-merge submission simulated %d, want 0", ran)
+	}
+	if summary.CacheHits != uint64(total) {
+		t.Fatalf("post-merge summary: %+v, want %d cache hits", summary, total)
+	}
+	want, err := blockadt.Run(m, 2, blockadt.WithRunStore(srv.cfg.Store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := m.Fingerprint()
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(got) != string(wantJSON) {
+		t.Fatal("merged-store report diverged from a single-machine run")
+	}
+}
+
+// TestWorkUploadValidation rejects mis-addressed and partial uploads:
+// envelopes outside the shard's key set are 400s, as is an upload that
+// does not cover the shard, and nothing from a rejected upload merges.
+func TestWorkUploadValidation(t *testing.T) {
+	ts, srv := newTestServer(t, nil)
+	m := serveTestMatrix(35)
+
+	resp, err := http.Post(ts.URL+"/v1/work", "application/json",
+		bytes.NewReader(mustJSON(t, enqueueRequest{Matrix: mustJSON(t, m), Shards: 2})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job jobStatus
+	json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+
+	complete := func(shard int, envs []Envelope) (*http.Response, string) {
+		t.Helper()
+		url := fmt.Sprintf("%s/v1/work/%s/shards/%d/complete", ts.URL, job.ID, shard)
+		resp, err := http.Post(url, "application/json", bytes.NewReader(mustJSON(t, envs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, string(raw)
+	}
+
+	resp2, body := complete(0, []Envelope{{Key: "not-a-real-key", Data: json.RawMessage(`{}`)}})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("foreign key upload: got %s (%s), want 400", resp2.Status, body)
+	}
+
+	shard0, err := m.Shard(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := shard0.StoreKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) < 2 {
+		t.Skipf("shard 0 has %d keys; need >= 2 for a partial upload", len(keys))
+	}
+	resp2, body = complete(0, []Envelope{{Key: keys[0], Data: json.RawMessage(`{}`)}})
+	if resp2.StatusCode != http.StatusBadRequest || !strings.Contains(body, "covers") {
+		t.Fatalf("partial upload: got %s (%s), want 400 naming coverage", resp2.Status, body)
+	}
+	if srv.cfg.Store.Has(keys[0]) {
+		t.Fatal("rejected upload still merged an envelope into the store")
+	}
+
+	resp2, body = complete(7, nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown shard: got %s (%s), want 404", resp2.Status, body)
+	}
+}
+
+// TestLeaseExpiry pins re-leasing: a shard leased by a worker that never
+// completes is offered to the next caller once its TTL passes, and not
+// before.
+func TestLeaseExpiry(t *testing.T) {
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	advance := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+
+	ts, _ := newTestServer(t, func(c *Config) {
+		c.LeaseTTL = time.Minute
+		c.Now = now
+	})
+	m := serveTestMatrix(36)
+	resp, err := http.Post(ts.URL+"/v1/work", "application/json",
+		bytes.NewReader(mustJSON(t, enqueueRequest{Matrix: mustJSON(t, m), Shards: 1})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	lease := func() (Lease, int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/work/lease", "application/json",
+			bytes.NewReader(mustJSON(t, leaseRequest{Worker: "t"})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var l Lease
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return l, resp.StatusCode
+	}
+
+	first, code := lease()
+	if code != http.StatusOK {
+		t.Fatalf("first lease: got %d, want 200", code)
+	}
+	if _, code = lease(); code != http.StatusNoContent {
+		t.Fatalf("second lease inside the TTL: got %d, want 204", code)
+	}
+	advance(2 * time.Minute)
+	second, code := lease()
+	if code != http.StatusOK {
+		t.Fatalf("lease after expiry: got %d, want 200", code)
+	}
+	if second.Job != first.Job || second.Shard != first.Shard {
+		t.Fatalf("expired lease handed out a different shard: %+v vs %+v", second, first)
+	}
+}
+
+// TestMetricsz spot-checks the operational counters after a cold and a
+// cached pass.
+func TestMetricsz(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	m := serveTestMatrix(37)
+	total := uint64(matrixTotal(t, m))
+
+	submitSweep(t, ts.URL, m)
+	submitSweep(t, ts.URL, m)
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if snap.Simulated != total {
+		t.Fatalf("metricsz simulated = %d, want %d", snap.Simulated, total)
+	}
+	if snap.CacheHits != total {
+		t.Fatalf("metricsz cacheHits = %d, want %d", snap.CacheHits, total)
+	}
+	if snap.ScenariosCompleted != 2*total {
+		t.Fatalf("metricsz scenariosCompleted = %d, want %d", snap.ScenariosCompleted, 2*total)
+	}
+	if snap.StoreEntries < int(total) {
+		t.Fatalf("metricsz storeEntries = %d, want >= %d", snap.StoreEntries, total)
+	}
+	if snap.Store.Puts != total {
+		t.Fatalf("metricsz store.puts = %d, want %d", snap.Store.Puts, total)
+	}
+	if snap.InflightSweeps != 0 || snap.InflightScenarios != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("idle gauges nonzero: %+v", snap)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %s %q", resp.Status, body)
+	}
+}

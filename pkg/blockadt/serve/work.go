@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"blockadt/pkg/blockadt"
+)
+
+// The worker protocol distributes one sweep across machines with the
+// run store's content addressing as the transport invariant:
+//
+//  1. a client enqueues {matrix, shards:N} at POST /v1/work; the
+//     coordinator expands every shard's expected store keys up front
+//     (shards fully covered by its store are born done);
+//  2. workers lease shards at POST /v1/work/lease — each lease carries
+//     the already-sharded matrix and expires after LeaseTTL, so a dead
+//     worker's shard is re-leased instead of wedging the job;
+//  3. a worker sweeps its shard against its own local store, then
+//     uploads the shard's {key, data} envelopes to
+//     POST /v1/work/{id}/shards/{i}/complete;
+//  4. the coordinator validates every envelope against the shard's
+//     expected key set and Puts it into the shared store — the HTTP
+//     analogue of merging content-addressed stores by file copy.
+//
+// Once every shard lands, a plain GET /v1/sweeps report (or any sweep
+// submission of the full matrix) is served entirely from cache, and is
+// byte-identical to a single-machine run.
+
+// Envelope is the unit of shard-result upload: one scenario's store key
+// and its canonical Result JSON, exactly as the run store envelopes it
+// on disk.
+type Envelope struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// shardState tracks one shard of a job through pending → leased → done.
+type shardState struct {
+	status      string // "pending", "leased", "done"
+	worker      string
+	leaseExpiry time.Time
+	expected    map[string]bool // store keys this shard must cover
+	matrix      blockadt.Matrix // the pre-sharded matrix a lease hands out
+}
+
+// shardJob is one enqueued sharded sweep.
+type shardJob struct {
+	id        string
+	matrix    blockadt.Matrix
+	shards    []*shardState
+	createdAt time.Time
+}
+
+func (j *shardJob) doneLocked() int {
+	done := 0
+	for _, sh := range j.shards {
+		if sh.status == "done" {
+			done++
+		}
+	}
+	return done
+}
+
+// jobStatus is the wire form of GET /v1/work/{id}.
+type jobStatus struct {
+	ID        string   `json:"id"`
+	Status    string   `json:"status"` // "running" or "done"
+	Shards    int      `json:"shards"`
+	Done      int      `json:"done"`
+	States    []string `json:"states"`
+	CreatedAt string   `json:"createdAt"`
+}
+
+func (j *shardJob) statusLocked() jobStatus {
+	st := jobStatus{
+		ID:        j.id,
+		Shards:    len(j.shards),
+		Done:      j.doneLocked(),
+		CreatedAt: j.createdAt.UTC().Format(time.RFC3339),
+	}
+	st.States = make([]string, len(j.shards))
+	for i, sh := range j.shards {
+		st.States[i] = sh.status
+	}
+	if st.Done == st.Shards {
+		st.Status = "done"
+	} else {
+		st.Status = "running"
+	}
+	return st
+}
+
+// enqueueRequest is the POST /v1/work body.
+type enqueueRequest struct {
+	Matrix json.RawMessage `json:"matrix"`
+	Shards int             `json:"shards"`
+}
+
+// handleEnqueue is POST /v1/work: validate the matrix, partition it into
+// N deterministic shards, and precompute each shard's expected store-key
+// set. Enqueueing is idempotent on (fingerprint, shard count): resubmits
+// return the existing job. Shards already fully covered by the
+// coordinator's store are marked done on arrival — the cache-first rule
+// applied to distribution.
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	var req enqueueRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, "malformed work request JSON: %v", err)
+		return
+	}
+	if req.Shards < 1 {
+		jsonError(w, http.StatusBadRequest, "shards must be >= 1, got %d", req.Shards)
+		return
+	}
+	if len(req.Matrix) == 0 {
+		jsonError(w, http.StatusBadRequest, "work request is missing the matrix")
+		return
+	}
+	m, _, ok := s.decodeMatrix(w, r, req.Matrix)
+	if !ok {
+		return
+	}
+	if m.ShardCount > 1 {
+		jsonError(w, http.StatusBadRequest,
+			"work matrices must be unsharded (the coordinator shards them); got shard %d/%d",
+			m.ShardIndex, m.ShardCount)
+		return
+	}
+	fp, err := m.Fingerprint()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "fingerprint: %v", err)
+		return
+	}
+	id := fp + "." + strconv.Itoa(req.Shards)
+
+	shards := make([]*shardState, req.Shards)
+	for i := range shards {
+		sub, err := m.Shard(i, req.Shards)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, "sharding: %v", err)
+			return
+		}
+		keys, err := sub.StoreKeys()
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, "shard keys: %v", err)
+			return
+		}
+		expected := make(map[string]bool, len(keys))
+		covered := true
+		for _, k := range keys {
+			expected[k] = true
+			if !s.cfg.Store.Has(k) {
+				covered = false
+			}
+		}
+		st := &shardState{status: "pending", expected: expected, matrix: sub}
+		if covered {
+			st.status = "done"
+		}
+		shards[i] = st
+	}
+
+	s.mu.Lock()
+	job, existed := s.jobs[id]
+	if !existed {
+		job = &shardJob{id: id, matrix: m, shards: shards, createdAt: s.cfg.Now()}
+		s.jobs[id] = job
+		s.jobIDs = append(s.jobIDs, id)
+	}
+	status := job.statusLocked()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	if existed {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(status)
+}
+
+// handleJobStatus is GET /v1/work/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var status jobStatus
+	if ok {
+		status = job.statusLocked()
+	}
+	s.mu.Unlock()
+	if !ok {
+		jsonError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(status)
+}
+
+// leaseRequest is the POST /v1/work/lease body. Worker is a free-form
+// identity used only for observability.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease is the coordinator's answer to a successful lease: which shard
+// of which job, the pre-sharded matrix to sweep, and how long the worker
+// has before the shard is offered to someone else.
+type Lease struct {
+	Job        string          `json:"job"`
+	Shard      int             `json:"shard"`
+	Shards     int             `json:"shards"`
+	Matrix     blockadt.Matrix `json:"matrix"`
+	TTLSeconds int64           `json:"ttlSeconds"`
+}
+
+// handleLease is POST /v1/work/lease: hand the oldest available shard
+// (pending, or leased but expired) to the calling worker, or 204 when
+// there is no work. Leases expire after LeaseTTL so a crashed worker's
+// shard re-enters the pool instead of wedging the job.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	var req leaseRequest
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			jsonError(w, http.StatusBadRequest, "malformed lease request JSON: %v", err)
+			return
+		}
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	var lease *Lease
+	for _, id := range s.jobIDs {
+		job := s.jobs[id]
+		for i, sh := range job.shards {
+			available := sh.status == "pending" ||
+				(sh.status == "leased" && now.After(sh.leaseExpiry))
+			if !available {
+				continue
+			}
+			sh.status = "leased"
+			sh.worker = req.Worker
+			sh.leaseExpiry = now.Add(s.cfg.LeaseTTL)
+			lease = &Lease{
+				Job: job.id, Shard: i, Shards: len(job.shards),
+				Matrix:     sh.matrix,
+				TTLSeconds: int64(s.cfg.LeaseTTL / time.Second),
+			}
+			break
+		}
+		if lease != nil {
+			break
+		}
+	}
+	s.mu.Unlock()
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(lease)
+}
+
+// handleComplete is POST /v1/work/{id}/shards/{index}/complete: a worker
+// uploads its shard's envelopes. Every envelope key must belong to the
+// shard's expected set and the upload must cover it entirely — partial
+// or mis-addressed uploads are rejected whole, so a shard is either done
+// with all its results merged or still leased. Completion is idempotent:
+// re-uploading a done shard re-validates and overwrites identical
+// content-addressed entries.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	index, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad shard index %q", r.PathValue("index"))
+		return
+	}
+	raw, ok := readBody(w, r, s.cfg.MaxUploadBytes)
+	if !ok {
+		return
+	}
+	var envelopes []Envelope
+	if err := json.Unmarshal(raw, &envelopes); err != nil {
+		jsonError(w, http.StatusBadRequest, "malformed envelope upload JSON: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var sh *shardState
+	if ok && index >= 0 && index < len(job.shards) {
+		sh = job.shards[index]
+	}
+	s.mu.Unlock()
+	if sh == nil {
+		jsonError(w, http.StatusNotFound, "unknown job %q or shard %d", id, index)
+		return
+	}
+
+	// Validate before the first Put: either the whole upload merges or
+	// none of it does.
+	seen := make(map[string]bool, len(envelopes))
+	for _, env := range envelopes {
+		if !sh.expected[env.Key] {
+			jsonError(w, http.StatusBadRequest,
+				"envelope key does not belong to shard %d of job %s: %q", index, id, env.Key)
+			return
+		}
+		if len(env.Data) == 0 {
+			jsonError(w, http.StatusBadRequest, "envelope for key %q has no data", env.Key)
+			return
+		}
+		seen[env.Key] = true
+	}
+	var missing []string
+	for k := range sh.expected {
+		if !seen[k] {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		jsonError(w, http.StatusBadRequest,
+			"upload covers %d of %d expected keys for shard %d (missing e.g. %q)",
+			len(seen), len(sh.expected), index, missing[0])
+		return
+	}
+
+	for _, env := range envelopes {
+		if err := s.cfg.Store.Put(env.Key, env.Data); err != nil {
+			jsonError(w, http.StatusInternalServerError, "merging envelope %q: %v", env.Key, err)
+			return
+		}
+	}
+	if err := s.cfg.Store.Flush(); err != nil {
+		jsonError(w, http.StatusInternalServerError, "flushing store: %v", err)
+		return
+	}
+	s.completed.Add(uint64(len(envelopes)))
+
+	s.mu.Lock()
+	sh.status = "done"
+	status := job.statusLocked()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(status)
+}
+
+// queueDepthLocked counts shards a lease call would currently hand out.
+func (s *Server) queueDepthLocked(now time.Time) int {
+	depth := 0
+	for _, job := range s.jobs {
+		for _, sh := range job.shards {
+			if sh.status == "pending" || (sh.status == "leased" && now.After(sh.leaseExpiry)) {
+				depth++
+			}
+		}
+	}
+	return depth
+}
+
+// readAllLimited drains the body under an http.MaxBytesReader so an
+// over-limit request surfaces as *http.MaxBytesError.
+func readAllLimited(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	return io.ReadAll(r.Body)
+}
+
+// splitCSV splits a comma-separated header value, trimming whitespace
+// and dropping empties.
+func splitCSV(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

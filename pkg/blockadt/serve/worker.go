@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"blockadt/pkg/blockadt"
+)
+
+// Worker is the other half of the worker protocol: a lease loop that
+// pulls shards from a coordinator, sweeps them against a local run
+// store, and uploads the resulting envelopes. Several workers pointed at
+// one coordinator fan a sweep out across machines; the merged store then
+// serves the full matrix byte-identically to a single-machine run.
+type Worker struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8423".
+	Coordinator string
+	// Store is the worker's local run store. Scenarios it already holds
+	// are cache hits even on leased work.
+	Store *blockadt.RunStore
+	// Parallelism is the per-shard pool size (<1 selects NumCPU).
+	Parallelism int
+	// Name identifies the worker in leases (observability only).
+	Name string
+	// IdleExit makes Run return nil the first time the coordinator has
+	// no work, instead of polling forever — the batch/CI mode.
+	IdleExit bool
+	// Poll is the idle re-poll interval (default 2s).
+	Poll time.Duration
+	// Client overrides the HTTP client (default http.DefaultClient —
+	// note uploads and leases are long-poll-free, so default timeouts
+	// are fine).
+	Client *http.Client
+	// Logf, when set, receives one line per lease/upload.
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run leases and completes shards until the context is cancelled, an
+// error occurs, or (with IdleExit) the coordinator runs dry. A cancelled
+// context returns ctx.Err() unless the worker was already idle.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Store == nil {
+		return errors.New("serve: Worker.Store is required")
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 2 * time.Second
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, ok, err := w.lease(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if w.IdleExit {
+				w.logf("no work; exiting")
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if err := w.runLease(ctx, lease); err != nil {
+			return err
+		}
+	}
+}
+
+// lease asks the coordinator for one shard. ok=false means no work.
+func (w *Worker) lease(ctx context.Context) (Lease, bool, error) {
+	body, _ := json.Marshal(leaseRequest{Worker: w.Name})
+	resp, err := w.post(ctx, w.Coordinator+"/v1/work/lease", body)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return Lease{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Lease{}, false, httpError("leasing work", resp)
+	}
+	var lease Lease
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		return Lease{}, false, fmt.Errorf("serve: decoding lease: %w", err)
+	}
+	return lease, true, nil
+}
+
+// runLease sweeps the leased shard locally and uploads its envelopes.
+func (w *Worker) runLease(ctx context.Context, lease Lease) error {
+	w.logf("leased job %s shard %d/%d", lease.Job, lease.Shard, lease.Shards)
+	var census blockadt.Census
+	if _, err := blockadt.Run(lease.Matrix, w.Parallelism,
+		blockadt.WithRunStore(w.Store), blockadt.WithCensus(&census)); err != nil {
+		return fmt.Errorf("serve: sweeping shard %d of job %s: %w", lease.Shard, lease.Job, err)
+	}
+	keys, err := lease.Matrix.StoreKeys()
+	if err != nil {
+		return fmt.Errorf("serve: shard keys: %w", err)
+	}
+	envelopes := make([]Envelope, 0, len(keys))
+	for _, k := range keys {
+		data, ok, err := w.Store.Get(k)
+		if err != nil || !ok {
+			return fmt.Errorf("serve: local store is missing %q after the sweep (err=%v)", k, err)
+		}
+		envelopes = append(envelopes, Envelope{Key: k, Data: data})
+	}
+	body, err := json.Marshal(envelopes)
+	if err != nil {
+		return err
+	}
+	url := w.Coordinator + "/v1/work/" + lease.Job + "/shards/" + strconv.Itoa(lease.Shard) + "/complete"
+	resp, err := w.post(ctx, url, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("completing shard", resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	w.logf("completed job %s shard %d: %d envelopes (%d simulated, %d cached)",
+		lease.Job, lease.Shard, len(envelopes), census.Simulated(), census.CacheHits())
+	return nil
+}
+
+func (w *Worker) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.client().Do(req)
+}
+
+// httpError folds a non-2xx response (and its error body, if JSON) into
+// a readable error.
+func httpError(doing string, resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return fmt.Errorf("serve: %s: %s (%s)", doing, body.Error, resp.Status)
+	}
+	return fmt.Errorf("serve: %s: %s", doing, resp.Status)
+}

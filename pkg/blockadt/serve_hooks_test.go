@@ -1,0 +1,249 @@
+package blockadt
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hookTestMatrix is a small metrics-enabled matrix with pinned systems
+// (registrations made by other tests cannot change the expansion).
+func hookTestMatrix() Matrix {
+	return Matrix{
+		Systems:      []string{"Bitcoin"},
+		Links:        []string{LinkSync, LinkAsync},
+		Adversaries:  []string{AdvNone, AdvSelfish},
+		Seeds:        2,
+		RootSeed:     23,
+		TargetBlocks: 8,
+		Metrics:      []string{"fork_rate", "msgs_delivered"},
+	}
+}
+
+// TestWithRunStoreSharedHandle pins the shared-handle contract behind a
+// long-running service: two sweeps through one RunStore accumulate
+// hit/miss/put statistics across calls, the second is served entirely
+// from cache, and the per-sweep Census agrees with the global
+// ScenarioRuns counter.
+func TestWithRunStoreSharedHandle(t *testing.T) {
+	m := hookTestMatrix()
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(len(configs))
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first Census
+	before := ScenarioRuns()
+	if _, err := Run(m, 2, WithRunStore(store), WithCensus(&first)); err != nil {
+		t.Fatal(err)
+	}
+	if ran := ScenarioRuns() - before; ran != total {
+		t.Fatalf("cold run simulated %d, want %d", ran, total)
+	}
+	if first.Simulated() != total || first.CacheHits() != 0 {
+		t.Fatalf("cold census: simulated %d cacheHits %d, want %d/0",
+			first.Simulated(), first.CacheHits(), total)
+	}
+
+	var second Census
+	before = ScenarioRuns()
+	if _, err := Run(m, 2, WithRunStore(store), WithCensus(&second)); err != nil {
+		t.Fatal(err)
+	}
+	if ran := ScenarioRuns() - before; ran != 0 {
+		t.Fatalf("cached run simulated %d, want 0", ran)
+	}
+	if second.CacheHits() != total || second.Simulated() != 0 {
+		t.Fatalf("cached census: cacheHits %d simulated %d, want %d/0",
+			second.CacheHits(), second.Simulated(), total)
+	}
+
+	stats := store.Stats()
+	if stats.Puts != total {
+		t.Fatalf("stats.Puts = %d, want %d", stats.Puts, total)
+	}
+	if stats.Hits != total || stats.Misses != total {
+		t.Fatalf("stats hits/misses = %d/%d, want %d/%d (one miss then one hit per scenario)",
+			stats.Hits, stats.Misses, total, total)
+	}
+}
+
+// TestSingleflightConcurrentIdenticalSweeps is the engine half of the
+// service's concurrency contract: many concurrent identical sweeps over
+// one store and one flight group simulate each scenario EXACTLY once —
+// the store dedups across time, the flight group dedups in-flight, and
+// the leader's persist-before-release plus the in-flight double-check
+// closes the window between them.
+func TestSingleflightConcurrentIdenticalSweeps(t *testing.T) {
+	m := hookTestMatrix()
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(len(configs))
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := NewSingleflight()
+
+	const clients = 32
+	censuses := make([]Census, clients)
+	reports := make([]*Report, clients)
+	before := ScenarioRuns()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rep, err := Run(m, 2, WithRunStore(store), WithSingleflight(flight), WithCensus(&censuses[c]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[c] = rep
+		}(c)
+	}
+	wg.Wait()
+
+	if ran := ScenarioRuns() - before; ran != total {
+		t.Fatalf("%d concurrent identical sweeps simulated %d scenarios, want exactly %d", clients, ran, total)
+	}
+	var simulated uint64
+	for c := range censuses {
+		cen := &censuses[c]
+		simulated += cen.Simulated()
+		if got := cen.CacheHits() + cen.Simulated() + cen.Coalesced(); got != total {
+			t.Fatalf("client %d census does not cover the matrix: %d of %d", c, got, total)
+		}
+	}
+	if simulated != total {
+		t.Fatalf("censuses claim %d simulations, want %d", simulated, total)
+	}
+	// Every client saw the identical canonical report.
+	want, err := reports[0].EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < clients; c++ {
+		got, err := reports[c].EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("client %d report diverged from client 0", c)
+		}
+	}
+	if flight.Inflight() != 0 {
+		t.Fatalf("flight group still tracks %d keys after all sweeps finished", flight.Inflight())
+	}
+}
+
+// TestMatrixFingerprint pins the sweep-identity contract the serving
+// layer keys requests on: deterministic, sensitive to every dimension
+// that changes a store key, and failing on the same inputs Configs does.
+func TestMatrixFingerprint(t *testing.T) {
+	m := hookTestMatrix()
+	a, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("fingerprint is not deterministic")
+	}
+
+	seed := m
+	seed.RootSeed++
+	if fp, _ := seed.Fingerprint(); fp == a {
+		t.Fatal("fingerprint ignores the root seed")
+	}
+	metrics := m
+	metrics.Metrics = nil
+	if fp, _ := metrics.Fingerprint(); fp == a {
+		t.Fatal("fingerprint ignores the metric set")
+	}
+
+	keys, err := m.StoreKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(configs) {
+		t.Fatalf("StoreKeys returned %d keys for %d scenarios", len(keys), len(configs))
+	}
+
+	bad := m
+	bad.Systems = []string{"Dogecoin"}
+	if _, err := bad.Fingerprint(); err == nil {
+		t.Fatal("fingerprint accepted an unregistered system")
+	}
+}
+
+// TestStreamEarlyBreakTeardown is the prompt-teardown regression: a
+// consumer that breaks out of Stream leaks no goroutines (queued
+// scenarios are skipped, in-flight ones finish and their goroutines
+// exit) and the store still holds every completed write, so the next
+// sweep resumes from them.
+func TestStreamEarlyBreakTeardown(t *testing.T) {
+	dir := t.TempDir()
+	m := streamTestMatrix()
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	before := ScenarioRuns()
+	consumed := 0
+	for _, err := range Stream(context.Background(), m, 4, WithStore(dir)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumed++
+		if consumed == 3 {
+			break
+		}
+	}
+
+	// In-flight scenarios finish on their workers; everything queued
+	// behind them observes the cancelled pool and skips. Within a
+	// bounded settling window the goroutine count must return to the
+	// pre-stream baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("stream teardown leaked goroutines: %d running, baseline %d", g, baseline)
+	}
+	// Prompt teardown: the break must have stopped the sweep well short
+	// of the full matrix (at most the pool's admission window past the
+	// consumed results can ever have started).
+	if ran := ScenarioRuns() - before; ran >= uint64(len(configs)) {
+		t.Fatalf("broken-out stream still simulated the whole matrix (%d of %d)", ran, len(configs))
+	}
+
+	// Completed writes persisted: a reopened store serves at least the
+	// three consumed results.
+	cached, total, err := StorePreflight(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached < consumed {
+		t.Fatalf("store holds %d of %d results after the break, want at least %d", cached, total, consumed)
+	}
+}

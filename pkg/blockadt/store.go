@@ -1,6 +1,9 @@
 package blockadt
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -32,6 +35,9 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	storeDir string
 	storeGC  bool
+	store    *RunStore
+	flight   *Singleflight
+	census   *Census
 }
 
 // WithStore backs the sweep with the content-addressed run store at
@@ -53,6 +59,31 @@ func WithStoreGC() RunOption {
 	return func(c *runConfig) { c.storeGC = true }
 }
 
+// WithRunStore backs the sweep with an already-open RunStore handle
+// instead of opening the directory per call. A long-running service
+// passes one shared handle through every Run/Stream so cache-hit/miss
+// statistics accumulate process-wide and the index is loaded once.
+// Takes precedence over WithStore when both are given.
+func WithRunStore(s *RunStore) RunOption {
+	return func(c *runConfig) { c.store = s }
+}
+
+// WithSingleflight coalesces concurrent executions of identical
+// scenarios across every Run/Stream sharing the group: while one call is
+// simulating a scenario, others wanting the same store key wait for its
+// result instead of simulating again. See Singleflight.
+func WithSingleflight(g *Singleflight) RunOption {
+	return func(c *runConfig) { c.flight = g }
+}
+
+// WithCensus makes the sweep count, into c, how each scenario was
+// satisfied: served from the store, simulated by this call, or coalesced
+// onto another call's in-flight simulation. Read the census after the
+// sweep completes.
+func WithCensus(c *Census) RunOption {
+	return func(rc *runConfig) { rc.census = c }
+}
+
 func applyRunOptions(opts []RunOption) runConfig {
 	var c runConfig
 	for _, o := range opts {
@@ -60,6 +91,32 @@ func applyRunOptions(opts []RunOption) runConfig {
 	}
 	return c
 }
+
+// Census counts how one sweep's scenarios were satisfied. Safe for
+// concurrent use; a zero Census is ready. For a completed sweep,
+// Scenarios = CacheHits + Simulated + Coalesced (+ Skipped for a sweep
+// torn down mid-flight).
+type Census struct {
+	scenarios, cacheHits, simulated, coalesced, skipped atomic.Uint64
+}
+
+// Scenarios is the number of scenario executions the sweep attempted.
+func (c *Census) Scenarios() uint64 { return c.scenarios.Load() }
+
+// CacheHits is the number served from the run store without simulating.
+func (c *Census) CacheHits() uint64 { return c.cacheHits.Load() }
+
+// Simulated is the number this sweep actually simulated (as flight
+// leader, when a Singleflight is configured).
+func (c *Census) Simulated() uint64 { return c.simulated.Load() }
+
+// Coalesced is the number satisfied by waiting on another concurrent
+// sweep's in-flight simulation of the same scenario.
+func (c *Census) Coalesced() uint64 { return c.coalesced.Load() }
+
+// Skipped is the number abandoned without simulating because the sweep
+// was torn down (context cancelled or consumer gone) first.
+func (c *Census) Skipped() uint64 { return c.skipped.Load() }
 
 // scenarioRuns counts simulator invocations made by the sweep engine
 // (runScenario calls). Tests use the difference across a sweep to pin
@@ -95,21 +152,58 @@ func uniqSorted(names []string) []string {
 	return out
 }
 
-// runCache binds one sweep to its store: per-scenario keys precomputed
-// in expansion order, hit/miss bookkeeping, and end-of-run flush/GC.
-type runCache struct {
-	store *runstore.Store
-	keys  []string
-	hits  atomic.Uint64
+// StoreStats snapshots a RunStore handle's operation counters (hits,
+// misses, puts, bytes moved). Counters are per-handle and start at zero
+// at OpenStore — they measure this process's traffic, not the store's
+// on-disk history.
+type StoreStats = runstore.Stats
+
+// RunStore is an open handle on a content-addressed run store directory
+// — the façade's view of the cache WithStore points the sweep engine at.
+// A handle is safe for concurrent use and is meant to be shared: a
+// long-running service opens one RunStore and passes it to every sweep
+// through WithRunStore, so Stats aggregates across requests. Get/Put/Has
+// operate on raw store envelopes (key → canonical Result JSON) — the
+// currency of the worker/coordinator shard-upload protocol.
+type RunStore struct {
+	s *runstore.Store
 }
 
-// newRunCache opens the configured store (nil config → nil cache) and
-// precomputes the key of every expanded scenario.
-func newRunCache(c runConfig, m Matrix, configs []Scenario) (*runCache, error) {
-	if c.storeDir == "" {
-		return nil, nil
+// OpenStore opens (creating if necessary) the run store rooted at dir.
+func OpenStore(dir string) (*RunStore, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return nil, err
 	}
-	store, err := runstore.Open(c.storeDir)
+	return &RunStore{s: s}, nil
+}
+
+// Get returns the cached value for key; a missing, unreadable or corrupt
+// entry is reported as a plain miss.
+func (s *RunStore) Get(key string) ([]byte, bool, error) { return s.s.Get(key) }
+
+// Put stores value under key atomically.
+func (s *RunStore) Put(key string, value []byte) error { return s.s.Put(key, value) }
+
+// Has reports whether key has an entry, from the index alone (no file
+// read — advisory, like StorePreflight).
+func (s *RunStore) Has(key string) bool { return s.s.Has(key) }
+
+// Len reports the number of cached entries.
+func (s *RunStore) Len() int { return s.s.Len() }
+
+// Stats snapshots the handle's hit/miss/put/byte counters.
+func (s *RunStore) Stats() StoreStats { return s.s.Stats() }
+
+// Flush writes the store's index accelerator if anything changed.
+func (s *RunStore) Flush() error { return s.s.Flush() }
+
+// StoreKeys returns the run-store key of every scenario the matrix
+// expands to, in expansion order — the addresses a sweep of this matrix
+// reads and writes. A worker uploads exactly these keys' envelopes after
+// running its shard.
+func (m Matrix) StoreKeys() ([]string, error) {
+	configs, err := m.Configs()
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +211,36 @@ func newRunCache(c runConfig, m Matrix, configs []Scenario) (*runCache, error) {
 	for i, cfg := range configs {
 		keys[i] = storeKey(m.RootSeed, cfg, m.Metrics)
 	}
-	return &runCache{store: store, keys: keys}, nil
+	return keys, nil
+}
+
+// Fingerprint returns the matrix's content address: a hex SHA-256 over
+// the engine version and every expanded scenario's store key (which
+// folds in the root seed, canonical scenario coordinates, derived seeds
+// and sorted metric set). Two matrices get the same fingerprint exactly
+// when a sweep of each would read and write the same store entries under
+// the same engine — making it the natural sweep identity and HTTP ETag
+// for a cache-first sweep service. It errors on the same inputs Configs
+// does (unknown names, bad alpha, bad shard spec).
+func (m Matrix) Fingerprint() (string, error) {
+	keys, err := m.StoreKeys()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(EngineVersion))
+	for _, k := range keys {
+		h.Write([]byte{0})
+		h.Write([]byte(k))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// runCache binds one sweep to its store: per-scenario keys precomputed
+// in expansion order, hit/miss bookkeeping, and end-of-run flush/GC.
+type runCache struct {
+	store *runstore.Store
+	keys  []string
 }
 
 // get serves scenario i from the store. Unreadable or undecodable
@@ -131,7 +254,6 @@ func (c *runCache) get(i int) (Result, bool) {
 	if json.Unmarshal(raw, &r) != nil {
 		return Result{}, false
 	}
-	c.hits.Add(1)
 	return r, true
 }
 
@@ -144,9 +266,128 @@ func (c *runCache) put(i int, r Result) error {
 	return c.store.Put(c.keys[i], enc)
 }
 
+// sweepRunner is the per-scenario execution core shared by Run and
+// Stream: cache lookup, optional singleflight coalescing, census
+// bookkeeping, store persistence and deferred store-error capture.
+type sweepRunner struct {
+	cache    *runCache
+	flight   *Singleflight
+	census   *Census
+	keys     []string // non-nil when cache or flight need them
+	specs    []MetricSpec
+	storeErr atomic.Pointer[error]
+}
+
+// newSweepRunner resolves the run options against the expanded matrix.
+func newSweepRunner(c runConfig, m Matrix, configs []Scenario, specs []MetricSpec) (*sweepRunner, error) {
+	r := &sweepRunner{flight: c.flight, census: c.census, specs: specs}
+	store := c.store
+	if store == nil && c.storeDir != "" {
+		opened, err := OpenStore(c.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		store = opened
+	}
+	if store != nil || c.flight != nil {
+		r.keys = make([]string, len(configs))
+		for i, cfg := range configs {
+			r.keys[i] = storeKey(m.RootSeed, cfg, m.Metrics)
+		}
+	}
+	if store != nil {
+		r.cache = &runCache{store: store.s, keys: r.keys}
+	}
+	return r, nil
+}
+
+// exec runs scenario i: store hit, coalesced wait, or a real simulation
+// persisted to the store. A cancelled ctx (the stream was torn down)
+// skips scenarios that have not started — nothing downstream consumes
+// their results, and not starting them is what makes teardown prompt.
+func (r *sweepRunner) exec(ctx context.Context, i int, cfg Scenario) Result {
+	if r.census != nil {
+		r.census.scenarios.Add(1)
+	}
+	if r.cache != nil {
+		if res, ok := r.cache.get(i); ok {
+			if r.census != nil {
+				r.census.cacheHits.Add(1)
+			}
+			return res
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		if r.census != nil {
+			r.census.skipped.Add(1)
+		}
+		return Result{}
+	}
+	simulated := false
+	compute := func() Result {
+		// Double-check the store under flight leadership: a previous
+		// leader persists before releasing its key, so a caller that
+		// missed the cache, stalled, and then won a fresh flight finds
+		// the entry here instead of simulating the scenario twice. This
+		// is what makes "each scenario simulated at most once" exact
+		// rather than probabilistic under concurrent identical sweeps.
+		if r.flight != nil && r.cache != nil {
+			if res, ok := r.cache.get(i); ok {
+				return res
+			}
+		}
+		simulated = true
+		res := runScenario(cfg, r.specs)
+		if r.cache != nil {
+			if err := r.cache.put(i, res); err != nil {
+				r.storeErr.CompareAndSwap(nil, &err)
+			}
+		}
+		return res
+	}
+	if r.flight != nil {
+		res, leader := r.flight.Do(r.keys[i], compute)
+		if r.census != nil {
+			switch {
+			case leader && simulated:
+				r.census.simulated.Add(1)
+			case leader:
+				r.census.cacheHits.Add(1)
+			default:
+				r.census.coalesced.Add(1)
+			}
+		}
+		return res
+	}
+	if r.census != nil {
+		r.census.simulated.Add(1)
+	}
+	return compute()
+}
+
+// err surfaces the first store-persistence failure, if any.
+func (r *sweepRunner) err() error {
+	if errp := r.storeErr.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}
+
+// flush persists the store index without GC — the teardown path for
+// interrupted sweeps, so completed writes survive (objects are already
+// durable; this just spares the next Open a reconciliation scan).
+func (r *sweepRunner) flush() {
+	if r.cache != nil {
+		_ = r.cache.store.Flush()
+	}
+}
+
 // finish flushes the index and, when requested, garbage-collects every
 // entry outside the matrix's full unsharded expansion.
-func (c *runCache) finish(gc bool, m Matrix) error {
+func (r *sweepRunner) finish(gc bool, m Matrix) error {
+	if r.cache == nil {
+		return nil
+	}
 	if gc {
 		full := m
 		full.ShardIndex, full.ShardCount = 0, 0
@@ -158,12 +399,12 @@ func (c *runCache) finish(gc bool, m Matrix) error {
 		for _, cfg := range configs {
 			keep[storeKey(m.RootSeed, cfg, m.Metrics)] = true
 		}
-		if _, err := c.store.GC(func(key string) bool { return keep[key] }); err != nil {
+		if _, err := r.cache.store.GC(func(key string) bool { return keep[key] }); err != nil {
 			return err
 		}
 		return nil
 	}
-	return c.store.Flush()
+	return r.cache.store.Flush()
 }
 
 // StorePreflight reports how many of the matrix's scenarios are already

@@ -3,7 +3,6 @@ package blockadt
 import (
 	"context"
 	"iter"
-	"sync/atomic"
 
 	"blockadt/internal/parallel"
 )
@@ -17,10 +16,13 @@ import (
 // The first yielded pair carries a non-nil error (and a zero Result) if
 // the matrix fails to expand, the run store fails, or the context is
 // cancelled; iteration stops after any error. Breaking out of the loop
-// stops scheduling new scenarios; in-flight ones finish in the
-// background. With WithStore, cached scenarios are served from the run
-// store without simulating and misses are computed and persisted, like
-// Run.
+// tears the sweep down promptly: the inner pool is cancelled, so
+// scenarios that have not started are skipped instead of finishing in
+// the background, scenarios already simulating run to completion (and,
+// with a store, persist), and the store index is flushed so completed
+// writes survive for the next resume. With WithStore, cached scenarios
+// are served from the run store without simulating and misses are
+// computed and persisted, like Run.
 func Stream(ctx context.Context, m Matrix, parallelism int, opts ...RunOption) iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
 		configs, err := m.Configs()
@@ -34,32 +36,34 @@ func Stream(ctx context.Context, m Matrix, parallelism int, opts ...RunOption) i
 			return
 		}
 		rcfg := applyRunOptions(opts)
-		cache, err := newRunCache(rcfg, m, configs)
+		runner, err := newSweepRunner(rcfg, m, configs, specs)
 		if err != nil {
 			yield(Result{}, err)
 			return
 		}
-		var storeErr atomic.Pointer[error]
-		for _, r := range parallel.Stream(ctx, configs, parallelism, func(i int, cfg Scenario) Result {
-			if cache != nil {
-				if r, ok := cache.get(i); ok {
-					return r
-				}
+		// The inner context tears the pool down when the consumer breaks
+		// out (or an error path returns): queued scenarios observe the
+		// cancellation and skip simulating. The deferred flush persists
+		// the store index for whatever did complete — objects are already
+		// durable on disk, so an interrupted sweep resumes from exactly
+		// the scenarios that finished.
+		inner, cancel := context.WithCancel(ctx)
+		finished := false
+		defer func() {
+			cancel()
+			if !finished {
+				runner.flush()
 			}
-			r := runScenario(cfg, specs)
-			if cache != nil {
-				if err := cache.put(i, r); err != nil {
-					storeErr.CompareAndSwap(nil, &err)
-				}
-			}
-			return r
+		}()
+		for _, r := range parallel.Stream(inner, configs, parallelism, func(i int, cfg Scenario) Result {
+			return runner.exec(inner, i, cfg)
 		}) {
 			if err := ctx.Err(); err != nil {
 				yield(Result{}, err)
 				return
 			}
-			if errp := storeErr.Load(); errp != nil {
-				yield(Result{}, *errp)
+			if err := runner.err(); err != nil {
+				yield(Result{}, err)
 				return
 			}
 			if !yield(r, nil) {
@@ -72,14 +76,13 @@ func Stream(ctx context.Context, m Matrix, parallelism int, opts ...RunOption) i
 			yield(Result{}, err)
 			return
 		}
-		if errp := storeErr.Load(); errp != nil {
-			yield(Result{}, *errp)
+		if err := runner.err(); err != nil {
+			yield(Result{}, err)
 			return
 		}
-		if cache != nil {
-			if err := cache.finish(rcfg.storeGC, m); err != nil {
-				yield(Result{}, err)
-			}
+		finished = true
+		if err := runner.finish(rcfg.storeGC, m); err != nil {
+			yield(Result{}, err)
 		}
 	}
 }
