@@ -29,7 +29,7 @@
 //
 //	btadt sweep      [-systems a,b] [-links sync,async,psync] [-adversaries none,selfish]
 //	                 [-n 8,16] [-seeds 4] [-seed 42] [-parallel 0] [-json] [-metrics m1,m2|all]
-//	                 [-shard i/n] [-store DIR] [-resume] [-store-gc]
+//	                 [-shard i/n] [-store DIR] [-resume] [-store-gc] [-trace out.ndjson] [-v]
 //	    Expand and run a scenario matrix across the worker pool; every
 //	    configuration gets an independent derived prng stream, so the
 //	    output is identical at any -parallel value. -store backs the
@@ -37,6 +37,9 @@
 //	    persisted; with -resume, cached ones are served without
 //	    simulating — byte-identical output either way); -shard i/n runs
 //	    one deterministic partition of the matrix for CI fan-out.
+//	    -trace writes one NDJSON span per scenario with queue/store/
+//	    simulate phase timings; -v adds a periodic progress line on
+//	    stderr. Neither changes the sweep output by a byte.
 //
 //	btadt diff       [-tol 0.05] old.json new.json
 //	    Compare two sweep JSON reports per configuration and metric,
@@ -52,15 +55,24 @@
 //	    value, like sweep.
 //
 //	btadt serve      [-addr :8423] -store DIR [-parallel 0] [-max-body BYTES]
-//	                 [-max-sweeps N] [-lease-ttl 5m]
+//	                 [-max-sweeps N] [-lease-ttl 5m] [-log-level info]
+//	                 [-log-format text|json] [-debug-addr :6060]
 //	btadt serve      -worker URL -store DIR [-name ID] [-idle-exit] [-poll 2s]
 //	    Run the cache-first sweep service: POST /v1/sweeps streams a
 //	    matrix's results back as NDJSON, identical (even concurrent)
 //	    resubmissions are served from the shared run store without
 //	    re-simulating, and POST /v1/work fans a matrix out across
 //	    -worker processes that lease deterministic shards and upload
-//	    their content-addressed results. SIGINT/SIGTERM drains
-//	    gracefully. See docs/serve.md for the API.
+//	    their content-addressed results. Every request is logged with a
+//	    request ID (echoed as X-Request-Id); /metricsz answers JSON by
+//	    default and Prometheus exposition under `Accept: text/plain`;
+//	    -debug-addr opts into live pprof on a separate listener.
+//	    SIGINT/SIGTERM drains gracefully. See docs/serve.md for the API
+//	    and docs/observability.md for the telemetry surface.
+//
+//	btadt version
+//	    Print the build triple: module version, Go toolchain, and the
+//	    engine version that namespaces every cached result.
 package main
 
 import (
@@ -113,6 +125,8 @@ func main() {
 		err = cmdServe(ctx, os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "version":
+		err = cmdVersion()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -149,7 +163,17 @@ commands:
                [-shard i/n] [-store DIR] [-resume] for incremental / CI-sharded sweeps
   stats        sweep a matrix with metric collection and print per-config aggregates
   serve        run the cache-first sweep service (or, with -worker URL, a shard worker)
-  diff         compare two sweep JSON reports with a per-field tolerance (CI gate)`)
+  diff         compare two sweep JSON reports with a per-field tolerance (CI gate)
+  version      print the build triple: module version, Go toolchain, engine version`)
+}
+
+// cmdVersion prints the same build triple /healthz reports and the
+// Prometheus btadt_build_info series labels: enough to tell which
+// binary (and which run-store namespace) produced an artifact.
+func cmdVersion() error {
+	bi := blockadt.Build()
+	fmt.Printf("btadt %s\ngo %s\nengine %s\n", bi.Version, bi.GoVersion, bi.Engine)
+	return nil
 }
 
 func cmdClassify(args []string) error {

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blockadt/pkg/blockadt"
+)
+
+// readSpans parses a -trace NDJSON file.
+func readSpans(t *testing.T, path string) []blockadt.Span {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var spans []blockadt.Span
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var sp blockadt.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// TestSweepTraceFile pins the -trace contract end to end: the traced
+// sweep's JSON is byte-identical to an untraced one, the trace carries
+// one span per scenario, and a -resume re-run traces cache hits.
+func TestSweepTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.ndjson")
+	store := filepath.Join(dir, "store")
+
+	plain := captureStdout(t, func() error { return cmdSweep(t.Context(), sweepArgs()) })
+	traced := captureStdout(t, func() error {
+		return cmdSweep(t.Context(), sweepArgs("-trace", trace, "-store", store))
+	})
+	if plain != traced {
+		t.Fatal("traced sweep output is not byte-identical to the untraced sweep")
+	}
+
+	var rep struct {
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(plain), &rep); err != nil {
+		t.Fatal(err)
+	}
+	spans := readSpans(t, trace)
+	if rep.Total == 0 || len(spans) != rep.Total {
+		t.Fatalf("trace has %d spans for %d scenarios", len(spans), rep.Total)
+	}
+	for _, sp := range spans {
+		if sp.Outcome != blockadt.SpanSimulated {
+			t.Fatalf("cold span outcome = %q, want simulated: %+v", sp.Outcome, sp)
+		}
+		if sp.Key == "" || sp.SimulateNS <= 0 || sp.TotalNS <= 0 {
+			t.Fatalf("degenerate span: %+v", sp)
+		}
+	}
+
+	// Resuming from the populated store traces pure cache hits.
+	warmTrace := filepath.Join(dir, "warm.ndjson")
+	warm := captureStdout(t, func() error {
+		return cmdSweep(t.Context(), sweepArgs("-trace", warmTrace, "-store", store, "-resume"))
+	})
+	if warm != plain {
+		t.Fatal("resumed traced sweep output diverged")
+	}
+	for _, sp := range readSpans(t, warmTrace) {
+		if sp.Outcome != blockadt.SpanCacheHit {
+			t.Fatalf("warm span outcome = %q, want cache-hit", sp.Outcome)
+		}
+		if sp.SimulateNS != 0 {
+			t.Fatalf("warm span claims simulation time: %+v", sp)
+		}
+	}
+}
+
+// TestVersionCmd pins the version subcommand's triple.
+func TestVersionCmd(t *testing.T) {
+	out := captureStdout(t, cmdVersion)
+	if !strings.Contains(out, "engine "+blockadt.EngineVersion) {
+		t.Fatalf("version output missing the engine version: %q", out)
+	}
+	if !strings.Contains(out, "btadt ") || !strings.Contains(out, "go go1.") {
+		t.Fatalf("version output missing the module or Go version: %q", out)
+	}
+}
+
+// TestServeLoggerFlags pins the -log-level/-log-format validation.
+func TestServeLoggerFlags(t *testing.T) {
+	if _, err := buildLogger("info", "json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildLogger("debug", "text"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildLogger("loud", "text"); err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("bad level: got %v", err)
+	}
+	if _, err := buildLogger("info", "xml"); err == nil || !strings.Contains(err.Error(), "-log-format") {
+		t.Fatalf("bad format: got %v", err)
+	}
+}

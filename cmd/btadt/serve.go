@@ -5,9 +5,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"blockadt/pkg/blockadt"
@@ -38,7 +41,14 @@ func cmdServe(ctx context.Context, args []string) error {
 	name := fs.String("name", "", "worker identity reported in leases (default: the hostname)")
 	idleExit := fs.Bool("idle-exit", false, "worker: exit once the coordinator has no work instead of polling")
 	poll := fs.Duration("poll", 2*time.Second, "worker: idle re-poll interval")
+	logLevel := fs.String("log-level", "info", "request-log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "request-log format: text or json")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (off unless set; keep it off the public listener)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *storeDir == "" {
@@ -79,6 +89,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		MaxBodyBytes: *maxBody,
 		MaxSweeps:    *maxSweeps,
 		LeaseTTL:     *leaseTTL,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -87,6 +98,15 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	stopDebug, err := startDebugServer(*debugAddr, logger)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	bi := blockadt.Build()
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "store", *storeDir, "entries", store.Len(),
+		"version", bi.Version, "engine", bi.Engine)
 	fmt.Fprintf(os.Stderr, "btadt serve: listening on %s (store %s, %d entries)\n",
 		ln.Addr(), *storeDir, store.Len())
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -106,4 +126,47 @@ func cmdServe(ctx context.Context, args []string) error {
 		<-done // Serve has returned http.ErrServerClosed
 		return store.Flush()
 	}
+}
+
+// buildLogger assembles the serve request logger from the -log-level
+// and -log-format flags. Logs go to stderr, like every other btadt
+// diagnostic, leaving stdout for data.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
+}
+
+// startDebugServer exposes net/http/pprof on its own listener when
+// -debug-addr is set. A dedicated mux (not http.DefaultServeMux) keeps
+// the profiling surface off the public API listener entirely — the
+// operator opts in per address, typically a loopback one.
+func startDebugServer(addr string, logger *slog.Logger) (stop func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-debug-addr: %w", err)
+	}
+	dbg := &http.Server{Handler: mux}
+	go dbg.Serve(ln)
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	return func() { dbg.Close() }, nil
 }

@@ -43,8 +43,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 	storeDir := fs.String("store", "", "back the sweep with the content-addressed run store at this directory")
 	resume := fs.Bool("resume", false, "serve scenarios already in -store from cache instead of failing on a pre-populated store")
 	storeGC := fs.Bool("store-gc", false, "after the sweep, delete store entries outside this matrix's full expansion")
-	verbose := fs.Bool("v", false, "with -store, print the store's hit/miss/put/byte counters after the sweep")
+	verbose := fs.Bool("v", false, "print a periodic progress line (scenarios/sec, cache-hit ratio) to stderr; with -store, also the store's counters after the sweep")
 	printMatrix := fs.Bool("print-matrix", false, "print the expanded matrix as JSON and exit without sweeping (input for `btadt serve` submissions)")
+	traceFile := fs.String("trace", "", "write one NDJSON span per scenario (queue/store/simulate phase timings) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,10 +102,38 @@ func cmdSweep(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// The census feeds the -v progress line; the tracer (if any) dumps
+	// per-scenario phase spans. Both observe the sweep from the side —
+	// stdout output stays byte-identical with or without them.
+	var census blockadt.Census
+	runOpts = append(runOpts, blockadt.WithCensus(&census))
+	var spans *blockadt.SpanWriter
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spans = blockadt.NewSpanWriter(f)
+		runOpts = append(runOpts, blockadt.WithTracer(spans))
+	}
+	closeTrace := func() error {
+		if spans == nil {
+			return nil
+		}
+		if err := spans.Close(); err != nil {
+			return fmt.Errorf("writing -trace %s: %w", *traceFile, err)
+		}
+		fmt.Fprintf(os.Stderr, "trace %s: %d spans\n", *traceFile, spans.Count())
+		return nil
+	}
 	runsBefore := blockadt.ScenarioRuns()
 
 	if *jsonOut {
+		stopProgress := startSweepProgress(*verbose, &census, -1)
 		rep, err := blockadt.Run(m, *parallelism, runOpts...)
+		stopProgress()
 		if err != nil {
 			return err
 		}
@@ -113,6 +142,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 		}
 		reportStoreUse(*storeDir, rep.Total, runsBefore)
 		reportStoreStats(store, *verbose)
+		if err := closeTrace(); err != nil {
+			return err
+		}
 		enc, err := rep.EncodeJSON()
 		if err != nil {
 			return err
@@ -141,8 +173,10 @@ func cmdSweep(ctx context.Context, args []string) error {
 		start          = time.Now()
 	)
 	fmt.Print(blockadt.FormatTableHeader())
+	stopProgress := startSweepProgress(*verbose, &census, len(configs))
 	for r, err := range blockadt.Stream(ctx, m, *parallelism, runOpts...) {
 		if err != nil {
+			stopProgress()
 			return err
 		}
 		fmt.Print(blockadt.FormatRow(r))
@@ -152,14 +186,67 @@ func cmdSweep(ctx context.Context, args []string) error {
 		}
 		ticks += r.Ticks
 	}
+	stopProgress()
 	reportStoreUse(*storeDir, total, runsBefore)
 	reportStoreStats(store, *verbose)
+	if err := closeTrace(); err != nil {
+		return err
+	}
 	fmt.Printf("\n%d/%d configurations matched; %d virtual ticks in %.1fms across %d workers\n",
 		matched, total, ticks, float64(time.Since(start).Nanoseconds())/1e6, blockadt.Parallelism(*parallelism))
 	if matched != total {
 		return fmt.Errorf("%d configurations missed their expected consistency level", total-matched)
 	}
 	return nil
+}
+
+// startSweepProgress starts the -v progress reporter: a time-based line
+// on stderr every two seconds with throughput and cache-hit ratio read
+// from the sweep's census. Time-based (not per-result) and stderr-only,
+// so stdout stays byte-identical and quiet sweeps cost nothing. total
+// < 0 means unknown (the -json path, which expands inside Run). The
+// returned stop func is idempotent enough for the error paths: call it
+// once when the sweep ends.
+func startSweepProgress(enabled bool, census *blockadt.Census, total int) func() {
+	if !enabled {
+		return func() {}
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				completed := census.Simulated() + census.CacheHits() + census.Coalesced()
+				elapsed := time.Since(start).Seconds()
+				rate := 0.0
+				if elapsed > 0 {
+					rate = float64(completed) / elapsed
+				}
+				ratio := 0.0
+				if completed > 0 {
+					ratio = 100 * float64(census.CacheHits()) / float64(completed)
+				}
+				if total >= 0 {
+					fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios, %.1f/sec, %.0f%% cache hits\n",
+						completed, total, rate, ratio)
+				} else {
+					fmt.Fprintf(os.Stderr, "sweep: %d scenarios, %.1f/sec, %.0f%% cache hits\n",
+						completed, rate, ratio)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 // reportStoreUse prints the store-backed sweep's exact census to stderr

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+
+	"blockadt/internal/metrics"
+)
+
+// latencyProbes are the quantiles Latencies tracks per series.
+var latencyProbes = []float64{0.5, 0.95, 0.99}
+
+// latencyKey identifies one histogram series.
+type latencyKey struct {
+	phase, outcome string
+}
+
+// latencySeries couples the streaming aggregators of internal/metrics:
+// Welford for count/mean/sum, one quantile sketch for p50/p95/p99. Both
+// are O(1) memory, so a Latencies never grows with traffic — only with
+// the (phase × outcome) label space, which is bounded by construction.
+type latencySeries struct {
+	w metrics.Welford
+	q *metrics.Quantile
+}
+
+// LatencySummary is one series' snapshot. Durations are nanoseconds.
+type LatencySummary struct {
+	Phase   string  `json:"phase"`
+	Outcome string  `json:"outcome"`
+	Count   int     `json:"count"`
+	SumNS   float64 `json:"sumNs"`
+	MeanNS  float64 `json:"meanNs"`
+	MaxNS   float64 `json:"maxNs"`
+	P50NS   float64 `json:"p50Ns"`
+	P95NS   float64 `json:"p95Ns"`
+	P99NS   float64 `json:"p99Ns"`
+}
+
+// Latencies is a Tracer that folds every span's phases into per-(phase,
+// outcome) latency histograms: live p50/p95/p99 for where sweep time
+// goes — queue wait vs store reads vs simulation vs persistence — split
+// by how the scenario was satisfied. Safe for concurrent use; the zero
+// value is NOT ready, construct with NewLatencies.
+type Latencies struct {
+	mu     sync.Mutex
+	series map[latencyKey]*latencySeries
+	order  []latencyKey // first-observation order, for deterministic snapshots
+}
+
+// NewLatencies returns an empty histogram set.
+func NewLatencies() *Latencies {
+	return &Latencies{series: map[latencyKey]*latencySeries{}}
+}
+
+// ObserveSpan folds one span into the histograms.
+func (l *Latencies) ObserveSpan(s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s.Phases(func(phase string, ns int64) {
+		k := latencyKey{phase: phase, outcome: s.Outcome}
+		sr := l.series[k]
+		if sr == nil {
+			sr = &latencySeries{q: metrics.NewQuantile(latencyProbes...)}
+			l.series[k] = sr
+			l.order = append(l.order, k)
+		}
+		sr.w.Add(float64(ns))
+		sr.q.Add(float64(ns))
+	})
+}
+
+// Snapshot returns every series' summary. Ordering is stable across
+// snapshots of the same Latencies (first-observation order), so two
+// scrapes render series in the same sequence.
+func (l *Latencies) Snapshot() []LatencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LatencySummary, 0, len(l.order))
+	for _, k := range l.order {
+		sr := l.series[k]
+		n := sr.w.Count()
+		out = append(out, LatencySummary{
+			Phase:   k.phase,
+			Outcome: k.outcome,
+			Count:   n,
+			SumNS:   sr.w.Mean() * float64(n),
+			MeanNS:  sr.w.Mean(),
+			MaxNS:   sr.w.Max(),
+			P50NS:   sr.q.Get(0.5),
+			P95NS:   sr.q.Get(0.95),
+			P99NS:   sr.q.Get(0.99),
+		})
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// NDJSON is a Tracer that appends each span as one JSON line — the
+// `btadt sweep -trace out.ndjson` sink. Writes are serialized by a
+// mutex and buffered; call Close (or Flush) before reading the output.
+// Spans are written in completion order, which under parallelism is not
+// expansion order — offline consumers sort by the span's Index or
+// StartNS.
+type NDJSON struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	count int
+	err   error
+}
+
+// NewNDJSON returns an NDJSON tracer writing to w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	return &NDJSON{bw: bufio.NewWriter(w)}
+}
+
+// ObserveSpan appends one span line. The first write error sticks and
+// is reported by Close; later spans are dropped rather than interleaved
+// into a torn line.
+func (n *NDJSON) ObserveSpan(s Span) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return
+	}
+	enc, err := json.Marshal(s)
+	if err != nil {
+		n.err = err
+		return
+	}
+	if _, err := n.bw.Write(append(enc, '\n')); err != nil {
+		n.err = err
+		return
+	}
+	n.count++
+}
+
+// Count reports the number of spans written so far.
+func (n *NDJSON) Count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.count
+}
+
+// Flush drains the buffer to the underlying writer.
+func (n *NDJSON) Flush() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return n.err
+	}
+	return n.bw.Flush()
+}
+
+// Close flushes and surfaces the first error encountered. It does not
+// close the underlying writer (the caller owns the file handle).
+func (n *NDJSON) Close() error { return n.Flush() }

@@ -1,0 +1,147 @@
+// Package obs is the repository's zero-dependency observability core:
+// per-scenario execution spans, O(1)-memory latency histograms built on
+// the streaming aggregators of internal/metrics, and a minimal
+// Prometheus text-exposition writer. The sweep engine (pkg/blockadt)
+// emits spans through the Tracer interface; consumers fan them into an
+// NDJSON file for offline analysis (`btadt sweep -trace`), into
+// Latencies for live p50/p95/p99 per phase, or both. Nothing here
+// influences a simulation: spans measure wall-clock phases of scenario
+// execution, never its virtual time, so tracing-enabled sweeps stay
+// byte-identical to untraced ones.
+package obs
+
+// Span phase outcomes: how one scenario execution was satisfied.
+const (
+	// OutcomeSimulated — the scenario was actually simulated by this
+	// execution (a cold cache miss, or the singleflight leader).
+	OutcomeSimulated = "simulated"
+	// OutcomeCacheHit — served from the content-addressed run store
+	// without simulating (including the leader's in-flight double-check).
+	OutcomeCacheHit = "cache-hit"
+	// OutcomeCoalesced — satisfied by waiting on another concurrent
+	// sweep's in-flight simulation of the identical scenario.
+	OutcomeCoalesced = "coalesced"
+	// OutcomeSkipped — abandoned without simulating because the sweep
+	// was torn down first.
+	OutcomeSkipped = "skipped"
+)
+
+// Span phase names, in execution order. A phase absent from a span's
+// outcome (e.g. simulate on a cache hit) is recorded as zero and not
+// folded into histograms.
+const (
+	PhaseQueue    = "queue"
+	PhaseStoreGet = "store_get"
+	PhaseSimulate = "simulate"
+	PhaseStorePut = "store_put"
+	PhaseTotal    = "total"
+)
+
+// Span is the record of one scenario execution inside a sweep: where
+// the wall-clock time went, phase by phase. All durations are
+// nanoseconds from the process's monotonic clock; StartNS is the offset
+// of the execution's start from the owning sweep's start, so spans from
+// one sweep order and align on a common timeline.
+//
+// Phase semantics by outcome:
+//
+//	simulated: Queue (sweep start → worker pickup), StoreGet (the miss
+//	           probe, when a store is configured), Simulate (the real
+//	           simulation), StorePut (persisting the result).
+//	cache-hit: Queue, StoreGet (the read that served it).
+//	coalesced: Queue, Simulate (the wait for the leader's result).
+//	skipped:   Queue only.
+type Span struct {
+	// Index is the scenario's position in matrix-expansion order.
+	Index int `json:"i"`
+	// Key is the scenario's canonical key (Scenario.Key).
+	Key string `json:"key"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// Request tags the span with the submission it ran under (the serve
+	// request ID); empty for CLI sweeps.
+	Request string `json:"request,omitempty"`
+	// StartNS is the execution's start, relative to the sweep's start.
+	StartNS int64 `json:"startNs"`
+	// QueueNS is the time from sweep start to worker pickup.
+	QueueNS int64 `json:"queueNs"`
+	// StoreGetNS is the time spent probing/reading the run store.
+	StoreGetNS int64 `json:"storeGetNs,omitempty"`
+	// SimulateNS is the simulation time (or, for a coalesced execution,
+	// the time spent waiting on the leader's simulation).
+	SimulateNS int64 `json:"simulateNs,omitempty"`
+	// StorePutNS is the time spent persisting the result.
+	StorePutNS int64 `json:"storePutNs,omitempty"`
+	// TotalNS is the execution's full wall-clock span (excluding queue
+	// wait): pickup → result.
+	TotalNS int64 `json:"totalNs"`
+}
+
+// Phases yields the span's non-zero phases as (name, ns) pairs,
+// including the queue wait and the total. It is the one place the
+// span→histogram phase mapping lives.
+func (s Span) Phases(yield func(phase string, ns int64)) {
+	yield(PhaseQueue, s.QueueNS)
+	if s.StoreGetNS > 0 {
+		yield(PhaseStoreGet, s.StoreGetNS)
+	}
+	if s.SimulateNS > 0 {
+		yield(PhaseSimulate, s.SimulateNS)
+	}
+	if s.StorePutNS > 0 {
+		yield(PhaseStorePut, s.StorePutNS)
+	}
+	yield(PhaseTotal, s.TotalNS)
+}
+
+// Tracer receives completed scenario spans. Implementations must be
+// safe for concurrent use: the sweep engine calls ObserveSpan from
+// every worker goroutine.
+type Tracer interface {
+	ObserveSpan(Span)
+}
+
+// tagged stamps a request ID onto every span before forwarding.
+type tagged struct {
+	request string
+	inner   Tracer
+}
+
+func (t tagged) ObserveSpan(s Span) {
+	s.Request = t.request
+	t.inner.ObserveSpan(s)
+}
+
+// Tagged wraps a tracer so every span it forwards carries the given
+// request ID — how a serving layer ties engine spans back to the HTTP
+// request that submitted them.
+func Tagged(request string, inner Tracer) Tracer {
+	return tagged{request: request, inner: inner}
+}
+
+// multi fans one span out to several tracers.
+type multi []Tracer
+
+func (m multi) ObserveSpan(s Span) {
+	for _, t := range m {
+		t.ObserveSpan(s)
+	}
+}
+
+// Multi combines tracers into one; nil entries are dropped. Returns nil
+// when nothing remains, so callers can keep the len==0 fast path.
+func Multi(tracers ...Tracer) Tracer {
+	var out multi
+	for _, t := range tracers {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func TestSpanPhases(t *testing.T) {
+	s := Span{
+		Outcome: OutcomeSimulated,
+		QueueNS: 10, StoreGetNS: 20, SimulateNS: 30, StorePutNS: 40, TotalNS: 90,
+	}
+	got := map[string]int64{}
+	s.Phases(func(phase string, ns int64) { got[phase] = ns })
+	want := map[string]int64{
+		PhaseQueue: 10, PhaseStoreGet: 20, PhaseSimulate: 30, PhaseStorePut: 40, PhaseTotal: 90,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("phases = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("phase %s = %d, want %d", k, got[k], v)
+		}
+	}
+	// A cache hit has no simulate/put phases: they must not be yielded
+	// as zeros, or histograms would count phantom observations.
+	hit := Span{Outcome: OutcomeCacheHit, QueueNS: 5, StoreGetNS: 7, TotalNS: 7}
+	count := 0
+	hit.Phases(func(string, int64) { count++ })
+	if count != 3 { // queue, store_get, total
+		t.Fatalf("cache-hit span yielded %d phases, want 3", count)
+	}
+}
+
+func TestTaggedAndMulti(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Span
+	sink := tracerFunc(func(s Span) {
+		mu.Lock()
+		seen = append(seen, s)
+		mu.Unlock()
+	})
+	tr := Multi(nil, Tagged("req-1", sink), sink)
+	tr.ObserveSpan(Span{Index: 3, Outcome: OutcomeSimulated})
+	if len(seen) != 2 {
+		t.Fatalf("multi fanned out to %d tracers, want 2", len(seen))
+	}
+	if seen[0].Request != "req-1" {
+		t.Fatalf("tagged span request = %q, want req-1", seen[0].Request)
+	}
+	if seen[1].Request != "" {
+		t.Fatalf("untagged span request = %q, want empty", seen[1].Request)
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil (the engine's fast-path sentinel)")
+	}
+}
+
+type tracerFunc func(Span)
+
+func (f tracerFunc) ObserveSpan(s Span) { f(s) }
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n := NewNDJSON(&buf)
+	var wg sync.WaitGroup
+	const spans = 100
+	for i := 0; i < spans; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n.ObserveSpan(Span{Index: i, Key: "k", Outcome: OutcomeSimulated, SimulateNS: int64(i), TotalNS: int64(i)})
+		}(i)
+	}
+	wg.Wait()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Count() != spans {
+		t.Fatalf("count = %d, want %d", n.Count(), spans)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	seen := map[int]bool{}
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v (%q)", lines, err, sc.Text())
+		}
+		seen[s.Index] = true
+		lines++
+	}
+	if lines != spans {
+		t.Fatalf("wrote %d lines, want %d", lines, spans)
+	}
+	if len(seen) != spans {
+		t.Fatalf("spans deduplicated or torn: %d distinct indices", len(seen))
+	}
+}
+
+func TestLatenciesSnapshot(t *testing.T) {
+	l := NewLatencies()
+	for i := 1; i <= 100; i++ {
+		l.ObserveSpan(Span{
+			Outcome:    OutcomeSimulated,
+			QueueNS:    int64(i),
+			SimulateNS: int64(i) * 10,
+			TotalNS:    int64(i) * 11,
+		})
+	}
+	l.ObserveSpan(Span{Outcome: OutcomeCacheHit, QueueNS: 1, StoreGetNS: 2, TotalNS: 2})
+
+	snaps := l.Snapshot()
+	bySeries := map[string]LatencySummary{}
+	for _, s := range snaps {
+		bySeries[s.Phase+"/"+s.Outcome] = s
+	}
+	sim, ok := bySeries[PhaseSimulate+"/"+OutcomeSimulated]
+	if !ok {
+		t.Fatalf("no simulate/simulated series in %v", snaps)
+	}
+	if sim.Count != 100 {
+		t.Fatalf("simulate count = %d, want 100", sim.Count)
+	}
+	if sim.P50NS < 400 || sim.P50NS > 600 {
+		t.Fatalf("simulate p50 = %v, want ~500 (1..100 ×10)", sim.P50NS)
+	}
+	if sim.P99NS < 950 || sim.P99NS > 1000 {
+		t.Fatalf("simulate p99 = %v, want ~990", sim.P99NS)
+	}
+	if sim.MaxNS != 1000 {
+		t.Fatalf("simulate max = %v, want 1000", sim.MaxNS)
+	}
+	if hit := bySeries[PhaseStoreGet+"/"+OutcomeCacheHit]; hit.Count != 1 || hit.P50NS != 2 {
+		t.Fatalf("cache-hit store_get series = %+v, want count 1 p50 2", hit)
+	}
+	// There must be no simulate series under the cache-hit outcome.
+	if _, ok := bySeries[PhaseSimulate+"/"+OutcomeCacheHit]; ok {
+		t.Fatal("cache-hit spans contributed a simulate phase")
+	}
+	// Snapshot ordering is stable.
+	again := l.Snapshot()
+	for i := range snaps {
+		if snaps[i] != again[i] {
+			t.Fatalf("snapshot order unstable at %d: %+v vs %+v", i, snaps[i], again[i])
+		}
+	}
+}
+
+// TestPromGolden pins the exposition format byte for byte: counters,
+// gauges, labeled samples, escaping, and the latency summary family.
+// Regenerate with -update after intentional format changes.
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProm(&buf)
+	p.Counter("btadt_scenarios_simulated_total", "Scenarios actually simulated.", 42)
+	p.Gauge("btadt_inflight_sweeps", "Sweeps streaming right now.", 3)
+	p.Header("btadt_work_shards", "gauge", "Shards by state.")
+	p.Sample("btadt_work_shards", []Label{{"state", "pending"}}, 2)
+	p.Sample("btadt_work_shards", []Label{{"state", "leased"}}, 1)
+	p.Sample("btadt_work_shards", []Label{{"state", "done"}}, 7)
+	p.Gauge("btadt_build_info", `Build metadata ("escaped\ok").`, 1,
+		Label{"engine", `v3"quoted\slash`}, Label{"go", "go1.24"})
+	p.Latencies("btadt_scenario_phase_seconds", "Per-phase scenario latency.", []LatencySummary{
+		{Phase: PhaseSimulate, Outcome: OutcomeSimulated, Count: 100,
+			SumNS: 55000, MeanNS: 550, MaxNS: 1000, P50NS: 500, P95NS: 950, P99NS: 990},
+		{Phase: PhaseQueue, Outcome: OutcomeCacheHit, Count: 2,
+			SumNS: 3e9, MeanNS: 1.5e9, MaxNS: 2e9, P50NS: 1e9, P95NS: 2e9, P99NS: 2e9},
+	})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "prom.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition format drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Every non-comment line must parse as `name{labels} value` with a
+	// float value — the shape any scrape parser requires.
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[idx+1:], "%g", &v); err != nil {
+			t.Fatalf("sample %q has a non-numeric value: %v", line, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prom writes the Prometheus text exposition format, version 0.0.4 —
+// the `Accept: text/plain` face of /metricsz. It is deliberately tiny:
+// HELP/TYPE headers, escaped labels, and Go-shortest float rendering
+// are all a scrape parser needs, and keeping it here means no
+// client-library dependency. The first write error sticks; check Err
+// once at the end instead of per call.
+type Prom struct {
+	w   io.Writer
+	err error
+}
+
+// NewProm returns a writer emitting to w. Serve it with content type
+// PromContentType.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// PromContentType is the exposition format's content type.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair.
+type Label struct{ Name, Value string }
+
+// Err reports the first underlying write error.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric family. typ is
+// one of "counter", "gauge", "summary", "untyped".
+func (p *Prom) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line: name{labels} value.
+func (p *Prom) Sample(name string, labels []Label, v float64) {
+	if p.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+	_, p.err = io.WriteString(p.w, sb.String())
+}
+
+// Counter emits a complete single-sample counter family.
+func (p *Prom) Counter(name, help string, v float64, labels ...Label) {
+	p.Header(name, "counter", help)
+	p.Sample(name, labels, v)
+}
+
+// Gauge emits a complete single-sample gauge family.
+func (p *Prom) Gauge(name, help string, v float64, labels ...Label) {
+	p.Header(name, "gauge", help)
+	p.Sample(name, labels, v)
+}
+
+// Latencies emits the histogram set as one summary family named name,
+// with phase/outcome labels, quantile samples at .5/.95/.99, and the
+// conventional _sum/_count series. Durations convert from the spans'
+// nanoseconds to the exposition's base unit, seconds.
+func (p *Prom) Latencies(name, help string, snaps []LatencySummary) {
+	p.Header(name, "summary", help)
+	const nsPerSec = 1e9
+	for _, s := range snaps {
+		base := []Label{{"phase", s.Phase}, {"outcome", s.Outcome}}
+		for _, q := range []struct {
+			probe string
+			v     float64
+		}{{"0.5", s.P50NS}, {"0.95", s.P95NS}, {"0.99", s.P99NS}} {
+			p.Sample(name, append(base[:2:2], Label{"quantile", q.probe}), q.v/nsPerSec)
+		}
+		p.Sample(name+"_sum", base, s.SumNS/nsPerSec)
+		p.Sample(name+"_count", base, float64(s.Count))
+	}
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

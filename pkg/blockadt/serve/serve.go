@@ -35,9 +35,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -67,6 +69,10 @@ type Config struct {
 	// LeaseTTL is how long a worker may sit on a leased shard before the
 	// coordinator re-leases it to someone else (default 5 minutes).
 	LeaseTTL time.Duration
+	// Logger receives the structured request log (one line per request,
+	// tagged with the request ID) and operational events like lease
+	// expiries. nil discards — handlers never log through a nil check.
+	Logger *slog.Logger
 	// Now overrides the clock (tests). Defaults to time.Now.
 	Now func() time.Time
 }
@@ -87,11 +93,23 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = 5 * time.Minute
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
 	return c, nil
 }
+
+// discardHandler drops every record (slog.DiscardHandler needs go1.24;
+// the module targets go1.23).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // Server is the coordinator: HTTP handlers plus the sweep registry and
 // the shard work queue. Create with New, mount with Handler.
@@ -99,6 +117,13 @@ type Server struct {
 	cfg    Config
 	flight *blockadt.Singleflight
 	mux    *http.ServeMux
+	log    *slog.Logger
+	// lat is the process-wide latency histogram set every request's
+	// scenario spans fold into — the data behind the Prometheus
+	// btadt_scenario_phase_seconds summary.
+	lat       *blockadt.Latencies
+	reqSeq    atomic.Uint64
+	reqPrefix string
 
 	mu     sync.Mutex
 	sweeps map[string]*sweepState
@@ -112,6 +137,7 @@ type Server struct {
 	simulated      atomic.Uint64
 	cacheHits      atomic.Uint64
 	coalesced      atomic.Uint64
+	leaseExpired   atomic.Uint64
 }
 
 // sweepState is the O(1) polling record of one submitted sweep.
@@ -163,11 +189,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		flight:  blockadt.NewSingleflight(),
-		sweeps:  map[string]*sweepState{},
-		jobs:    map[string]*shardJob{},
-		started: cfg.Now(),
+		cfg:       cfg,
+		flight:    blockadt.NewSingleflight(),
+		log:       cfg.Logger,
+		lat:       blockadt.NewLatencies(),
+		reqPrefix: newRequestPrefix(),
+		sweeps:    map[string]*sweepState{},
+		jobs:      map[string]*shardJob{},
+		started:   cfg.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -183,8 +212,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in
+// the request-ID + structured-logging middleware.
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
 
 // jsonError writes a {"error": ...} body with the given status.
 func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -329,7 +359,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for res, err := range blockadt.Stream(r.Context(), m, parallelism,
 		blockadt.WithRunStore(s.cfg.Store),
 		blockadt.WithSingleflight(s.flight),
-		blockadt.WithCensus(&census)) {
+		blockadt.WithCensus(&census),
+		blockadt.WithTracer(s.requestTracer(r.Context()))) {
 		if err != nil {
 			enc.Encode(map[string]string{"error": err.Error()})
 			s.finishSweep(st, &census, completed, "failed", err.Error())
@@ -461,7 +492,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep, err := blockadt.Run(m, parallelism,
 		blockadt.WithRunStore(s.cfg.Store),
 		blockadt.WithSingleflight(s.flight),
-		blockadt.WithCensus(&census))
+		blockadt.WithCensus(&census),
+		blockadt.WithTracer(s.requestTracer(r.Context())))
 	if err != nil {
 		jsonError(w, http.StatusInternalServerError, "serving report: %v", err)
 		return
@@ -497,33 +529,79 @@ func matchesETag(header, etag string) bool {
 	return false
 }
 
+// handleHealthz is the liveness probe. The first line is always "ok";
+// the build triple follows so a fleet check can tell which binary (and
+// which engine version, hence which cache namespace) answered.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bi := blockadt.Build()
 	fmt.Fprintln(w, "ok")
+	fmt.Fprintln(w, "version:", bi.Version)
+	fmt.Fprintln(w, "go:", bi.GoVersion)
+	fmt.Fprintln(w, "engine:", bi.Engine)
 }
 
-// metricsSnapshot is the /metricsz wire form.
+// metricsSnapshot is the /metricsz wire form. Existing fields are
+// stable API; observability additions (build, workShards,
+// leaseExpirations, latencies) only ever append so old decoders keep
+// working.
 type metricsSnapshot struct {
-	UptimeSeconds      float64             `json:"uptimeSeconds"`
-	ScenarioRuns       uint64              `json:"scenarioRuns"`
-	ScenariosCompleted uint64              `json:"scenariosCompleted"`
-	ScenariosPerSecond float64             `json:"scenariosPerSecond"`
-	Simulated          uint64              `json:"simulated"`
-	CacheHits          uint64              `json:"cacheHits"`
-	Coalesced          uint64              `json:"coalesced"`
-	InflightSweeps     int64               `json:"inflightSweeps"`
-	InflightScenarios  int                 `json:"inflightScenarios"`
-	QueueDepth         int                 `json:"queueDepth"`
-	Sweeps             int                 `json:"sweeps"`
-	Jobs               int                 `json:"jobs"`
-	StoreEntries       int                 `json:"storeEntries"`
-	Store              blockadt.StoreStats `json:"store"`
+	UptimeSeconds      float64                   `json:"uptimeSeconds"`
+	ScenarioRuns       uint64                    `json:"scenarioRuns"`
+	ScenariosCompleted uint64                    `json:"scenariosCompleted"`
+	ScenariosPerSecond float64                   `json:"scenariosPerSecond"`
+	Simulated          uint64                    `json:"simulated"`
+	CacheHits          uint64                    `json:"cacheHits"`
+	Coalesced          uint64                    `json:"coalesced"`
+	InflightSweeps     int64                     `json:"inflightSweeps"`
+	InflightScenarios  int                       `json:"inflightScenarios"`
+	QueueDepth         int                       `json:"queueDepth"`
+	Sweeps             int                       `json:"sweeps"`
+	Jobs               int                       `json:"jobs"`
+	StoreEntries       int                       `json:"storeEntries"`
+	Store              blockadt.StoreStats       `json:"store"`
+	WorkShards         shardCounts               `json:"workShards"`
+	LeaseExpirations   uint64                    `json:"leaseExpirations"`
+	Build              blockadt.BuildInfo        `json:"build"`
+	Latencies          []blockadt.LatencySummary `json:"latencies,omitempty"`
+}
+
+// shardCounts breaks the worker-protocol shards down by state.
+// "expired" is the leased-past-TTL subset — still leased on the books,
+// but a lease call would hand them to someone else.
+type shardCounts struct {
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Expired int `json:"expired"`
+	Done    int `json:"done"`
+}
+
+// shardCountsLocked tallies every job's shards by state at `now`.
+func (s *Server) shardCountsLocked(now time.Time) shardCounts {
+	var c shardCounts
+	for _, job := range s.jobs {
+		for _, sh := range job.shards {
+			switch {
+			case sh.status == "pending":
+				c.Pending++
+			case sh.status == "done":
+				c.Done++
+			case now.After(sh.leaseExpiry):
+				c.Expired++
+			default:
+				c.Leased++
+			}
+		}
+	}
+	return c
 }
 
 // handleMetricsz is GET /metricsz: the operational counters a load test
 // or a dashboard scrapes. ScenarioRuns is the process-wide simulation
 // counter (blockadt.ScenarioRuns) — unchanged between two scrapes means
-// everything in between was served from cache.
+// everything in between was served from cache. The default face is
+// JSON; `Accept: text/plain` selects Prometheus exposition v0.0.4 of
+// the same snapshot.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	now := s.cfg.Now()
 	uptime := now.Sub(s.started).Seconds()
@@ -535,6 +613,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sweeps, jobs := len(s.sweeps), len(s.jobs)
 	queue := s.queueDepthLocked(now)
+	shards := s.shardCountsLocked(now)
 	s.mu.Unlock()
 	snap := metricsSnapshot{
 		UptimeSeconds:      uptime,
@@ -551,6 +630,14 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		Jobs:               jobs,
 		StoreEntries:       s.cfg.Store.Len(),
 		Store:              s.cfg.Store.Stats(),
+		WorkShards:         shards,
+		LeaseExpirations:   s.leaseExpired.Load(),
+		Build:              blockadt.Build(),
+		Latencies:          s.lat.Snapshot(),
+	}
+	if wantsPrometheus(r) {
+		writePrometheus(w, snap)
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)

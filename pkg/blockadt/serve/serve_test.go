@@ -567,6 +567,38 @@ func TestLeaseExpiry(t *testing.T) {
 	if second.Job != first.Job || second.Shard != first.Shard {
 		t.Fatalf("expired lease handed out a different shard: %+v vs %+v", second, first)
 	}
+
+	// The takeover is visible in /metricsz: one recorded expiration, and
+	// the shard counted as leased again (not expired) under the new TTL.
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.LeaseExpirations != 1 {
+		t.Fatalf("leaseExpirations = %d, want 1", snap.LeaseExpirations)
+	}
+	if snap.WorkShards.Leased != 1 || snap.WorkShards.Expired != 0 {
+		t.Fatalf("workShards after re-lease: %+v, want 1 leased / 0 expired", snap.WorkShards)
+	}
+
+	// Left alone past the new TTL, the shard shows up as expired.
+	advance(2 * time.Minute)
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.WorkShards.Expired != 1 || snap.WorkShards.Leased != 0 {
+		t.Fatalf("workShards past TTL: %+v, want 1 expired / 0 leased", snap.WorkShards)
+	}
 }
 
 // TestMetricsz spot-checks the operational counters after a cold and a
@@ -607,6 +639,23 @@ func TestMetricsz(t *testing.T) {
 	if snap.InflightSweeps != 0 || snap.InflightScenarios != 0 || snap.QueueDepth != 0 {
 		t.Fatalf("idle gauges nonzero: %+v", snap)
 	}
+	if snap.Build.Engine != blockadt.EngineVersion || snap.Build.GoVersion == "" {
+		t.Fatalf("metricsz build info incomplete: %+v", snap.Build)
+	}
+	// Both passes fold into the latency histograms: the total phase has
+	// seen every scenario, simulated and cached alike.
+	var sawTotal bool
+	for _, l := range snap.Latencies {
+		if l.Phase == "total" {
+			sawTotal = true
+			if l.Count <= 0 || l.P50NS <= 0 {
+				t.Fatalf("degenerate latency summary: %+v", l)
+			}
+		}
+	}
+	if !sawTotal {
+		t.Fatalf("metricsz latencies carry no total phase: %+v", snap.Latencies)
+	}
 
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -614,7 +663,11 @@ func TestMetricsz(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if resp.StatusCode != http.StatusOK || lines[0] != "ok" {
 		t.Fatalf("healthz: %s %q", resp.Status, body)
+	}
+	if len(lines) < 4 || !strings.Contains(string(body), "engine: "+blockadt.EngineVersion) {
+		t.Fatalf("healthz should report the build triple after ok, got %q", body)
 	}
 }

@@ -245,10 +245,18 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	for _, id := range s.jobIDs {
 		job := s.jobs[id]
 		for i, sh := range job.shards {
-			available := sh.status == "pending" ||
-				(sh.status == "leased" && now.After(sh.leaseExpiry))
-			if !available {
+			expired := sh.status == "leased" && now.After(sh.leaseExpiry)
+			if sh.status != "pending" && !expired {
 				continue
+			}
+			if expired {
+				// The previous holder sat past its TTL; count and log the
+				// takeover so a flaky worker fleet is visible in /metricsz.
+				s.leaseExpired.Add(1)
+				s.log.Warn("lease expired, re-leasing shard",
+					"job", job.id, "shard", i,
+					"previousWorker", sh.worker, "newWorker", req.Worker,
+					"overdue", now.Sub(sh.leaseExpiry).String())
 			}
 			sh.status = "leased"
 			sh.worker = req.Worker

@@ -9,7 +9,9 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"blockadt/internal/obs"
 	"blockadt/internal/runstore"
 )
 
@@ -38,6 +40,7 @@ type runConfig struct {
 	store    *RunStore
 	flight   *Singleflight
 	census   *Census
+	tracers  []obs.Tracer
 }
 
 // WithStore backs the sweep with the content-addressed run store at
@@ -276,11 +279,19 @@ type sweepRunner struct {
 	keys     []string // non-nil when cache or flight need them
 	specs    []MetricSpec
 	storeErr atomic.Pointer[error]
+	// tracer receives one obs.Span per scenario execution; nil (the
+	// default) keeps the hot path free of wall-clock reads beyond the
+	// historical WallNS one. epoch anchors the spans' common timeline.
+	tracer obs.Tracer
+	epoch  time.Time
 }
 
 // newSweepRunner resolves the run options against the expanded matrix.
 func newSweepRunner(c runConfig, m Matrix, configs []Scenario, specs []MetricSpec) (*sweepRunner, error) {
 	r := &sweepRunner{flight: c.flight, census: c.census, specs: specs}
+	if r.tracer = obs.Multi(c.tracers...); r.tracer != nil {
+		r.epoch = time.Now()
+	}
 	store := c.store
 	if store == nil && c.storeDir != "" {
 		opened, err := OpenStore(c.storeDir)
@@ -301,6 +312,67 @@ func newSweepRunner(c runConfig, m Matrix, configs []Scenario, specs []MetricSpe
 	return r, nil
 }
 
+// spanRec accumulates one scenario execution's span. A nil *spanRec
+// means tracing is off: every method no-ops on a nil receiver, so the
+// untraced hot path pays one pointer check per phase boundary and takes
+// no wall-clock reads — which is what keeps BenchmarkSweepMatrix with a
+// nil tracer at its instrumentation-free baseline.
+type spanRec struct {
+	span  obs.Span
+	start time.Time
+}
+
+// beginSpan opens the span for scenario i (nil when tracing is off).
+// The queue phase — sweep start to worker pickup — is closed here.
+func (r *sweepRunner) beginSpan(i int) *spanRec {
+	if r.tracer == nil {
+		return nil
+	}
+	now := time.Now()
+	s := &spanRec{start: now}
+	s.span.Index = i
+	s.span.StartNS = now.Sub(r.epoch).Nanoseconds()
+	s.span.QueueNS = s.span.StartNS
+	return s
+}
+
+// now is the traced-only clock read: zero (and free) when tracing is off.
+func (s *spanRec) now() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (s *spanRec) addStoreGet(t0 time.Time) {
+	if s != nil {
+		s.span.StoreGetNS += time.Since(t0).Nanoseconds()
+	}
+}
+
+func (s *spanRec) addSimulate(t0 time.Time) {
+	if s != nil {
+		s.span.SimulateNS += time.Since(t0).Nanoseconds()
+	}
+}
+
+func (s *spanRec) addStorePut(t0 time.Time) {
+	if s != nil {
+		s.span.StorePutNS += time.Since(t0).Nanoseconds()
+	}
+}
+
+// finish stamps the outcome and emits the span to the runner's tracers.
+func (s *spanRec) finish(r *sweepRunner, cfg Scenario, outcome string) {
+	if s == nil {
+		return
+	}
+	s.span.Key = cfg.Key()
+	s.span.Outcome = outcome
+	s.span.TotalNS = time.Since(s.start).Nanoseconds()
+	r.tracer.ObserveSpan(s.span)
+}
+
 // exec runs scenario i: store hit, coalesced wait, or a real simulation
 // persisted to the store. A cancelled ctx (the stream was torn down)
 // skips scenarios that have not started — nothing downstream consumes
@@ -309,11 +381,16 @@ func (r *sweepRunner) exec(ctx context.Context, i int, cfg Scenario) Result {
 	if r.census != nil {
 		r.census.scenarios.Add(1)
 	}
+	sp := r.beginSpan(i)
 	if r.cache != nil {
-		if res, ok := r.cache.get(i); ok {
+		t0 := sp.now()
+		res, ok := r.cache.get(i)
+		sp.addStoreGet(t0)
+		if ok {
 			if r.census != nil {
 				r.census.cacheHits.Add(1)
 			}
+			sp.finish(r, cfg, obs.OutcomeCacheHit)
 			return res
 		}
 	}
@@ -321,6 +398,7 @@ func (r *sweepRunner) exec(ctx context.Context, i int, cfg Scenario) Result {
 		if r.census != nil {
 			r.census.skipped.Add(1)
 		}
+		sp.finish(r, cfg, obs.OutcomeSkipped)
 		return Result{}
 	}
 	simulated := false
@@ -332,37 +410,61 @@ func (r *sweepRunner) exec(ctx context.Context, i int, cfg Scenario) Result {
 		// is what makes "each scenario simulated at most once" exact
 		// rather than probabilistic under concurrent identical sweeps.
 		if r.flight != nil && r.cache != nil {
-			if res, ok := r.cache.get(i); ok {
+			t0 := sp.now()
+			res, ok := r.cache.get(i)
+			sp.addStoreGet(t0)
+			if ok {
 				return res
 			}
 		}
 		simulated = true
+		t0 := sp.now()
 		res := runScenario(cfg, r.specs)
+		sp.addSimulate(t0)
 		if r.cache != nil {
-			if err := r.cache.put(i, res); err != nil {
+			t1 := sp.now()
+			err := r.cache.put(i, res)
+			sp.addStorePut(t1)
+			if err != nil {
 				r.storeErr.CompareAndSwap(nil, &err)
 			}
 		}
 		return res
 	}
 	if r.flight != nil {
+		t0 := sp.now()
 		res, leader := r.flight.Do(r.keys[i], compute)
+		var outcome string
+		switch {
+		case leader && simulated:
+			outcome = obs.OutcomeSimulated
+		case leader:
+			outcome = obs.OutcomeCacheHit
+		default:
+			// The wait for the leader's simulation is this execution's
+			// simulate phase: it is where the scenario's latency went.
+			sp.addSimulate(t0)
+			outcome = obs.OutcomeCoalesced
+		}
 		if r.census != nil {
-			switch {
-			case leader && simulated:
+			switch outcome {
+			case obs.OutcomeSimulated:
 				r.census.simulated.Add(1)
-			case leader:
+			case obs.OutcomeCacheHit:
 				r.census.cacheHits.Add(1)
 			default:
 				r.census.coalesced.Add(1)
 			}
 		}
+		sp.finish(r, cfg, outcome)
 		return res
 	}
 	if r.census != nil {
 		r.census.simulated.Add(1)
 	}
-	return compute()
+	res := compute()
+	sp.finish(r, cfg, obs.OutcomeSimulated)
+	return res
 }
 
 // err surfaces the first store-persistence failure, if any.

@@ -1,0 +1,68 @@
+package blockadt
+
+import (
+	"io"
+
+	"blockadt/internal/obs"
+)
+
+// Span is the record of one scenario execution inside a sweep: where
+// its wall-clock time went, phase by phase (queue wait, store read,
+// simulation, store write), and how it was satisfied (simulated,
+// cache-hit, coalesced, skipped). Spans measure the engine, never the
+// simulation: a traced sweep's report is byte-identical to an untraced
+// one at any parallelism. See docs/observability.md for the schema.
+type Span = obs.Span
+
+// Tracer receives completed scenario spans; implementations must be
+// safe for concurrent use (spans arrive from every worker goroutine).
+// NewSpanWriter and NewLatencies are the built-in implementations.
+type Tracer = obs.Tracer
+
+// SpanWriter is a Tracer that appends each span as one NDJSON line —
+// the sink behind `btadt sweep -trace out.ndjson`. Call Close before
+// reading the output.
+type SpanWriter = obs.NDJSON
+
+// Latencies is a Tracer folding spans into O(1)-memory per-phase,
+// per-outcome latency histograms (Welford + P² sketches from
+// internal/metrics): live p50/p95/p99 for queue wait vs store reads vs
+// simulation vs persistence. `btadt serve` keeps one process-wide
+// Latencies and exposes it at /metricsz in Prometheus form.
+type Latencies = obs.Latencies
+
+// LatencySummary is one (phase, outcome) histogram snapshot.
+type LatencySummary = obs.LatencySummary
+
+// Span outcome values.
+const (
+	SpanSimulated = obs.OutcomeSimulated
+	SpanCacheHit  = obs.OutcomeCacheHit
+	SpanCoalesced = obs.OutcomeCoalesced
+	SpanSkipped   = obs.OutcomeSkipped
+)
+
+// NewSpanWriter returns a Tracer writing one JSON line per span to w.
+func NewSpanWriter(w io.Writer) *SpanWriter { return obs.NewNDJSON(w) }
+
+// NewLatencies returns an empty latency histogram set.
+func NewLatencies() *Latencies { return obs.NewLatencies() }
+
+// TaggedTracer wraps a tracer so every forwarded span carries the given
+// request ID — how a serving layer ties engine spans back to the HTTP
+// request that submitted them.
+func TaggedTracer(request string, inner Tracer) Tracer { return obs.Tagged(request, inner) }
+
+// WithTracer streams every scenario execution's Span into t as it
+// completes. The option may be given several times; all tracers see all
+// spans. Tracing is off the simulation path: with no tracer configured
+// the engine takes no timestamps beyond its historical ones, and with
+// one configured only wall-clock bookkeeping is added — the sweep's
+// results and canonical JSON are unchanged either way.
+func WithTracer(t Tracer) RunOption {
+	return func(c *runConfig) {
+		if t != nil {
+			c.tracers = append(c.tracers, t)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package blockadt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+
+	"blockadt/internal/obs"
+)
+
+// traceTestMatrix is a small pinned matrix (no registry-order coupling).
+func traceTestMatrix(rootSeed uint64) Matrix {
+	return Matrix{
+		Systems:      []string{"Bitcoin"},
+		Links:        []string{LinkSync, LinkAsync},
+		Adversaries:  []string{AdvNone},
+		Seeds:        3,
+		RootSeed:     rootSeed,
+		TargetBlocks: 8,
+	}
+}
+
+// spanCollector is a threadsafe test tracer.
+type spanCollector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+func (c *spanCollector) ObserveSpan(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+func (c *spanCollector) byIndex() map[int]Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]Span, len(c.spans))
+	for _, s := range c.spans {
+		out[s.Index] = s
+	}
+	return out
+}
+
+// TestTracerSpansCoverSweep pins the span contract on a cold sweep with
+// no store: one span per scenario, outcome simulated, simulate and
+// total phases populated, keys canonical.
+func TestTracerSpansCoverSweep(t *testing.T) {
+	m := traceTestMatrix(101)
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr spanCollector
+	rep, err := Run(m, 2, WithTracer(&tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.byIndex()
+	if len(spans) != len(configs) {
+		t.Fatalf("got %d spans for %d scenarios", len(spans), len(configs))
+	}
+	for i, cfg := range configs {
+		sp, ok := spans[i]
+		if !ok {
+			t.Fatalf("no span for scenario %d", i)
+		}
+		if sp.Key != cfg.Key() {
+			t.Fatalf("span %d key = %q, want %q", i, sp.Key, cfg.Key())
+		}
+		if sp.Outcome != SpanSimulated {
+			t.Fatalf("span %d outcome = %q, want %q", i, sp.Outcome, SpanSimulated)
+		}
+		if sp.SimulateNS <= 0 {
+			t.Fatalf("span %d simulateNs = %d, want > 0", i, sp.SimulateNS)
+		}
+		if sp.TotalNS < sp.SimulateNS {
+			t.Fatalf("span %d totalNs %d < simulateNs %d", i, sp.TotalNS, sp.SimulateNS)
+		}
+		if sp.StoreGetNS != 0 || sp.StorePutNS != 0 {
+			t.Fatalf("span %d has store phases without a store: %+v", i, sp)
+		}
+	}
+	if rep.Total != len(configs) {
+		t.Fatalf("report total = %d, want %d", rep.Total, len(configs))
+	}
+}
+
+// TestTracedSweepJSONIdentical is the acceptance gate: enabling tracing
+// at any parallelism leaves the canonical sweep JSON byte-identical.
+func TestTracedSweepJSONIdentical(t *testing.T) {
+	m := traceTestMatrix(102)
+	baseline, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, runtime.NumCPU()} {
+		var buf bytes.Buffer
+		w := NewSpanWriter(&buf)
+		lat := NewLatencies()
+		rep, err := Run(m, par, WithTracer(w), WithTracer(lat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rep.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("traced sweep JSON at parallel=%d differs from untraced baseline", par)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The NDJSON sink saw every span and each line round-trips.
+		sc := bufio.NewScanner(&buf)
+		lines := 0
+		for sc.Scan() {
+			var sp Span
+			if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+				t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+			}
+			lines++
+		}
+		if lines != rep.Total {
+			t.Fatalf("trace file has %d lines, want %d", lines, rep.Total)
+		}
+		// And the histograms aggregated the same executions.
+		for _, s := range lat.Snapshot() {
+			if s.Phase == obs.PhaseTotal && s.Count != rep.Total {
+				t.Fatalf("latency total count = %d, want %d", s.Count, rep.Total)
+			}
+		}
+	}
+}
+
+// TestTracerStoreOutcomes pins the outcome split across a cold
+// store-backed sweep (simulated, with store get/put phases) and a warm
+// rerun (cache-hit, read phase only).
+func TestTracerStoreOutcomes(t *testing.T) {
+	m := traceTestMatrix(103)
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cold spanCollector
+	if _, err := Run(m, 2, WithRunStore(store), WithTracer(&cold)); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range cold.byIndex() {
+		if sp.Outcome != SpanSimulated {
+			t.Fatalf("cold span outcome = %q, want simulated", sp.Outcome)
+		}
+		if sp.StoreGetNS <= 0 || sp.StorePutNS <= 0 {
+			t.Fatalf("cold store-backed span missing store phases: %+v", sp)
+		}
+	}
+
+	var warm spanCollector
+	if _, err := Run(m, 2, WithRunStore(store), WithTracer(&warm)); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range warm.byIndex() {
+		if sp.Outcome != SpanCacheHit {
+			t.Fatalf("warm span outcome = %q, want cache-hit", sp.Outcome)
+		}
+		if sp.StoreGetNS <= 0 {
+			t.Fatalf("warm span has no store read phase: %+v", sp)
+		}
+		if sp.SimulateNS != 0 || sp.StorePutNS != 0 {
+			t.Fatalf("warm span simulated or wrote: %+v", sp)
+		}
+	}
+}
+
+// TestTaggedTracerRequestID pins the serve-side propagation contract.
+func TestTaggedTracerRequestID(t *testing.T) {
+	var tr spanCollector
+	m := traceTestMatrix(104)
+	if _, err := Run(m, 1, WithTracer(TaggedTracer("req-abc", &tr))); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range tr.byIndex() {
+		if sp.Request != "req-abc" {
+			t.Fatalf("span request = %q, want req-abc", sp.Request)
+		}
+	}
+}
+
+// TestBuildInfo sanity-checks the version triple every surface reports.
+func TestBuildInfo(t *testing.T) {
+	bi := Build()
+	if bi.Engine != EngineVersion {
+		t.Fatalf("engine = %q, want %q", bi.Engine, EngineVersion)
+	}
+	if bi.GoVersion == "" || bi.Version == "" {
+		t.Fatalf("incomplete build info: %+v", bi)
+	}
+}

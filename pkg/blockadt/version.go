@@ -1,0 +1,43 @@
+package blockadt
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary a report, trace or profile came from:
+// the module version (with the VCS revision when the build recorded
+// one), the Go toolchain, and the engine version every run-store key is
+// derived under. `btadt version` prints it, /healthz reports it, and
+// the Prometheus exposition carries it as btadt_build_info labels — so
+// a dashboard can tell two fleets apart before comparing their numbers.
+type BuildInfo struct {
+	// Version is the main module's version, e.g. "v1.2.3" or "(devel)",
+	// suffixed with "+<short revision>" when the build embedded VCS info.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary (runtime.Version).
+	GoVersion string `json:"goVersion"`
+	// Engine is the simulation-semantics version (EngineVersion): the
+	// namespace every cached result lives under.
+	Engine string `json:"engine"`
+}
+
+// Build returns the running binary's build information.
+func Build() BuildInfo {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version += "+" + s.Value[:12]
+			}
+		}
+	}
+	return BuildInfo{
+		Version:   version,
+		GoVersion: runtime.Version(),
+		Engine:    EngineVersion,
+	}
+}
