@@ -7,7 +7,6 @@ import (
 	"strconv"
 	"testing"
 
-	"blockadt/internal/sweep"
 	"blockadt/pkg/blockadt"
 )
 
@@ -53,18 +52,18 @@ func TestEmitBenchSweepBaseline(t *testing.T) {
 		t.Skip("set BENCH_SWEEP=1 to regenerate BENCH_sweep.json")
 	}
 
-	plainMatrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30}
-	metricMatrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30, Metrics: blockadt.MetricNames()}
+	plainMatrix := blockadt.Matrix{Seeds: 4, TargetBlocks: 30}
+	metricMatrix := blockadt.Matrix{Seeds: 4, TargetBlocks: 30, Metrics: blockadt.MetricNames()}
 	configs, err := plainMatrix.Configs()
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	measure := func(m sweep.Matrix, par int) benchRun {
+	measure := func(m blockadt.Matrix, par int) benchRun {
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rep, err := sweep.Run(m, par)
+				rep, err := blockadt.Run(m, par)
 				if err != nil {
 					b.Fatal(err)
 				}

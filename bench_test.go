@@ -27,7 +27,6 @@ import (
 	"blockadt/internal/pbft"
 	"blockadt/internal/prng"
 	"blockadt/internal/registers"
-	"blockadt/internal/sweep"
 	"blockadt/pkg/blockadt"
 )
 
@@ -36,16 +35,16 @@ import (
 // are embarrassingly parallel and independent, so on a c-core machine the
 // wall-clock time at parallelism min(4, c) drops by ~min(4, c)× versus
 // parallelism 1 while the results stay byte-identical (the determinism
-// regression test in internal/sweep pins that).
+// regression test in pkg/blockadt pins that).
 func BenchmarkSweepMatrix(b *testing.B) {
-	matrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30}
+	matrix := blockadt.Matrix{Seeds: 4, TargetBlocks: 30}
 	if configs, err := matrix.Configs(); err != nil || len(configs) < 28 {
 		b.Fatalf("matrix expanded to %d configs (err=%v), want >= 28", len(configs), err)
 	}
 	for _, par := range []int{1, 4, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := sweep.Run(matrix, par)
+				rep, err := blockadt.Run(matrix, par)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -62,11 +61,11 @@ func BenchmarkSweepMatrix(b *testing.B) {
 // run). Comparing parallel=1 here against BenchmarkSweepMatrix/parallel=1
 // isolates the metrics overhead — the number BENCH_sweep.json records.
 func BenchmarkSweepMatrixMetrics(b *testing.B) {
-	matrix := sweep.Matrix{Seeds: 4, TargetBlocks: 30, Metrics: blockadt.MetricNames()}
+	matrix := blockadt.Matrix{Seeds: 4, TargetBlocks: 30, Metrics: blockadt.MetricNames()}
 	for _, par := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := sweep.Run(matrix, par)
+				rep, err := blockadt.Run(matrix, par)
 				if err != nil {
 					b.Fatal(err)
 				}

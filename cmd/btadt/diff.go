@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 
 	"blockadt/pkg/blockadt"
 )
@@ -16,6 +19,11 @@ import (
 // — must match exactly. A non-clean diff is a non-zero exit: this is the
 // primitive CI uses to gate a merged sweep against the committed
 // SWEEP_baseline.json.
+//
+// Hypothesis outcomes (the verdict.json written by `btadt hypothesize`,
+// recognized by their "hypothesis" discriminator) are diffed by a
+// generic recursive walk over the decoded JSON under the same numeric
+// tolerance — the CI gate for the checked-in goldens under hypotheses/.
 func cmdDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	tol := fs.Float64("tol", 0, "relative tolerance per numeric field (0.05 = 5%); sweeps are deterministic, so 0 is the honest default")
@@ -28,11 +36,28 @@ func cmdDiff(args []string) error {
 	if *tol < 0 {
 		return fmt.Errorf("tolerance must be >= 0, got %v", *tol)
 	}
-	oldRep, err := loadReport(fs.Arg(0))
+	oldRaw, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	newRep, err := loadReport(fs.Arg(1))
+	newRaw, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	oldHyp, newHyp := isHypothesisDoc(oldRaw), isHypothesisDoc(newRaw)
+	if oldHyp != newHyp {
+		return fmt.Errorf("cannot diff a hypothesis outcome against a sweep report (%s vs %s)", fs.Arg(0), fs.Arg(1))
+	}
+	if oldHyp {
+		return diffHypothesis(fs.Arg(0), oldRaw, fs.Arg(1), newRaw, *tol)
+	}
+
+	oldRep, err := loadReport(fs.Arg(0), oldRaw)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(fs.Arg(1), newRaw)
 	if err != nil {
 		return err
 	}
@@ -45,15 +70,110 @@ func cmdDiff(args []string) error {
 	return nil
 }
 
-// loadReport reads one sweep report from disk.
-func loadReport(path string) (*blockadt.Report, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// loadReport decodes one sweep report.
+func loadReport(path string, raw []byte) (*blockadt.Report, error) {
 	rep, err := blockadt.DecodeReport(raw)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// isHypothesisDoc sniffs the hypothesis discriminator without decoding
+// the whole document, so sweep reports take the typed path untouched.
+func isHypothesisDoc(raw []byte) bool {
+	var probe struct {
+		Hypothesis string `json:"hypothesis"`
+	}
+	return json.Unmarshal(raw, &probe) == nil && probe.Hypothesis != ""
+}
+
+// diffHypothesis compares two hypothesis outcomes structurally: every
+// field of the decoded JSON is walked recursively, numbers under the
+// relative tolerance, everything else (verdicts, classes, labels,
+// scenario keys) byte-exact. Deltas print with their JSON path, and any
+// delta is a non-zero exit.
+func diffHypothesis(oldPath string, oldRaw []byte, newPath string, newRaw []byte, tol float64) error {
+	var oldDoc, newDoc any
+	if err := json.Unmarshal(oldRaw, &oldDoc); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	if err := json.Unmarshal(newRaw, &newDoc); err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	var deltas []string
+	diffJSON("$", oldDoc, newDoc, tol, &deltas)
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if len(deltas) > 0 {
+		return fmt.Errorf("%d deltas beyond tolerance %g between %s and %s", len(deltas), tol, oldPath, newPath)
+	}
+	fmt.Printf("hypothesis outcomes match (%s vs %s, tol %g)\n", oldPath, newPath, tol)
+	return nil
+}
+
+// diffJSON walks two decoded JSON values in parallel, appending one
+// line per mismatch. Objects compare by key union (sorted, so output is
+// deterministic), arrays by index, numbers by relative tolerance.
+func diffJSON(path string, a, b any, tol float64, deltas *[]string) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*deltas = append(*deltas, fmt.Sprintf("%s: object vs %T", path, b))
+			return
+		}
+		keys := make(map[string]bool, len(av)+len(bv))
+		for k := range av {
+			keys[k] = true
+		}
+		for k := range bv {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			sub := path + "." + k
+			aChild, aOK := av[k]
+			bChild, bOK := bv[k]
+			switch {
+			case !aOK:
+				*deltas = append(*deltas, fmt.Sprintf("%s: only in new (%v)", sub, bChild))
+			case !bOK:
+				*deltas = append(*deltas, fmt.Sprintf("%s: only in old (%v)", sub, aChild))
+			default:
+				diffJSON(sub, aChild, bChild, tol, deltas)
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			*deltas = append(*deltas, fmt.Sprintf("%s: array vs %T", path, b))
+			return
+		}
+		if len(av) != len(bv) {
+			*deltas = append(*deltas, fmt.Sprintf("%s: length %d vs %d", path, len(av), len(bv)))
+			return
+		}
+		for i := range av {
+			diffJSON(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], tol, deltas)
+		}
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			*deltas = append(*deltas, fmt.Sprintf("%s: number vs %T", path, b))
+			return
+		}
+		if diff := math.Abs(bv - av); diff > tol*math.Max(math.Abs(av), math.Abs(bv)) && diff != 0 {
+			*deltas = append(*deltas, fmt.Sprintf("%s: %v vs %v", path, av, bv))
+		}
+	default:
+		if a != b {
+			*deltas = append(*deltas, fmt.Sprintf("%s: %v vs %v", path, a, b))
+		}
+	}
 }

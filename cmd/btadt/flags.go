@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+
+	"blockadt/pkg/blockadt"
+)
+
+// runFlags bundles the flags every sweep-backed command shares — seed
+// count, worker pool, run store, metric selection — so sweep, stats and
+// hypothesize register them once, with identical names, semantics and
+// error text, instead of three drifting copies.
+type runFlags struct {
+	seeds    int
+	parallel int
+	storeDir string
+	resume   bool
+	metrics  string
+}
+
+// addRunFlags registers the shared flags on fs. The seed default and
+// the seeds/metrics usage strings vary per command (sweep defaults to
+// one seed, stats to eight, hypothesize to the experiment's own).
+func addRunFlags(fs *flag.FlagSet, f *runFlags, seedsDefault int, seedsUsage, metricsUsage string) {
+	fs.IntVar(&f.seeds, "seeds", seedsDefault, seedsUsage)
+	fs.IntVar(&f.parallel, "parallel", 0, "worker pool size (<1 = NumCPU)")
+	fs.StringVar(&f.storeDir, "store", "", "back the sweep with the content-addressed run store at this directory")
+	fs.BoolVar(&f.resume, "resume", false, "serve scenarios already in -store from cache instead of failing on a pre-populated store")
+	fs.StringVar(&f.metrics, "metrics", "", metricsUsage)
+}
+
+// metricNames resolves the -metrics flag: empty → nil (the command
+// picks its default), "all" → every registered metric, else the
+// comma-split list. Unknown names are not resolved here — they fail in
+// Matrix.Configs with the registry's own UnknownNameError, so the
+// error text is identical across commands.
+func (f *runFlags) metricNames() []string {
+	switch f.metrics {
+	case "":
+		return nil
+	case "all":
+		return blockadt.MetricNames()
+	default:
+		return splitList(f.metrics)
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blockadt/pkg/blockadt"
+	"blockadt/pkg/blockadt/hypothesis"
+)
+
+// cmdHypothesize runs the statistical verdict harness: each registered
+// experiment states one of the paper's claims as an A-vs-B (or
+// A-vs-B-vs-C…) comparison over the sweep engine, and the harness
+// classifies what the paired seeds actually show — Deterministic,
+// Dominance, Monotonicity or Equivalence — gated by an exact sign test.
+// Every arm sweeps through the same deterministic engine as `btadt
+// sweep`, so outcomes are byte-identical at any -parallel value and
+// cache-first under -store -resume.
+//
+// By default each outcome is written to -dir/<name>/FINDINGS.md (the
+// human-readable report) and -dir/<name>/verdict.json (the canonical
+// encoding `btadt diff` understands); the checked-in copies under
+// hypotheses/ are the repository's goldens. With -json the canonical
+// outcome streams to stdout instead and nothing is written. A refuted
+// hypothesis fails the command; an inconclusive one does not — absence
+// of significance is not evidence of refutation.
+func cmdHypothesize(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("hypothesize", flag.ExitOnError)
+	name := fs.String("name", "", "run one experiment by name")
+	all := fs.Bool("all", false, "run every registered experiment")
+	list := fs.Bool("list", false, "list registered experiments and exit")
+	dir := fs.String("dir", "hypotheses", "directory receiving <name>/FINDINGS.md and <name>/verdict.json")
+	jsonOut := fs.Bool("json", false, "stream canonical outcome JSON to stdout instead of writing -dir")
+	var rf runFlags
+	addRunFlags(fs, &rf, 0, "paired seed count (0 = the experiment's own default)",
+		"override the per-scenario metric set, or 'all' (must include the experiment's metric)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range hypothesis.All() {
+			fmt.Printf("%-28s %-13s %d arms  %s\n", e.Name, e.Class, len(e.Arms), e.Claim)
+		}
+		return nil
+	}
+
+	var selected []hypothesis.Experiment
+	switch {
+	case *all && *name != "":
+		return fmt.Errorf("-all and -name are mutually exclusive")
+	case *all:
+		selected = hypothesis.All()
+	case *name != "":
+		e, err := hypothesis.Lookup(*name)
+		if err != nil {
+			return err
+		}
+		selected = []hypothesis.Experiment{e}
+	default:
+		return fmt.Errorf("pick an experiment: -name <experiment>, -all, or -list")
+	}
+
+	cfg := hypothesis.Config{Seeds: rf.seeds, Parallelism: rf.parallel, Metrics: rf.metricNames()}
+
+	// One store preflight over every selected arm's matrix: the resume
+	// contract is checked against the union up front, so -all behaves
+	// like one big sweep rather than n separately-gated ones.
+	var matrices []blockadt.Matrix
+	for _, e := range selected {
+		matrices = append(matrices, e.Matrices(cfg)...)
+	}
+	runOpts, _, err := storeOptionsMulti(matrices, rf.storeDir, rf.resume, false)
+	if err != nil {
+		return err
+	}
+	cfg.Options = runOpts
+
+	var refuted []string
+	for _, e := range selected {
+		out, err := hypothesis.Run(ctx, e, cfg)
+		if err != nil {
+			return err
+		}
+		summary := fmt.Sprintf("%s: %s (expected %s, measured %s)",
+			out.Name, strings.ToUpper(string(out.Verdict)), out.Expected, out.Measured)
+		if *jsonOut {
+			if err := out.EncodeJSON(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, summary)
+		} else {
+			expDir := filepath.Join(*dir, out.Name)
+			if err := writeOutcome(expDir, out); err != nil {
+				return err
+			}
+			fmt.Printf("%s → %s%c\n", summary, expDir, os.PathSeparator)
+		}
+		if out.Verdict == hypothesis.Refuted {
+			refuted = append(refuted, out.Name)
+		}
+	}
+	if len(refuted) > 0 {
+		return fmt.Errorf("%d hypothesis verdict(s) refuted: %s", len(refuted), strings.Join(refuted, ", "))
+	}
+	return nil
+}
+
+// writeOutcome materializes one outcome under dir: FINDINGS.md for the
+// reader, verdict.json for `btadt diff` and CI. Both render through
+// buffers so a failed render never leaves a truncated file behind.
+func writeOutcome(dir string, out *hypothesis.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var findings bytes.Buffer
+	if err := out.WriteFindings(&findings); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "FINDINGS.md"), findings.Bytes(), 0o644); err != nil {
+		return err
+	}
+	var verdict bytes.Buffer
+	if err := out.EncodeJSON(&verdict); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "verdict.json"), verdict.Bytes(), 0o644)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"blockadt/pkg/blockadt/hypothesis"
+)
+
+// TestHypothesizeMatchesCommittedGolden runs the CLI end to end for the
+// fork-rate experiment and compares both written files byte for byte
+// against the checked-in goldens under hypotheses/ — the same gate the
+// CI hypothesize-smoke job applies via `btadt diff -tol 0`. Regenerate
+// intentionally with `go run ./cmd/btadt hypothesize -all`.
+func TestHypothesizeMatchesCommittedGolden(t *testing.T) {
+	dir := t.TempDir()
+	_ = captureStdout(t, func() error {
+		return cmdHypothesize(t.Context(), []string{"-name", "fork-rate-vs-delta", "-dir", dir})
+	})
+	for _, file := range []string{"verdict.json", "FINDINGS.md"} {
+		got, err := os.ReadFile(filepath.Join(dir, "fork-rate-vs-delta", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("../../hypotheses/fork-rate-vs-delta", file))
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with `go run ./cmd/btadt hypothesize -all`): %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s diverged from the committed golden — if the engine change is intentional, "+
+				"regenerate with `go run ./cmd/btadt hypothesize -all` and review the drift", file)
+		}
+	}
+}
+
+// TestHypothesizeJSONByteIdenticalAcrossParallelism pins the CLI's
+// determinism contract at the -json boundary: serial and NumCPU-wide
+// runs emit the same bytes.
+func TestHypothesizeJSONByteIdenticalAcrossParallelism(t *testing.T) {
+	run := func(parallel string) string {
+		return captureStdout(t, func() error {
+			return cmdHypothesize(t.Context(), []string{"-name", "fork-rate-vs-delta", "-json", "-parallel", parallel})
+		})
+	}
+	serial := run("1")
+	wide := run("0")
+	if serial != wide {
+		t.Fatalf("hypothesize -json differs between -parallel 1 and %d", runtime.NumCPU())
+	}
+	var out hypothesis.Outcome
+	if err := json.Unmarshal([]byte(serial), &out); err != nil {
+		t.Fatalf("stdout is not one canonical outcome document: %v", err)
+	}
+	if out.Verdict != hypothesis.Confirmed || out.Measured != hypothesis.Dominance {
+		t.Fatalf("got verdict %s measured %s, want confirmed Dominance", out.Verdict, out.Measured)
+	}
+}
+
+// TestHypothesizeSelectionErrors pins the flag-validation surface: a
+// missing selection, a conflicting one, and an unknown name (which must
+// surface the registry's typed message listing the alternatives).
+func TestHypothesizeSelectionErrors(t *testing.T) {
+	if err := cmdHypothesize(t.Context(), nil); err == nil || !strings.Contains(err.Error(), "-name") {
+		t.Fatalf("no selection: got %v, want guidance mentioning -name", err)
+	}
+	if err := cmdHypothesize(t.Context(), []string{"-all", "-name", "x"}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("conflicting selection: got %v", err)
+	}
+	err := cmdHypothesize(t.Context(), []string{"-name", "no-such-experiment"})
+	if err == nil || !strings.Contains(err.Error(), `unknown experiment "no-such-experiment"`) ||
+		!strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown name: got %v, want the registry's unknown-experiment message", err)
+	}
+}

@@ -44,7 +44,21 @@
 //	btadt diff       [-tol 0.05] old.json new.json
 //	    Compare two sweep JSON reports per configuration and metric,
 //	    under a relative tolerance for numeric fields. Non-zero exit on
-//	    drift — the CI regression gate against SWEEP_baseline.json.
+//	    drift — the CI regression gate against SWEEP_baseline.json. Also
+//	    accepts two hypothesize verdict.json files (recognized by their
+//	    "hypothesis" discriminator) and diffs them field by field.
+//
+//	btadt hypothesize [-name EXP | -all | -list] [-dir hypotheses] [-json]
+//	                 [-seeds 0] [-parallel 0] [-metrics m1,m2|all]
+//	                 [-store DIR] [-resume]
+//	    Run a registered hypothesis experiment: sweep each arm through
+//	    the deterministic engine, pair results seed by seed, and issue a
+//	    confirmed/refuted/inconclusive verdict for the claimed class
+//	    (Deterministic, Dominance, Monotonicity, Equivalence) gated by
+//	    an exact paired sign test. Writes -dir/<name>/FINDINGS.md and
+//	    verdict.json (or streams canonical JSON with -json); refuted
+//	    verdicts exit non-zero. Cache-first under -store -resume, like
+//	    sweep. See docs/hypotheses.md.
 //
 //	btadt stats      [-systems a,b] [-links sync,async,psync] [-adversaries none,selfish]
 //	                 [-n 8] [-seeds 8] [-seed 42] [-metrics m1,m2] [-format table|json|csv]
@@ -121,6 +135,8 @@ func main() {
 		err = cmdSweep(ctx, os.Args[2:])
 	case "stats":
 		err = cmdStats(ctx, os.Args[2:])
+	case "hypothesize":
+		err = cmdHypothesize(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
 	case "diff":
@@ -162,8 +178,9 @@ commands:
   sweep        run a concurrent scenario matrix (system × link × adversary × n × seed)
                [-shard i/n] [-store DIR] [-resume] for incremental / CI-sharded sweeps
   stats        sweep a matrix with metric collection and print per-config aggregates
+  hypothesize  run a statistical A-vs-B experiment and issue a confirmed/refuted verdict
   serve        run the cache-first sweep service (or, with -worker URL, a shard worker)
-  diff         compare two sweep JSON reports with a per-field tolerance (CI gate)
+  diff         compare two sweep (or hypothesize) JSON reports with a per-field tolerance (CI gate)
   version      print the build triple: module version, Go toolchain, engine version`)
 }
 

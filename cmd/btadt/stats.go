@@ -23,15 +23,13 @@ func cmdStats(ctx context.Context, args []string) error {
 	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
 	ns := fs.String("n", "8", "comma-separated process counts")
-	seeds := fs.Int("seeds", 8, "seed indices per matrix point (the aggregation dimension)")
 	rootSeed := fs.Uint64("seed", 42, "root seed every per-config stream derives from")
 	blocks := fs.Int("blocks", 30, "target committed blocks per run")
 	alpha := fs.Float64("alpha", 0.34, "selfish adversary merit share")
-	parallelism := fs.Int("parallel", 0, "worker pool size (<1 = NumCPU)")
-	metricsFlag := fs.String("metrics", "", "comma-separated metric names (default: all registered)")
 	format := fs.String("format", "table", "output format: table, json or csv")
-	storeDir := fs.String("store", "", "back the sweep with the content-addressed run store at this directory")
-	resume := fs.Bool("resume", false, "serve scenarios already in -store from cache instead of failing on a pre-populated store")
+	var rf runFlags
+	addRunFlags(fs, &rf, 8, "seed indices per matrix point (the aggregation dimension)",
+		"comma-separated metric names (default: all registered)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,7 +39,7 @@ func cmdStats(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q (want table, json or csv)", *format)
 	}
-	metricOrder := splitList(*metricsFlag)
+	metricOrder := rf.metricNames()
 	if len(metricOrder) == 0 {
 		metricOrder = blockadt.MetricNames()
 	}
@@ -49,7 +47,7 @@ func cmdStats(ctx context.Context, args []string) error {
 		Systems:      splitList(*systems),
 		Links:        splitList(*links),
 		Adversaries:  splitList(*adversaries),
-		Seeds:        *seeds,
+		Seeds:        rf.seeds,
 		RootSeed:     *rootSeed,
 		TargetBlocks: *blocks,
 		Alpha:        *alpha,
@@ -70,14 +68,14 @@ func cmdStats(ctx context.Context, args []string) error {
 	if len(configs) == 0 {
 		return errEmptyMatrix
 	}
-	runOpts, _, err := storeOptions(m, *storeDir, *resume, false)
+	runOpts, _, err := storeOptions(m, rf.storeDir, rf.resume, false)
 	if err != nil {
 		return err
 	}
 
 	agg := blockadt.NewSeedAggregator()
 	total := 0
-	for r, err := range blockadt.Stream(ctx, m, *parallelism, runOpts...) {
+	for r, err := range blockadt.Stream(ctx, m, rf.parallel, runOpts...) {
 		if err != nil {
 			return err
 		}
@@ -116,7 +114,7 @@ func cmdStats(ctx context.Context, args []string) error {
 			matched += a.Matched
 		}
 		fmt.Printf("\n%d configurations × %d seeds aggregated (%d runs, %d matched expectations) from root seed %d\n",
-			len(aggs), *seeds, total, matched, m.RootSeed)
+			len(aggs), rf.seeds, total, matched, m.RootSeed)
 	}
 	return nil
 }

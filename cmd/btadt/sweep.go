@@ -32,17 +32,15 @@ func cmdSweep(ctx context.Context, args []string) error {
 	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
 	ns := fs.String("n", "8", "comma-separated process counts")
-	seeds := fs.Int("seeds", 1, "seed indices per matrix point")
 	rootSeed := fs.Uint64("seed", 42, "root seed every per-config stream derives from")
 	blocks := fs.Int("blocks", 30, "target committed blocks per run")
 	alpha := fs.Float64("alpha", 0.34, "selfish adversary merit share")
-	parallelism := fs.Int("parallel", 0, "worker pool size (<1 = NumCPU)")
 	jsonOut := fs.Bool("json", false, "emit canonical JSON instead of the table")
-	metricsFlag := fs.String("metrics", "", "comma-separated metric names to collect per scenario, or 'all'")
 	shard := fs.String("shard", "", "run one deterministic partition of the matrix, as i/n (e.g. 0/2)")
-	storeDir := fs.String("store", "", "back the sweep with the content-addressed run store at this directory")
-	resume := fs.Bool("resume", false, "serve scenarios already in -store from cache instead of failing on a pre-populated store")
 	storeGC := fs.Bool("store-gc", false, "after the sweep, delete store entries outside this matrix's full expansion")
+	var rf runFlags
+	addRunFlags(fs, &rf, 1, "seed indices per matrix point",
+		"comma-separated metric names to collect per scenario, or 'all'")
 	verbose := fs.Bool("v", false, "print a periodic progress line (scenarios/sec, cache-hit ratio) to stderr; with -store, also the store's counters after the sweep")
 	printMatrix := fs.Bool("print-matrix", false, "print the expanded matrix as JSON and exit without sweeping (input for `btadt serve` submissions)")
 	traceFile := fs.String("trace", "", "write one NDJSON span per scenario (queue/store/simulate phase timings) to this file")
@@ -54,10 +52,11 @@ func cmdSweep(ctx context.Context, args []string) error {
 		Systems:      splitList(*systems),
 		Links:        splitList(*links),
 		Adversaries:  splitList(*adversaries),
-		Seeds:        *seeds,
+		Seeds:        rf.seeds,
 		RootSeed:     *rootSeed,
 		TargetBlocks: *blocks,
 		Alpha:        *alpha,
+		Metrics:      rf.metricNames(),
 	}
 	for _, s := range splitList(*ns) {
 		n, err := strconv.Atoi(s)
@@ -65,13 +64,6 @@ func cmdSweep(ctx context.Context, args []string) error {
 			return fmt.Errorf("bad process count %q", s)
 		}
 		m.Ns = append(m.Ns, n)
-	}
-	switch *metricsFlag {
-	case "":
-	case "all":
-		m.Metrics = blockadt.MetricNames()
-	default:
-		m.Metrics = splitList(*metricsFlag)
 	}
 	if *shard != "" {
 		index, count, err := parseShard(*shard)
@@ -98,7 +90,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		return nil
 	}
 
-	runOpts, store, err := storeOptions(m, *storeDir, *resume, *storeGC)
+	runOpts, store, err := storeOptions(m, rf.storeDir, rf.resume, *storeGC)
 	if err != nil {
 		return err
 	}
@@ -132,7 +124,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 
 	if *jsonOut {
 		stopProgress := startSweepProgress(*verbose, &census, -1)
-		rep, err := blockadt.Run(m, *parallelism, runOpts...)
+		rep, err := blockadt.Run(m, rf.parallel, runOpts...)
 		stopProgress()
 		if err != nil {
 			return err
@@ -140,7 +132,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		if rep.Total == 0 {
 			return errEmptyMatrix
 		}
-		reportStoreUse(*storeDir, rep.Total, runsBefore)
+		reportStoreUse(rf.storeDir, rep.Total, runsBefore)
 		reportStoreStats(store, *verbose)
 		if err := closeTrace(); err != nil {
 			return err
@@ -174,7 +166,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	)
 	fmt.Print(blockadt.FormatTableHeader())
 	stopProgress := startSweepProgress(*verbose, &census, len(configs))
-	for r, err := range blockadt.Stream(ctx, m, *parallelism, runOpts...) {
+	for r, err := range blockadt.Stream(ctx, m, rf.parallel, runOpts...) {
 		if err != nil {
 			stopProgress()
 			return err
@@ -187,13 +179,13 @@ func cmdSweep(ctx context.Context, args []string) error {
 		ticks += r.Ticks
 	}
 	stopProgress()
-	reportStoreUse(*storeDir, total, runsBefore)
+	reportStoreUse(rf.storeDir, total, runsBefore)
 	reportStoreStats(store, *verbose)
 	if err := closeTrace(); err != nil {
 		return err
 	}
 	fmt.Printf("\n%d/%d configurations matched; %d virtual ticks in %.1fms across %d workers\n",
-		matched, total, ticks, float64(time.Since(start).Nanoseconds())/1e6, blockadt.Parallelism(*parallelism))
+		matched, total, ticks, float64(time.Since(start).Nanoseconds())/1e6, blockadt.Parallelism(rf.parallel))
 	if matched != total {
 		return fmt.Errorf("%d configurations missed their expected consistency level", total-matched)
 	}
@@ -271,6 +263,16 @@ func reportStoreUse(storeDir string, total int, runsBefore uint64) {
 // returned handle (nil without -store) is the one the sweep runs
 // against, so its Stats reflect exactly this command's traffic.
 func storeOptions(m blockadt.Matrix, storeDir string, resume, storeGC bool) ([]blockadt.RunOption, *blockadt.RunStore, error) {
+	return storeOptionsMulti([]blockadt.Matrix{m}, storeDir, resume, storeGC)
+}
+
+// storeOptionsMulti is storeOptions over several matrices at once — the
+// shape `btadt hypothesize` needs, where one experiment sweeps one
+// matrix per arm against a single store. Keys shared between arms (a
+// common baseline scenario, say) are deduplicated so the preflight
+// counts each stored result once, matching what the engine will
+// actually fetch.
+func storeOptionsMulti(ms []blockadt.Matrix, storeDir string, resume, storeGC bool) ([]blockadt.RunOption, *blockadt.RunStore, error) {
 	if storeDir == "" {
 		if resume {
 			return nil, nil, fmt.Errorf("-resume requires -store")
@@ -284,14 +286,22 @@ func storeOptions(m blockadt.Matrix, storeDir string, resume, storeGC bool) ([]b
 	if err != nil {
 		return nil, nil, err
 	}
-	keys, err := m.StoreKeys()
-	if err != nil {
-		return nil, nil, err
-	}
-	cached, total := 0, len(keys)
-	for _, k := range keys {
-		if store.Has(k) {
-			cached++
+	seen := make(map[string]bool)
+	cached, total := 0, 0
+	for _, m := range ms {
+		keys, err := m.StoreKeys()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, k := range keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			total++
+			if store.Has(k) {
+				cached++
+			}
 		}
 	}
 	if cached > 0 && !resume {

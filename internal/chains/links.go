@@ -45,6 +45,44 @@ func RunPoWLossy(system string, p LossyParams) Result {
 	return runPoWSystemLinks(system, "lossy", "R(BT-ADT_EC, Θ_P) — lossy channels (Theorem 4.7 regime)", links, p.Params)
 }
 
+// LossyPsyncParams extends Params with the two knobs of the Theorem 4.7
+// phase-boundary sweep: the per-message drop probability and the
+// weakly-synchronous stabilization time the surviving messages obey.
+type LossyPsyncParams struct {
+	Params
+	// Rate is the per-message drop probability. Unlike LossyParams.Rate
+	// it is taken literally: 0 means reliable channels (the p=0 boundary
+	// row), not the default rate.
+	Rate float64
+	// GSTDeltas is the global stabilization time of the underlying
+	// weakly-synchronous links, in units of the (defaulted) δ bound; 0
+	// defaults to 8, like RunPoWPsync. Scaling by δ here keeps callers —
+	// which usually leave δ to its default — from having to know it.
+	GSTDeltas int64
+}
+
+// RunPoWLossyPsync runs the named PoW system over weakly-synchronous
+// links that additionally drop each message independently with
+// probability Rate — the two-dimensional regime of the Theorem 4.7 phase
+// boundary. At Rate 0 it degrades to exactly the psync channel model (the
+// drop draw is still taken per message, so the delivery schedule differs
+// from RunPoWPsync's by the rng stream, but reliability is restored and
+// the run converges); at any Rate > 0 dropped updates are never
+// retransmitted and the theorem predicts the loss of Eventual Prefix.
+// Unknown systems panic; callers gate on SupportsPoWLinks.
+func RunPoWLossyPsync(system string, p LossyPsyncParams) Result {
+	p.Params = p.Params.withDefaults()
+	gstDeltas := p.GSTDeltas
+	if gstDeltas <= 0 {
+		gstDeltas = 8
+	}
+	links := netsim.LossyRate{
+		Inner: netsim.WeaklySynchronous{GST: gstDeltas * p.Delta, Delta: p.Delta},
+		P:     p.Rate,
+	}
+	return runPoWSystemLinks(system, "lossy+psync", "R(BT-ADT_EC, Θ_P) — lossy weakly-synchronous regime (Theorem 4.7 boundary)", links, p.Params)
+}
+
 // PartitionParams extends Params with the partition window.
 type PartitionParams struct {
 	Params

@@ -1,0 +1,157 @@
+package metrics
+
+import "math"
+
+// This file provides the two-sample significance tests behind the
+// hypothesis harness (pkg/blockadt/hypothesis): an exact paired sign test
+// and Welch's unequal-variance t-test. Both are closed-form floating-point
+// computations over Welford-style summaries — pure functions of their
+// inputs, no randomization, no external dependencies — so a verdict
+// computed from a deterministic sweep is itself deterministic.
+
+// SignTest returns the two-sided p-value of the exact paired sign test:
+// under H0 (no systematic direction) the pos positive differences among
+// n = pos+neg non-tied pairs follow Binomial(n, 1/2). Ties are excluded
+// before calling (the standard treatment); n == 0 returns 1 — no
+// informative pairs, no evidence either way.
+func SignTest(pos, neg int) float64 {
+	n := pos + neg
+	if n == 0 {
+		return 1
+	}
+	k := pos
+	if neg < k {
+		k = neg
+	}
+	// Two-sided: double the one-sided tail P(X <= k). The doubling can
+	// exceed 1 on balanced counts (k = n/2), so clamp.
+	tail := 0.0
+	for i := 0; i <= k; i++ {
+		tail += math.Exp(lchoose(n, i) - float64(n)*math.Ln2)
+	}
+	p := 2 * tail
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// lchoose is log C(n, k) via log-gamma, exact enough for the pair counts
+// a seed sweep produces (tens to thousands).
+func lchoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// WelchResult is the outcome of Welch's unequal-variance two-sample
+// t-test.
+type WelchResult struct {
+	// T is the test statistic (mean(a) − mean(b) over the pooled standard
+	// error) and DF the Welch–Satterthwaite degrees of freedom.
+	T, DF float64
+	// P is the two-sided p-value from the Student-t distribution.
+	P float64
+}
+
+// WelchT runs Welch's t-test on two Welford summaries. It reports
+// ok=false when the test is undefined: fewer than two observations on
+// either side, or both sample variances exactly zero (two deterministic
+// constants — either identical, which the caller sees as a zero mean
+// difference, or trivially different, which needs no test).
+func WelchT(a, b *Welford) (WelchResult, bool) {
+	if a.Count() < 2 || b.Count() < 2 {
+		return WelchResult{}, false
+	}
+	va, vb := a.Variance(), b.Variance()
+	if va == 0 && vb == 0 {
+		return WelchResult{}, false
+	}
+	na, nb := float64(a.Count()), float64(b.Count())
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	t := (a.Mean() - b.Mean()) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	return WelchResult{T: t, DF: df, P: StudentTTwoSided(t, df)}, true
+}
+
+// StudentTTwoSided returns P(|T| >= |t|) for a Student-t variable with df
+// degrees of freedom, via the regularized incomplete beta identity
+// P = I_{df/(df+t²)}(df/2, 1/2).
+func StudentTTwoSided(t, df float64) float64 {
+	if df <= 0 {
+		return 1
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// evaluated with the Lentz continued fraction (Numerical Recipes betacf),
+// using the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) to stay in the
+// fast-converging region.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a + b)
+	lb, _ := math.Lgamma(a)
+	lc, _ := math.Lgamma(b)
+	front := math.Exp(la - lb - lc + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf is the continued-fraction kernel of the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		tiny    = 1e-30
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

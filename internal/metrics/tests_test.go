@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSignTestExactValues(t *testing.T) {
+	cases := []struct {
+		pos, neg int
+		want     float64
+	}{
+		// All eight pairs one direction: p = 2·(1/2)^8.
+		{8, 0, 2.0 / 256},
+		{0, 8, 2.0 / 256},
+		// One dissenter among eight: p = 2·(C(8,0)+C(8,1))/2^8 = 18/256.
+		{7, 1, 18.0 / 256},
+		// Balanced: two-sided tail doubles past 1 and clamps.
+		{4, 4, 1},
+		{1, 1, 1},
+		// No informative pairs.
+		{0, 0, 1},
+		// Six one-directional pairs clear 0.05, five do not.
+		{6, 0, 2.0 / 64},
+		{5, 0, 2.0 / 32},
+	}
+	for _, c := range cases {
+		got := SignTest(c.pos, c.neg)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SignTest(%d, %d) = %v, want %v", c.pos, c.neg, got, c.want)
+		}
+	}
+}
+
+func TestSignTestSymmetry(t *testing.T) {
+	for pos := 0; pos <= 20; pos++ {
+		for neg := 0; neg <= 20; neg++ {
+			a, b := SignTest(pos, neg), SignTest(neg, pos)
+			if a != b {
+				t.Fatalf("SignTest(%d,%d)=%v != SignTest(%d,%d)=%v", pos, neg, a, neg, pos, b)
+			}
+			if a < 0 || a > 1 {
+				t.Fatalf("SignTest(%d,%d)=%v out of [0,1]", pos, neg, a)
+			}
+		}
+	}
+}
+
+func TestStudentTTwoSidedReferencePoints(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		t, df, want, tol float64
+	}{
+		{0, 10, 1, 1e-12},
+		// t distribution with df=1 is Cauchy: P(|T|>=1) = 1/2.
+		{1, 1, 0.5, 1e-9},
+		// Critical values: P(|T| >= 2.228) = 0.05 at df=10.
+		{2.228, 10, 0.05, 1e-3},
+		// P(|T| >= 1.96) -> 0.05 as df -> inf; at df=1000 it is ~0.0502.
+		{1.96, 1000, 0.0502, 5e-4},
+		{12.706, 1, 0.05, 1e-4},
+	}
+	for _, c := range cases {
+		got := StudentTTwoSided(c.t, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("StudentTTwoSided(%v, %v) = %v, want %v ± %v", c.t, c.df, got, c.want, c.tol)
+		}
+	}
+	// Symmetry in t.
+	if a, b := StudentTTwoSided(2.5, 7), StudentTTwoSided(-2.5, 7); math.Abs(a-b) > 1e-14 {
+		t.Errorf("two-sided p not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestWelchTKnownExample(t *testing.T) {
+	// Hand-computable equal-size example: a = {1..5}, b = {2..6}. Both
+	// variances are 2.5, so se = sqrt(2.5/5 + 2.5/5) = 1, t = -1, and the
+	// Welch–Satterthwaite df reduces to 1 / (2·(0.5²/4)) = 8. The
+	// two-sided p at t=1, df=8 is 0.346594 (standard t table).
+	var a, b Welford
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i) + 1)
+	}
+	res, ok := WelchT(&a, &b)
+	if !ok {
+		t.Fatal("test unexpectedly undefined")
+	}
+	if math.Abs(res.T-(-1)) > 1e-12 {
+		t.Errorf("t = %v, want -1", res.T)
+	}
+	if math.Abs(res.DF-8) > 1e-12 {
+		t.Errorf("df = %v, want 8", res.DF)
+	}
+	if math.Abs(res.P-0.346594) > 1e-4 {
+		t.Errorf("p = %v, want about 0.346594", res.P)
+	}
+	// The df=8 critical value: P(|T| >= 2.306) = 0.05.
+	if p := StudentTTwoSided(2.306, 8); math.Abs(p-0.05) > 1e-3 {
+		t.Errorf("p at the df=8 critical value = %v, want 0.05", p)
+	}
+}
+
+func TestWelchTUndefinedCases(t *testing.T) {
+	var one, two, flatA, flatB Welford
+	one.Add(1)
+	two.Add(1)
+	two.Add(2)
+	if _, ok := WelchT(&one, &two); ok {
+		t.Error("single observation should refuse the test")
+	}
+	for i := 0; i < 4; i++ {
+		flatA.Add(3)
+		flatB.Add(5)
+	}
+	if _, ok := WelchT(&flatA, &flatB); ok {
+		t.Error("two zero-variance samples should refuse the test")
+	}
+	// One side flat is fine: the other side's variance carries the test.
+	var noisy Welford
+	for i := 0; i < 4; i++ {
+		noisy.Add(float64(i))
+	}
+	if _, ok := WelchT(&flatA, &noisy); !ok {
+		t.Error("one-sided zero variance should still run")
+	}
+}

@@ -1,7 +1,7 @@
 // Package parallel provides the bounded fork-join pool shared by every
 // fan-out driver in the reproduction (the Table 1 classifier, the
-// experiment runner, the fairness seed sweeps and the scenario-sweep
-// engine of internal/sweep).
+// experiment runner, the fairness seed sweeps and the scenario-matrix
+// engine in pkg/blockadt).
 //
 // The contract every caller relies on: Map preserves input order in its
 // output, runs each item exactly once, and shares nothing between items —

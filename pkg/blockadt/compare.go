@@ -1,0 +1,319 @@
+package blockadt
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+
+	"blockadt/internal/metrics"
+)
+
+// This file is the paired A-vs-B comparison API under the hypothesis
+// harness: run two scenario matrices that differ in at most one
+// dimension, pair their results scenario-for-scenario, and extract one
+// metric's paired observations. Pairing — same system, same process
+// count, same seed index, differing only in the varied dimension — is
+// what makes the per-seed differences exchangeable under the null
+// hypothesis, so the sign test downstream is exact rather than
+// approximate.
+
+// comparableDims are the matrix dimensions an A/B comparison may vary:
+// each yields scenario pairs that share everything else, including the
+// seed index. The remaining dimensions (seeds, rootSeed, metrics,
+// sharding) define the sampling frame itself — varying them breaks
+// pairing, so Compare rejects them.
+var comparableDims = map[string]bool{
+	"systems":      true,
+	"links":        true,
+	"adversaries":  true,
+	"ns":           true,
+	"targetBlocks": true,
+	"alpha":        true,
+}
+
+// MatrixDelta reports the dimensions in which the two matrices differ,
+// compared after defaulting (so an explicit Links ["sync"] equals an
+// empty Links). The returned names are the matrix's JSON field names;
+// "shard" covers both sharding fields. An empty delta means the
+// matrices expand to identical scenario sets.
+func MatrixDelta(a, b Matrix) []string {
+	a, b = a.withDefaults(), b.withDefaults()
+	var delta []string
+	if !slices.Equal(a.Systems, b.Systems) {
+		delta = append(delta, "systems")
+	}
+	if !slices.Equal(a.Links, b.Links) {
+		delta = append(delta, "links")
+	}
+	if !slices.Equal(a.Adversaries, b.Adversaries) {
+		delta = append(delta, "adversaries")
+	}
+	if !slices.Equal(a.Ns, b.Ns) {
+		delta = append(delta, "ns")
+	}
+	if a.Seeds != b.Seeds {
+		delta = append(delta, "seeds")
+	}
+	if a.RootSeed != b.RootSeed {
+		delta = append(delta, "rootSeed")
+	}
+	if a.TargetBlocks != b.TargetBlocks {
+		delta = append(delta, "targetBlocks")
+	}
+	if a.Alpha != b.Alpha {
+		delta = append(delta, "alpha")
+	}
+	if !slices.Equal(a.Metrics, b.Metrics) {
+		delta = append(delta, "metrics")
+	}
+	if a.ShardIndex != b.ShardIndex || a.ShardCount != b.ShardCount {
+		delta = append(delta, "shard")
+	}
+	return delta
+}
+
+// ValuePair is one paired observation: the same scenario identity run
+// under arm A and arm B, with the compared metric's value from each.
+type ValuePair struct {
+	// Key is the shared scenario identity — the canonical scenario key
+	// with the varied dimension masked to "*".
+	Key string  `json:"key"`
+	A   float64 `json:"a"`
+	B   float64 `json:"b"`
+}
+
+// ArmStats summarizes the compared metric over one arm's paired rows.
+// Only paired rows count, so the two arms' statistics always describe
+// the same scenario identities.
+type ArmStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Comparison is the outcome of a paired A-vs-B run: the varied
+// dimension, the paired observations in arm-A expansion order, per-arm
+// summaries over the paired rows, and the bookkeeping of rows that
+// could not be paired. Every field is a pure function of the two
+// matrices, so comparisons are byte-identical at any parallelism — the
+// same property the underlying sweeps have.
+type Comparison struct {
+	Metric string `json:"metric"`
+	// Delta names the dimension the arms vary (empty when the matrices
+	// are identical — the self-comparison an Equivalence check runs).
+	Delta []string    `json:"delta,omitempty"`
+	Pairs []ValuePair `json:"pairs"`
+	A     ArmStats    `json:"a"`
+	B     ArmStats    `json:"b"`
+	// UnpairedA / UnpairedB count scenarios present in one arm only
+	// (e.g. a committee system pruned by a PoW-only link model on the
+	// other arm); SkippedA / SkippedB count paired identities dropped
+	// because the metric was inapplicable on that arm's run.
+	UnpairedA int `json:"unpairedA,omitempty"`
+	UnpairedB int `json:"unpairedB,omitempty"`
+	SkippedA  int `json:"skippedA,omitempty"`
+	SkippedB  int `json:"skippedB,omitempty"`
+}
+
+// AValues / BValues return the paired observations of one arm, in pair
+// order — the vectors the statistical tests consume.
+func (c *Comparison) AValues() []float64 {
+	out := make([]float64, len(c.Pairs))
+	for i, p := range c.Pairs {
+		out[i] = p.A
+	}
+	return out
+}
+
+func (c *Comparison) BValues() []float64 {
+	out := make([]float64, len(c.Pairs))
+	for i, p := range c.Pairs {
+		out[i] = p.B
+	}
+	return out
+}
+
+// Compare runs both matrices through the sweep engine and pairs their
+// results on the named metric. The matrices must differ in at most one
+// of the comparable dimensions (systems, links, adversaries, ns,
+// targetBlocks, alpha), and each arm must fix that dimension to a
+// single value — otherwise masking it would collide identities within
+// an arm. Matrices that do not request the metric get it added; ones
+// that request other metrics must include it. Run options (store,
+// census, tracer) apply to both arms, so a shared run store serves
+// cached scenarios to either arm — including scenarios the two arms
+// have in common.
+func Compare(ctx context.Context, a, b Matrix, metric string, parallelism int, opts ...RunOption) (*Comparison, error) {
+	if _, err := LookupMetric(metric); err != nil {
+		return nil, err
+	}
+	delta := MatrixDelta(a, b)
+	for _, d := range delta {
+		if !comparableDims[d] {
+			return nil, fmt.Errorf("blockadt: matrices differ in %s, which cannot be paired arm-to-arm (vary one of systems, links, adversaries, ns, targetBlocks, alpha)", d)
+		}
+	}
+	if len(delta) > 1 {
+		return nil, fmt.Errorf("blockadt: matrices differ in %d dimensions (%s); a comparison varies exactly one", len(delta), strings.Join(delta, ", "))
+	}
+	masked := ""
+	if len(delta) == 1 {
+		masked = delta[0]
+		for _, m := range []Matrix{a, b} {
+			if err := m.singleValued(masked); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var err error
+	if a, err = withMetric(a, metric); err != nil {
+		return nil, err
+	}
+	if b, err = withMetric(b, metric); err != nil {
+		return nil, err
+	}
+
+	rowsA, err := collectArm(ctx, a, metric, masked, parallelism, opts)
+	if err != nil {
+		return nil, err
+	}
+	rowsB, err := collectArm(ctx, b, metric, masked, parallelism, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	cmp := &Comparison{Metric: metric, Delta: delta}
+	byKey := make(map[string]armRow, len(rowsB))
+	for _, r := range rowsB {
+		byKey[r.key] = r
+	}
+	pairedB := make(map[string]bool, len(rowsB))
+	for _, ra := range rowsA {
+		rb, ok := byKey[ra.key]
+		if !ok {
+			cmp.UnpairedA++
+			continue
+		}
+		pairedB[ra.key] = true
+		switch {
+		case !ra.ok && !rb.ok:
+			cmp.SkippedA++
+			cmp.SkippedB++
+		case !ra.ok:
+			cmp.SkippedA++
+		case !rb.ok:
+			cmp.SkippedB++
+		default:
+			cmp.Pairs = append(cmp.Pairs, ValuePair{Key: ra.key, A: ra.value, B: rb.value})
+		}
+	}
+	for _, rb := range rowsB {
+		if !pairedB[rb.key] {
+			cmp.UnpairedB++
+		}
+	}
+	cmp.A = armStats(cmp.AValues())
+	cmp.B = armStats(cmp.BValues())
+	return cmp, nil
+}
+
+// singleValued checks that the named varied dimension holds exactly one
+// value in this (defaulted) matrix. The scalar dimensions (alpha,
+// targetBlocks) trivially qualify.
+func (m Matrix) singleValued(dim string) error {
+	m = m.withDefaults()
+	n := 1
+	switch dim {
+	case "systems":
+		n = len(m.Systems)
+	case "links":
+		n = len(m.Links)
+	case "adversaries":
+		n = len(m.Adversaries)
+	case "ns":
+		n = len(m.Ns)
+	}
+	if n != 1 {
+		return fmt.Errorf("blockadt: comparison varies %s, so each arm must fix it to a single value (got %d)", dim, n)
+	}
+	return nil
+}
+
+// withMetric returns the matrix with the compared metric guaranteed in
+// its Metrics list: an empty list becomes exactly [metric]; a non-empty
+// list must already contain it (the caller chose a wider collection set
+// — typically all metrics, to share cache entries with full sweeps).
+func withMetric(m Matrix, metric string) (Matrix, error) {
+	if len(m.Metrics) == 0 {
+		m.Metrics = []string{metric}
+		return m, nil
+	}
+	if slices.Contains(m.Metrics, metric) {
+		return m, nil
+	}
+	return Matrix{}, fmt.Errorf("blockadt: matrix collects metrics %s but not the compared metric %q", strings.Join(m.Metrics, ", "), metric)
+}
+
+// armRow is one arm result reduced to what pairing needs: the masked
+// identity, the metric value, and whether the metric applied.
+type armRow struct {
+	key   string
+	value float64
+	ok    bool
+}
+
+// collectArm streams one arm's sweep and projects each result onto the
+// compared metric under the masked pair key.
+func collectArm(ctx context.Context, m Matrix, metric, masked string, parallelism int, opts []RunOption) ([]armRow, error) {
+	var rows []armRow
+	for r, err := range Stream(ctx, m, parallelism, opts...) {
+		if err != nil {
+			return nil, err
+		}
+		v, ok := r.Metrics[metric]
+		rows = append(rows, armRow{key: pairKey(r.Config, masked), value: v, ok: ok})
+	}
+	return rows, nil
+}
+
+// pairKey is the scenario's canonical key with the varied dimension
+// masked to "*", so the two arms' counterpart scenarios collide on it.
+// Masking adversaries also masks alpha (honest scenarios carry no merit
+// share, adversarial ones do — the field varies with the dimension);
+// masking links also masks the link's parameter suffix.
+func pairKey(c Scenario, masked string) string {
+	sys, link, lp, adv := c.System, c.Link, c.LinkParams, c.Adversary
+	alpha := c.Alpha
+	n, blocks := c.N, c.Blocks
+	switch masked {
+	case "systems":
+		sys = "*"
+	case "links":
+		link, lp = "*", ""
+	case "adversaries":
+		adv, alpha = "*", -1
+	case "alpha":
+		alpha = -1
+	case "ns":
+		n = -1
+	case "targetBlocks":
+		blocks = -1
+	}
+	key := fmt.Sprintf("%s|%s|%s|a=%.4f|n=%d|b=%d|s=%d", sys, link, adv, alpha, n, blocks, c.SeedIndex)
+	if lp != "" {
+		key += "|lp=" + lp
+	}
+	return key
+}
+
+// armStats folds the paired values of one arm.
+func armStats(values []float64) ArmStats {
+	var w metrics.Welford
+	for _, v := range values {
+		w.Add(v)
+	}
+	return ArmStats{Count: w.Count(), Mean: w.Mean(), Std: w.Std(), Min: w.Min(), Max: w.Max()}
+}

@@ -1,0 +1,73 @@
+package blockadt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestLookupMissTyped pins the typed-error contract across every façade
+// lookup: a miss is an *UnknownNameError matching the ErrUnknownName
+// sentinel, carrying the registry kind, the missed name and the
+// registered alternatives, with the historical message text intact.
+func TestLookupMissTyped(t *testing.T) {
+	cases := []struct {
+		kind   string
+		lookup func(string) error
+		sample string // a name that must appear in Registered
+	}{
+		{"system", func(n string) error { _, err := LookupSystem(n); return err }, "Bitcoin"},
+		{"oracle", func(n string) error { _, err := LookupOracle(n); return err }, "prodigal"},
+		{"selector", func(n string) error { _, err := LookupSelector(n); return err }, "longest"},
+		{"link", func(n string) error { _, err := LookupLink(n); return err }, LinkSync},
+		{"adversary", func(n string) error { _, err := LookupAdversary(n); return err }, AdvSelfish},
+		{"metric", func(n string) error { _, err := LookupMetric(n); return err }, MetricForkRate},
+	}
+	for _, c := range cases {
+		t.Run(c.kind, func(t *testing.T) {
+			err := c.lookup("no-such-name")
+			if err == nil {
+				t.Fatal("expected a lookup miss")
+			}
+			if !errors.Is(err, ErrUnknownName) {
+				t.Fatalf("errors.Is(err, ErrUnknownName) = false for %v", err)
+			}
+			var unknown *UnknownNameError
+			if !errors.As(err, &unknown) {
+				t.Fatalf("errors.As(&UnknownNameError) = false for %v", err)
+			}
+			if unknown.Kind != c.kind || unknown.Name != "no-such-name" {
+				t.Fatalf("got Kind %q Name %q, want %q %q", unknown.Kind, unknown.Name, c.kind, "no-such-name")
+			}
+			found := false
+			for _, name := range unknown.Registered {
+				if name == c.sample {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Registered should include %q, got %v", c.sample, unknown.Registered)
+			}
+			want := fmt.Sprintf("blockadt: unknown %s %q (registered: %s)",
+				c.kind, "no-such-name", strings.Join(unknown.Registered, ", "))
+			if err.Error() != want {
+				t.Fatalf("message drifted:\n got %q\nwant %q", err.Error(), want)
+			}
+		})
+	}
+}
+
+// TestLookupHit guards the non-error path: a registered name resolves
+// without an error on every registry.
+func TestLookupHit(t *testing.T) {
+	if _, err := LookupSystem("Bitcoin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupLink(LinkSync); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LookupMetric(MetricForkRate); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package hypothesis
+
+import (
+	"sort"
+
+	"blockadt/internal/metrics"
+	"blockadt/pkg/blockadt"
+)
+
+// evaluatePairs folds one comparison's paired observations into its
+// test statistics and the class the evidence supports: Dominance (with
+// the supported direction) when the paired sign test clears the
+// significance gate AND the mean and median differences agree with the
+// sign majority, Equivalence otherwise (including the all-tie case,
+// where the arms are literally byte-equal on the metric). The function
+// is a pure fold over the pair order, so it is as deterministic as the
+// sweeps feeding it — and unit-testable on synthetic pair slices
+// without running a simulator.
+func evaluatePairs(pairs []blockadt.ValuePair) (Class, int, TestReport) {
+	var t TestReport
+	var wa, wb metrics.Welford
+	diffs := make([]float64, 0, len(pairs))
+	for _, p := range pairs {
+		wa.Add(p.A)
+		wb.Add(p.B)
+		d := p.B - p.A
+		diffs = append(diffs, d)
+		switch {
+		case d > 0:
+			t.SignPos++
+		case d < 0:
+			t.SignNeg++
+		default:
+			t.SignTies++
+		}
+	}
+	t.SignP = metrics.SignTest(t.SignPos, t.SignNeg)
+	if w, ok := metrics.WelchT(&wa, &wb); ok {
+		t.Welch = &WelchOutcome{T: w.T, DF: w.DF, P: w.P}
+	} else if wa.Count() >= 2 {
+		t.Note = "Welch t omitted: both arms have zero variance"
+	} else {
+		t.Note = "Welch t omitted: fewer than two paired observations"
+	}
+
+	if t.SignPos == 0 && t.SignNeg == 0 {
+		// Every pair tied: the arms are indistinguishable by
+		// construction, not merely by lack of power.
+		return Equivalence, 0, t
+	}
+	dir := 0
+	switch {
+	case t.SignPos > t.SignNeg:
+		dir = 1
+	case t.SignNeg > t.SignPos:
+		dir = -1
+	}
+	if dir != 0 && t.SignP <= SignificanceLevel &&
+		directionConsistent(dir, wb.Mean()-wa.Mean(), median(diffs)) {
+		return Dominance, dir, t
+	}
+	return Equivalence, 0, t
+}
+
+// directionConsistent requires the mean difference to strictly agree
+// with the sign-test majority and the median difference not to oppose
+// it — a sanity check that a few extreme pairs are not dragging the
+// verdict against the bulk of the evidence.
+func directionConsistent(dir int, meanDiff, medianDiff float64) bool {
+	d := float64(dir)
+	return d*meanDiff > 0 && d*medianDiff >= 0
+}
+
+// median returns the sample median (0 when empty).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// verdictTwoArm compares a two-arm experiment's measured class against
+// its claim. A claimed Dominance is refuted by a significant opposite
+// direction or by arms that tie on every pair (they are provably not
+// dominant), and inconclusive when the evidence merely fails the
+// significance gate. A claimed Equivalence is refuted by any
+// significant difference.
+func verdictTwoArm(expected Class, expDir int, measured Class, mDir int, t TestReport) Verdict {
+	switch expected {
+	case Dominance:
+		switch {
+		case measured == Dominance && mDir == expDir:
+			return Confirmed
+		case measured == Dominance:
+			return Refuted
+		case t.SignPos == 0 && t.SignNeg == 0:
+			return Refuted
+		default:
+			return Inconclusive
+		}
+	case Equivalence:
+		if measured == Equivalence {
+			return Confirmed
+		}
+		return Refuted
+	}
+	return Inconclusive
+}

@@ -1,0 +1,122 @@
+package hypothesis
+
+import (
+	"math"
+	"testing"
+
+	"blockadt/pkg/blockadt"
+)
+
+func pairs(diffs ...float64) []blockadt.ValuePair {
+	out := make([]blockadt.ValuePair, len(diffs))
+	for i, d := range diffs {
+		out[i] = blockadt.ValuePair{Key: "k", A: 1, B: 1 + d}
+	}
+	return out
+}
+
+func TestEvaluatePairsAllTies(t *testing.T) {
+	class, dir, tests := evaluatePairs(pairs(0, 0, 0, 0, 0, 0, 0, 0))
+	if class != Equivalence || dir != 0 {
+		t.Fatalf("all ties: got class %s dir %d, want Equivalence 0", class, dir)
+	}
+	if tests.SignTies != 8 || tests.SignPos != 0 || tests.SignNeg != 0 {
+		t.Fatalf("tie tally wrong: %+v", tests)
+	}
+	if tests.SignP != 1 {
+		t.Fatalf("all-tie sign test p = %v, want 1", tests.SignP)
+	}
+}
+
+func TestEvaluatePairsUnanimousDominance(t *testing.T) {
+	class, dir, tests := evaluatePairs(pairs(0.1, 0.2, 0.1, 0.3, 0.2, 0.1, 0.15, 0.25))
+	if class != Dominance || dir != 1 {
+		t.Fatalf("got class %s dir %d, want Dominance +1", class, dir)
+	}
+	if want := 2.0 / 256.0; math.Abs(tests.SignP-want) > 1e-12 {
+		t.Fatalf("sign p = %v, want %v", tests.SignP, want)
+	}
+}
+
+func TestEvaluatePairsOppositeDirection(t *testing.T) {
+	class, dir, _ := evaluatePairs(pairs(-0.1, -0.2, -0.1, -0.3, -0.2, -0.1, -0.15, -0.25))
+	if class != Dominance || dir != -1 {
+		t.Fatalf("got class %s dir %d, want Dominance -1", class, dir)
+	}
+}
+
+func TestEvaluatePairsNotSignificant(t *testing.T) {
+	// 5 up / 3 down: two-sided p = 0.7266 — indistinguishable.
+	class, dir, tests := evaluatePairs(pairs(0.1, 0.2, 0.1, 0.3, 0.2, -0.1, -0.15, -0.25))
+	if class != Equivalence || dir != 0 {
+		t.Fatalf("got class %s dir %d, want Equivalence 0", class, dir)
+	}
+	if tests.SignP <= SignificanceLevel {
+		t.Fatalf("5/3 split should not be significant, p = %v", tests.SignP)
+	}
+}
+
+func TestEvaluatePairsZeroVarianceArms(t *testing.T) {
+	// Both arms constant but different: the sign test still classifies
+	// (every pair agrees), while the Welch t is undefined and must be
+	// omitted with a note instead of producing NaNs.
+	class, dir, tests := evaluatePairs(pairs(1, 1, 1, 1, 1, 1, 1, 1))
+	if class != Dominance || dir != 1 {
+		t.Fatalf("got class %s dir %d, want Dominance +1", class, dir)
+	}
+	if tests.Welch != nil {
+		t.Fatalf("Welch t should be omitted for zero-variance arms, got %+v", tests.Welch)
+	}
+	if tests.Note == "" {
+		t.Fatal("expected a note explaining the omitted Welch t")
+	}
+}
+
+func TestEvaluatePairsMeanGuard(t *testing.T) {
+	// Nine small wins and one catastrophic loss: the sign test is
+	// significant (9/1, p ≈ 0.021) but the mean difference opposes the
+	// majority, so the direction-consistency guard demotes the verdict.
+	class, dir, _ := evaluatePairs(pairs(0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, -10))
+	if class != Equivalence || dir != 0 {
+		t.Fatalf("got class %s dir %d, want Equivalence 0 (mean disagrees with sign majority)", class, dir)
+	}
+}
+
+func TestVerdictTwoArm(t *testing.T) {
+	sig := TestReport{SignPos: 8, SignNeg: 0, SignP: 2.0 / 256.0}
+	ties := TestReport{SignTies: 8, SignP: 1}
+	weak := TestReport{SignPos: 5, SignNeg: 3, SignP: 0.7266}
+	cases := []struct {
+		name     string
+		expected Class
+		expDir   int
+		measured Class
+		mDir     int
+		t        TestReport
+		want     Verdict
+	}{
+		{"dominance confirmed", Dominance, 1, Dominance, 1, sig, Confirmed},
+		{"dominance wrong direction", Dominance, 1, Dominance, -1, sig, Refuted},
+		{"dominance but arms tie", Dominance, 1, Equivalence, 0, ties, Refuted},
+		{"dominance underpowered", Dominance, 1, Equivalence, 0, weak, Inconclusive},
+		{"equivalence confirmed", Equivalence, 0, Equivalence, 0, ties, Confirmed},
+		{"equivalence refuted", Equivalence, 0, Dominance, 1, sig, Refuted},
+	}
+	for _, c := range cases {
+		if got := verdictTwoArm(c.expected, c.expDir, c.measured, c.mDir, c.t); got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v, want 0", m)
+	}
+}

@@ -1,0 +1,115 @@
+package hypothesis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFindings renders the outcome as a FINDINGS.md document: the
+// claim, the verdict, per-arm summaries, and the paired per-seed
+// evidence. The document is a pure function of the outcome — no
+// timestamps, no environment — so checked-in findings only change when
+// the evidence does.
+func (o *Outcome) WriteFindings(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Hypothesis: %s\n\n", o.Name)
+	fmt.Fprintf(&b, "**Claim.** %s\n\n", o.Claim)
+	fmt.Fprintf(&b, "**Verdict: %s** — expected %s, measured %s%s.\n\n",
+		strings.ToUpper(string(o.Verdict)), o.Expected, o.Measured, directionSuffix(o))
+
+	fmt.Fprintf(&b, "## Setup\n\n")
+	fmt.Fprintf(&b, "| | |\n|---|---|\n")
+	if o.Metric != "" {
+		fmt.Fprintf(&b, "| metric | `%s` |\n", o.Metric)
+	}
+	fmt.Fprintf(&b, "| seeds | %d per arm, paired by seed index |\n", o.Seeds)
+	fmt.Fprintf(&b, "| root seed | %d |\n", o.RootSeed)
+	fmt.Fprintf(&b, "| significance | paired sign test, two-sided, α = %.2f |\n\n", SignificanceLevel)
+
+	o.writeArms(&b)
+	o.writeComparisons(&b)
+
+	if len(o.Notes) > 0 {
+		fmt.Fprintf(&b, "## Notes\n\n")
+		for _, n := range o.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func directionSuffix(o *Outcome) string {
+	if o.MeasuredDirection == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (direction %+d)", o.MeasuredDirection)
+}
+
+func (o *Outcome) writeArms(b *strings.Builder) {
+	fmt.Fprintf(b, "## Arms\n\n")
+	deterministic := len(o.Arms) > 0 && o.Arms[0].Determinism != nil
+	if deterministic {
+		fmt.Fprintf(b, "| arm | expected level | rows | matched | measured levels |\n")
+		fmt.Fprintf(b, "|---|---|---|---|---|\n")
+		for _, a := range o.Arms {
+			d := a.Determinism
+			fmt.Fprintf(b, "| %s | %s | %d | %d | %s |\n",
+				a.Label, d.Expected, d.Rows, d.Matched, levelHistogram(d.Levels))
+		}
+	} else {
+		fmt.Fprintf(b, "| arm | value | pairs | mean | std | min | max |\n")
+		fmt.Fprintf(b, "|---|---|---|---|---|---|---|\n")
+		for _, a := range o.Arms {
+			s := a.Stats
+			fmt.Fprintf(b, "| %s | %s | %d | %s | %s | %s | %s |\n",
+				a.Label, fnum(a.Value), s.Count, fnum(s.Mean), fnum(s.Std), fnum(s.Min), fnum(s.Max))
+		}
+	}
+	fmt.Fprintf(b, "\n")
+}
+
+func (o *Outcome) writeComparisons(b *strings.Builder) {
+	for _, c := range o.Comparisons {
+		fmt.Fprintf(b, "## %s vs %s\n\n", c.ALabel, c.BLabel)
+		t := c.Tests
+		fmt.Fprintf(b, "Sign test over %d pairs: %d above, %d below, %d tied — p = %s.\n",
+			t.SignPos+t.SignNeg+t.SignTies, t.SignPos, t.SignNeg, t.SignTies, fnum(t.SignP))
+		if t.Welch != nil {
+			fmt.Fprintf(b, "Welch t = %s (df = %s), p = %s.\n", fnum(t.Welch.T), fnum(t.Welch.DF), fnum(t.Welch.P))
+		}
+		if t.Note != "" {
+			fmt.Fprintf(b, "%s.\n", strings.TrimSuffix(t.Note, "."))
+		}
+		fmt.Fprintf(b, "\n### Paired values\n\n")
+		fmt.Fprintf(b, "| scenario | %s | %s | Δ |\n|---|---|---|---|\n", c.ALabel, c.BLabel)
+		for _, p := range c.Comparison.Pairs {
+			fmt.Fprintf(b, "| `%s` | %s | %s | %s |\n", p.Key, fnum(p.A), fnum(p.B), fnum(p.B-p.A))
+		}
+		fmt.Fprintf(b, "\n")
+	}
+}
+
+// levelHistogram renders a measured-level histogram in sorted-key order
+// ("EC:14, none:2"), matching the canonical JSON's map key ordering.
+func levelHistogram(levels map[string]int) string {
+	keys := make([]string, 0, len(levels))
+	for k := range levels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, levels[k]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// fnum formats a float compactly but deterministically (%.6g — enough
+// precision for every metric the harness compares, stable across runs).
+func fnum(v float64) string {
+	return fmt.Sprintf("%.6g", v)
+}

@@ -1,0 +1,150 @@
+package hypothesis
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"blockadt/pkg/blockadt"
+)
+
+func TestRunRefusesSingleSeed(t *testing.T) {
+	e, err := Lookup("fork-rate-vs-delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), e, Config{Seeds: 1}); err == nil {
+		t.Fatal("expected a refusal for a single-seed statistical experiment")
+	} else if !strings.Contains(err.Error(), "at least 2") {
+		t.Fatalf("refusal should explain the seed floor, got: %v", err)
+	}
+}
+
+func TestRunIdenticalArmsAreEquivalent(t *testing.T) {
+	// A == B: every pair ties by construction (the engine is
+	// deterministic), so a claimed Equivalence is confirmed.
+	m := blockadt.Matrix{Systems: []string{"Bitcoin"}, TargetBlocks: 15}
+	e := Experiment{
+		Name:     "self-vs-self",
+		Claim:    "a matrix compared against itself ties on every pair",
+		Class:    Equivalence,
+		Metric:   blockadt.MetricForkRate,
+		Seeds:    4,
+		RootSeed: 42,
+		Arms:     []Arm{{Label: "a", Matrix: m}, {Label: "b", Matrix: m}},
+	}
+	out, err := Run(context.Background(), e, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Confirmed || out.Measured != Equivalence {
+		t.Fatalf("got verdict %s measured %s, want confirmed Equivalence", out.Verdict, out.Measured)
+	}
+	tests := out.Comparisons[0].Tests
+	if tests.SignPos != 0 || tests.SignNeg != 0 || tests.SignTies != 4 {
+		t.Fatalf("self-comparison should tie on every pair: %+v", tests)
+	}
+}
+
+func TestRunFirstPartyExperimentsConfirm(t *testing.T) {
+	wantMeasured := map[string]Class{
+		"fork-rate-vs-delta":         Dominance,
+		"selfish-revenue-vs-alpha":   Monotonicity,
+		"theorem-4.7-phase-boundary": Deterministic,
+	}
+	for _, e := range All() {
+		out, err := Run(context.Background(), e, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if out.Verdict != Confirmed {
+			t.Errorf("%s: verdict %s, want confirmed", e.Name, out.Verdict)
+		}
+		if want := wantMeasured[e.Name]; out.Measured != want {
+			t.Errorf("%s: measured %s, want %s", e.Name, out.Measured, want)
+		}
+	}
+}
+
+func TestRunByteIdenticalAcrossParallelism(t *testing.T) {
+	e, err := Lookup("fork-rate-vs-delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(parallelism int) []byte {
+		out, err := Run(context.Background(), e, Config{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := out.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	wide := encode(runtime.NumCPU())
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("outcome JSON differs between -parallel 1 and NumCPU")
+	}
+}
+
+func TestLookupUnknownExperiment(t *testing.T) {
+	_, err := Lookup("no-such-experiment")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, blockadt.ErrUnknownName) {
+		t.Fatalf("errors.Is(err, ErrUnknownName) = false for %v", err)
+	}
+	var unknown *blockadt.UnknownNameError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("errors.As(&UnknownNameError) = false for %v", err)
+	}
+	if unknown.Kind != "experiment" || unknown.Name != "no-such-experiment" {
+		t.Fatalf("unexpected fields: %+v", unknown)
+	}
+	if len(unknown.Registered) == 0 || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("error should list registered experiments: %v", err)
+	}
+}
+
+func TestOutcomeJSONRoundTrip(t *testing.T) {
+	e, err := Lookup("theorem-4.7-phase-boundary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(context.Background(), e, Config{Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeOutcome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != out.Name || back.Verdict != out.Verdict {
+		t.Fatalf("round trip changed the outcome: %+v", back)
+	}
+	var rebuf bytes.Buffer
+	if err := back.EncodeJSON(&rebuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), rebuf.Bytes()) {
+		t.Fatal("re-encoding a decoded outcome is not byte-identical")
+	}
+	if _, err := DecodeOutcome(strings.NewReader(`{"hypothesis":"other"}`)); err == nil {
+		t.Fatal("expected a format error for a foreign discriminator")
+	} else {
+		var ferr *FormatError
+		if !errors.As(err, &ferr) {
+			t.Fatalf("want *FormatError, got %T: %v", err, err)
+		}
+	}
+}

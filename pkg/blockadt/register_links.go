@@ -1,6 +1,8 @@
 package blockadt
 
 import (
+	"fmt"
+
 	"blockadt/internal/chains"
 	"blockadt/internal/consistency"
 )
@@ -114,4 +116,70 @@ func init() {
 		// finality depth but never break eventual consistency.
 		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
 	})
+}
+
+// EnsureAsyncLink registers — idempotently — a hidden asynchronous
+// link-model variant with the given common-case delay bound, and
+// returns its registry name. The built-in "async" model fixes
+// maxDelay = 8 (the synchronous δ); experiments probing fork rate
+// against the delay bound register wider variants through this helper.
+// Like every hidden variant, the name is a pure function of the
+// parameter, so re-registration is a no-op and the Params string keys
+// scenario identity.
+func EnsureAsyncLink(maxDelay int64) string {
+	if maxDelay <= 0 {
+		maxDelay = 8
+	}
+	name := fmt.Sprintf("async:maxDelay=%d", maxDelay)
+	linkRegistry.ensure(name, LinkSpec{
+		Name:        name,
+		Description: fmt.Sprintf("asynchronous slow-mining variant: common-case delay bound %d ticks", maxDelay),
+		Params:      fmt.Sprintf("maxDelay=%d", maxDelay),
+		Supports:    chains.SupportsPoWLinks,
+		Hidden:      true,
+		Run: func(system string, p SimParams) SimResult {
+			return chains.RunPoWAsync(system, chains.AsyncParams{Params: p, MaxDelay: maxDelay})
+		},
+		// Slower links delay convergence without destroying it: still EC.
+		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
+	})
+	return name
+}
+
+// EnsureLossyPsyncLink registers — idempotently — a hidden link-model
+// variant combining per-message drops at the given rate with
+// weakly-synchronous delivery stabilizing at gstDeltas·δ, and returns its
+// registry name. The variant behaves like any registered link (matrices
+// expand it, scenario keys and run-store cache keys carry its Params) but
+// is excluded from Registries() enumeration: it exists for hypothesis
+// experiments that sweep the Theorem 4.7 (p × GST) boundary, not for the
+// `btadt list` surface. The name is a pure function of the parameters, so
+// re-registering the same point is a no-op and two experiments sharing a
+// grid cell share its cache entries.
+func EnsureLossyPsyncLink(rate float64, gstDeltas int) string {
+	if gstDeltas <= 0 {
+		gstDeltas = 8
+	}
+	name := fmt.Sprintf("lossy+psync:p=%.2f,gst=%dδ", rate, gstDeltas)
+	expected := consistency.LevelNone
+	if rate == 0 {
+		// Rate 0 restores reliable channels: plain weak synchrony, which
+		// converges back to EC after stabilization (Theorem 4.7's
+		// hypothesis — a dropped correct-process message — never holds).
+		expected = consistency.LevelEC
+	}
+	linkRegistry.ensure(name, LinkSpec{
+		Name:        name,
+		Description: fmt.Sprintf("lossy weakly-synchronous variant: drop rate %.2f over GST=%dδ links (Theorem 4.7 boundary)", rate, gstDeltas),
+		Params:      fmt.Sprintf("p=%.2f,gst=%dδ", rate, gstDeltas),
+		Supports:    chains.SupportsPoWLinks,
+		Hidden:      true,
+		Run: func(system string, p SimParams) SimResult {
+			return chains.RunPoWLossyPsync(system, chains.LossyPsyncParams{
+				Params: p, Rate: rate, GSTDeltas: int64(gstDeltas),
+			})
+		},
+		Expected: func(system string, sync Level) Level { return expected },
+	})
+	return name
 }

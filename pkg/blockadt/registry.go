@@ -2,7 +2,6 @@ package blockadt
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 )
 
@@ -39,10 +38,30 @@ func (r *registry[T]) lookup(name string) (T, error) {
 	defer r.mu.RUnlock()
 	v, ok := r.byKey[name]
 	if !ok {
-		return v, fmt.Errorf("blockadt: unknown %s %q (registered: %s)",
-			r.kind, name, strings.Join(r.order, ", "))
+		return v, &UnknownNameError{
+			Kind:       r.kind,
+			Name:       name,
+			Registered: append([]string(nil), r.order...),
+		}
 	}
 	return v, nil
+}
+
+// ensure registers name→v unless it is already present (in which case the
+// existing registration wins). It exists for idempotent variant
+// registration — experiment link variants are derived from their
+// parameters, so same name means same spec.
+func (r *registry[T]) ensure(name string, v T) {
+	if name == "" {
+		panic(fmt.Sprintf("blockadt: cannot register a %s with an empty name", r.kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byKey[name]; ok {
+		return
+	}
+	r.order = append(r.order, name)
+	r.byKey[name] = v
 }
 
 func (r *registry[T]) names() []string {
@@ -106,10 +125,16 @@ var registryEnumerators = []func() RegistryInfo{
 			func(s SelectorSpec) RegistryEntry { return RegistryEntry{Name: s.Name, Description: s.Description} })
 	},
 	func() RegistryInfo {
-		return enumerate("link", "links", linkRegistry,
-			func(l LinkSpec) RegistryEntry {
-				return RegistryEntry{Name: l.Name, Detail: l.Params, Description: l.Description}
-			})
+		info := RegistryInfo{Kind: "link", Title: "links"}
+		for _, l := range linkRegistry.all() {
+			// Hidden variants (experiment-registered parameterizations)
+			// stay resolvable by name but out of the presentation surface.
+			if l.Hidden {
+				continue
+			}
+			info.Entries = append(info.Entries, RegistryEntry{Name: l.Name, Detail: l.Params, Description: l.Description})
+		}
+		return info
 	},
 	func() RegistryInfo {
 		return enumerate("adversary", "adversaries", adversaryRegistry,

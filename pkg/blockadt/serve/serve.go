@@ -233,9 +233,23 @@ func (s *Server) decodeMatrix(w http.ResponseWriter, r *http.Request, raw json.R
 	}
 	// Configs validates every dimension against the registries; its
 	// unknown-name errors carry the registered alternatives, which is
-	// exactly what a 400 should teach the client.
+	// exactly what a 400 should teach the client. For those the body
+	// also breaks the failure out into machine-readable fields, so a
+	// client can match on kind/name instead of parsing the message.
 	configs, err := m.Configs()
 	if err != nil {
+		var unknown *blockadt.UnknownNameError
+		if errors.As(err, &unknown) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(struct {
+				Error      string   `json:"error"`
+				Kind       string   `json:"kind"`
+				Name       string   `json:"name"`
+				Registered []string `json:"registered"`
+			}{fmt.Sprintf("invalid matrix: %v", err), unknown.Kind, unknown.Name, unknown.Registered})
+			return m, 0, false
+		}
 		jsonError(w, http.StatusBadRequest, "invalid matrix: %v", err)
 		return m, 0, false
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -135,6 +136,21 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if !strings.Contains(body, "registered") || !strings.Contains(body, "Bitcoin") {
 		t.Fatalf("unknown-system 400 should list registered systems, got %s", body)
+	}
+	var structured struct {
+		Error      string   `json:"error"`
+		Kind       string   `json:"kind"`
+		Name       string   `json:"name"`
+		Registered []string `json:"registered"`
+	}
+	if err := json.Unmarshal([]byte(body), &structured); err != nil {
+		t.Fatalf("unknown-name 400 body is not JSON: %v (body %s)", err, body)
+	}
+	if structured.Kind != "system" || structured.Name != "Dogecoin" {
+		t.Fatalf("unknown-name 400 should carry kind/name fields, got %+v", structured)
+	}
+	if !slices.Contains(structured.Registered, "Bitcoin") {
+		t.Fatalf("unknown-name 400 should list registered systems in a field, got %+v", structured)
 	}
 
 	badLink := serveTestMatrix(1)

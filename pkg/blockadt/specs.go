@@ -71,6 +71,12 @@ type LinkSpec struct {
 	// the named system under this link model, given the system's
 	// default (synchronous) level; nil means the level is unchanged.
 	Expected func(system string, sync Level) Level
+	// Hidden excludes the model from Registries() enumeration (and so
+	// from `btadt list`). Hypothesis experiments register parameterized
+	// variants of the built-in models on demand; hiding them keeps the
+	// presentation surface stable while lookups, matrices and store keys
+	// treat them like any other registration.
+	Hidden bool
 }
 
 // AdversarySpec describes a registered fault model — one value of the

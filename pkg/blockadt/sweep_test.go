@@ -1,4 +1,4 @@
-package sweep
+package blockadt
 
 import (
 	"bytes"
@@ -6,11 +6,25 @@ import (
 	"testing"
 )
 
-// testMatrix is a small but multi-dimensional matrix: 7 systems ×
+// These tests came with the scenario-matrix engine when it lived in
+// internal/sweep; they pin the engine's core contracts — expansion,
+// pruning, seed derivation, ordering, and cross-parallelism determinism
+// — directly against the façade, which is the engine's only home now.
+
+// table1Systems is the paper's Table 1 row order — pinned explicitly
+// because other tests in this package register extra systems into the
+// process-global registry, which an empty Systems dimension would
+// otherwise pick up.
+func table1Systems() []string {
+	return []string{"Bitcoin", "Ethereum", "Algorand", "ByzCoin", "PeerCensus", "RedBelly", "Hyperledger"}
+}
+
+// sweepTestMatrix is a small but multi-dimensional matrix: 7 systems ×
 // {sync,async} × {none,selfish} × 2 seeds with the unsupported combos
-// pruned — 18 configurations.
-func testMatrix() Matrix {
+// pruned — 20 configurations.
+func sweepTestMatrix() Matrix {
 	return Matrix{
+		Systems:      table1Systems(),
 		Links:        []string{LinkSync, LinkAsync},
 		Adversaries:  []string{AdvNone, AdvSelfish},
 		Seeds:        2,
@@ -19,7 +33,7 @@ func testMatrix() Matrix {
 }
 
 // TestDeterminismAcrossParallelism is the determinism regression test of
-// the refactor: the same matrix swept serially and across a real worker
+// the engine: the same matrix swept serially and across a real worker
 // pool must produce byte-identical canonical JSON. Any shared-state leak
 // between worker goroutines (a shared oracle, recorder, or prng stream)
 // shows up here as a diff. The concurrent side uses max(4, NumCPU), not
@@ -27,7 +41,7 @@ func testMatrix() Matrix {
 // them) even on a 1-core CI runner, where NumCPU would degenerate to the
 // serial path and verify nothing.
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	m := testMatrix()
+	m := sweepTestMatrix()
 	serial, err := Run(m, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +69,7 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 }
 
 func TestConfigsExpansion(t *testing.T) {
-	configs, err := testMatrix().Configs()
+	configs, err := sweepTestMatrix().Configs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +111,7 @@ func TestConfigsRejectUnknownDimensions(t *testing.T) {
 }
 
 func TestDeriveSeedStability(t *testing.T) {
-	c := Config{System: "Bitcoin", Link: LinkSync, Adversary: AdvNone, N: 8, Blocks: 30}
+	c := Scenario{System: "Bitcoin", Link: LinkSync, Adversary: AdvNone, N: 8, Blocks: 30}
 	if c.DeriveSeed(42) != c.DeriveSeed(42) {
 		t.Fatal("DeriveSeed is not a pure function")
 	}
@@ -114,7 +128,9 @@ func TestDeriveSeedStability(t *testing.T) {
 // TestTable1MatrixMatchesPaper sweeps the Table 1 matrix at the canonical
 // seed and asserts every system classifies at the paper's level.
 func TestTable1MatrixMatchesPaper(t *testing.T) {
-	rep, err := Run(Table1(8, 30, 42), 0)
+	m := Table1(8, 30, 42)
+	m.Systems = table1Systems()
+	rep, err := Run(m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
