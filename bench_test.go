@@ -486,7 +486,7 @@ func BenchmarkPBFTDecision(b *testing.B) {
 // BenchmarkPBFTChain measures a 15-block PBFT-committed chain run.
 func BenchmarkPBFTChain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := chains.RunPBFTChain(chains.Params{N: 4, TargetBlocks: 15, Seed: 9})
+		res := chains.PBFTChain{}.Run(chains.Params{N: 4, TargetBlocks: 15, Seed: 9})
 		if res.Blocks < 15 {
 			b.Fatal("short chain")
 		}
@@ -564,8 +564,14 @@ func BenchmarkFinalityGadget(b *testing.B) {
 // BenchmarkSelfishMining measures the full adversarial run of experiment X7.
 func BenchmarkSelfishMining(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		stats := chains.RunSelfishMining(chains.Params{N: 6, TargetBlocks: 60, Seed: 31}, 0.34)
-		if stats.AdversaryMined == 0 {
+		res, err := chains.Execute(chains.Scenario{
+			Adversary: chains.SelfishWithholding,
+			Params:    chains.ScenarioParams{Params: chains.Params{N: 6, TargetBlocks: 60, Seed: 31}, Alpha: 0.34},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Adversary.AdversaryMined == 0 {
 			b.Fatal("degenerate run")
 		}
 	}

@@ -35,7 +35,7 @@ func cmdList(args []string) error {
 			total++
 		}
 	}
-	fmt.Printf("\n%d registrations across %d registries; extend with blockadt.Register{System,Oracle,Selector,Link,Adversary,Metric} (see docs/api.md)\n",
+	fmt.Printf("\n%d registrations across %d registries; extend with blockadt.Register{System,Oracle,Selector,Link,Adversary,Topology,Metric} (see docs/api.md)\n",
 		total, len(registries))
 	return nil
 }

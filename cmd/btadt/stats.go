@@ -22,6 +22,7 @@ func cmdStats(ctx context.Context, args []string) error {
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
 	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
+	topologies := fs.String("topologies", "complete", "comma-separated dissemination topologies: complete,gossip3,clustered2")
 	ns := fs.String("n", "8", "comma-separated process counts")
 	rootSeed := fs.Uint64("seed", 42, "root seed every per-config stream derives from")
 	blocks := fs.Int("blocks", 30, "target committed blocks per run")
@@ -47,6 +48,7 @@ func cmdStats(ctx context.Context, args []string) error {
 		Systems:      splitList(*systems),
 		Links:        splitList(*links),
 		Adversaries:  splitList(*adversaries),
+		Topologies:   splitList(*topologies),
 		Seeds:        rf.seeds,
 		RootSeed:     *rootSeed,
 		TargetBlocks: *blocks,

@@ -14,7 +14,7 @@ import (
 )
 
 // cmdSweep runs the concurrent scenario-matrix engine: expand a
-// (system × link × adversary × n × seed) matrix, fan it out across the
+// (system × link × adversary × topology × n × seed) matrix, fan it out across the
 // worker pool, and print the per-configuration verdict table or the
 // canonical JSON consumed by SWEEP_baseline.json trend tracking. The
 // table path streams: each row prints as its configuration completes, so
@@ -31,6 +31,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	systems := fs.String("systems", "", "comma-separated system names (default: all registered)")
 	links := fs.String("links", "sync", "comma-separated link models: sync,async,psync,lossy,partition,jitter")
 	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none,selfish")
+	topologies := fs.String("topologies", "complete", "comma-separated dissemination topologies: complete,gossip3,clustered2")
 	ns := fs.String("n", "8", "comma-separated process counts")
 	rootSeed := fs.Uint64("seed", 42, "root seed every per-config stream derives from")
 	blocks := fs.Int("blocks", 30, "target committed blocks per run")
@@ -52,6 +53,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		Systems:      splitList(*systems),
 		Links:        splitList(*links),
 		Adversaries:  splitList(*adversaries),
+		Topologies:   splitList(*topologies),
 		Seeds:        rf.seeds,
 		RootSeed:     *rootSeed,
 		TargetBlocks: *blocks,
@@ -346,7 +348,7 @@ func parseShard(s string) (index, count int, err error) {
 }
 
 // errEmptyMatrix reports a matrix whose every combination was pruned.
-var errEmptyMatrix = fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (the non-sync links run only on the PoW systems, and selfish only on Bitcoin under sync)")
+var errEmptyMatrix = fmt.Errorf("matrix expanded to 0 configurations: every requested combination was pruned (the non-sync links and non-complete topologies run only on the PoW systems, and selfish only on Bitcoin under sync on the complete graph)")
 
 // splitList splits a comma-separated flag, dropping empty entries.
 func splitList(s string) []string {

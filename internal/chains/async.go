@@ -2,72 +2,37 @@ package chains
 
 import (
 	"blockadt/internal/blocktree"
-	"blockadt/internal/netsim"
 )
 
-// This file provides the executable counterparts of the open issues the
-// paper lists at the end of Section 4.2 ("TBC"): the solvability of
-// Eventual Prefix under asynchrony and under block intervals shorter than
-// the message-delay bound. The paper states the conjectures:
+// This file keeps the support set of the generic PoW driver — the
+// executable counterpart of the open issues the paper lists at the end
+// of Section 4.2 ("TBC"): the solvability of Eventual Prefix under
+// asynchrony and under block intervals shorter than the message-delay
+// bound. The paper states the conjectures:
 //
 //	(ii)  Eventual Prefix is impossible in an asynchronous system;
 //	(iii) Eventual Prefix is impossible if the interval between the
 //	      generation of two successive blocks is less than the upper
 //	      bound on the message delay.
 //
-// RunBitcoinAsync exhibits finite-run witnesses for both: with mining much
-// faster than delivery, replicas build on stale tips and the recorded
-// histories show divergence that outlives any grace window; with mining
-// much slower than the (bounded) delay, the same protocol converges.
-
-// AsyncParams extends Params with the asynchronous link bound.
-type AsyncParams struct {
-	Params
-	// MaxDelay is the common-case asynchronous delay bound; stragglers
-	// exceed it ×10 with TailProb.
-	MaxDelay int64
-	// TailProb is the probability of a 10×MaxDelay straggler.
-	TailProb float64
-}
-
-// RunBitcoinAsync runs the Bitcoin simulator over asynchronous links.
-func RunBitcoinAsync(p AsyncParams) Result {
-	return RunPoWAsync("Bitcoin", p)
-}
-
-// RunPoWAsync runs the named PoW system over asynchronous links. Unknown
-// systems panic; callers gate on SupportsPoWLinks (the link registry's
-// Supports predicate does).
-func RunPoWAsync(system string, p AsyncParams) Result {
-	links := netsim.Asynchronous{MaxDelay: p.MaxDelay, TailProb: p.TailProb}
-	return runPoWSystemLinks(system, "async", "R(BT-ADT_EC, Θ_P) — async regime", links, p.Params)
-}
-
-// PsyncParams extends Params with the weakly-synchronous (eventually
-// synchronous) link bounds of Section 4.2: asynchronous with common-case
-// bound PreMax before the global stabilization time GST, δ-bounded after.
-type PsyncParams struct {
-	Params
-	// GST is the global stabilization time; 0 defaults to 8·δ — long
-	// enough for the pre-GST regime to fork the tree visibly, short
-	// enough that every run length converges back to EC afterwards
-	// (longer stabilization times on short runs produce the divergence
-	// witnesses of the Section 4.2 conjectures instead).
-	GST int64
-	// PreMax bounds the common-case delay before GST; 0 defaults to
-	// netsim's 8·δ.
-	PreMax int64
-}
+// Executing a PoW system under AsyncLinks exhibits finite-run witnesses
+// for both: with mining much faster than delivery, replicas build on
+// stale tips and the recorded histories show divergence that outlives
+// any grace window; with mining much slower than the (bounded) delay,
+// the same protocol converges. The link plans themselves live in
+// execute.go; composing one with a system outside this support set is
+// an *UnknownSystemError, not a panic — the façade surfaces it as a
+// typed unknown-name error.
 
 // powSelectors maps each PoW system — the permissionless protocols whose
 // mining loop is link-model agnostic — to its selection function. This is
-// the support set of every non-synchronous link regime: the committee
-// systems assume synchronous rounds, so only the PoW systems run under
-// async, psync, lossy, partition and jitter links. (GHOST's pre-GST
-// oscillation, which used to exclude Ethereum from psync, is gone now
-// that WeaklySynchronous honors the DLS "delivered by GST+δ" bound: no
-// stale pre-GST straggler can arrive arbitrarily late and flip the
-// subtree weights after stabilization.)
+// the support set of every non-synchronous link regime and non-complete
+// topology: the committee systems assume synchronous rounds, so only the
+// PoW systems run under async, psync, lossy, partition and jitter links.
+// (GHOST's pre-GST oscillation, which used to exclude Ethereum from
+// psync, is gone now that WeaklySynchronous honors the DLS "delivered by
+// GST+δ" bound: no stale pre-GST straggler can arrive arbitrarily late
+// and flip the subtree weights after stabilization.)
 var powSelectors = map[string]blocktree.Selector{
 	"Bitcoin":  blocktree.HeaviestChain{},
 	"Ethereum": blocktree.GHOST{},
@@ -75,37 +40,8 @@ var powSelectors = map[string]blocktree.Selector{
 
 // SupportsPoWLinks reports whether the named system has a generic
 // netsim-backed PoW runner — the Supports predicate of every
-// non-synchronous link model.
+// non-synchronous link model and non-complete topology.
 func SupportsPoWLinks(system string) bool {
 	_, ok := powSelectors[system]
 	return ok
-}
-
-// runPoWSystemLinks resolves the named PoW system's selector and runs it
-// over the given link model, tagging the result with the link regime.
-// Unknown systems panic; callers gate on SupportsPoWLinks.
-func runPoWSystemLinks(system, regime, refinement string, links netsim.LinkModel, p Params) Result {
-	sel, ok := powSelectors[system]
-	if !ok {
-		panic("chains: no " + regime + " runner for system " + system)
-	}
-	return runPoWLinks(system+"/"+regime, refinement, sel, links, p)
-}
-
-// RunPoWPsync runs the named PoW system over weakly-synchronous links:
-// unbounded-looking delays before GST (every pre-GST send still delivered
-// by GST+δ, the DLS bound), synchronous δ-bounded delivery after. Because
-// the run continues (and drains) well past GST, the history converges and
-// the theory still predicts Eventual Consistency — the eventually-
-// synchronous regime the paper's weakly synchronous channels model.
-// Unknown systems panic; callers gate on SupportsPoWLinks (the link
-// registry's Supports predicate does).
-func RunPoWPsync(system string, p PsyncParams) Result {
-	p.Params = p.Params.withDefaults()
-	gst := p.GST
-	if gst <= 0 {
-		gst = 8 * p.Delta
-	}
-	links := netsim.WeaklySynchronous{GST: gst, Delta: p.Delta, PreMax: p.PreMax}
-	return runPoWSystemLinks(system, "psync", "R(BT-ADT_EC, Θ_P) — weakly synchronous (GST) regime", links, p.Params)
 }

@@ -16,10 +16,14 @@ func TestOpenIssueEventualPrefixUnderAsynchrony(t *testing.T) {
 	// links (common delay up to 192 ticks, stragglers ×10): replicas
 	// mine dozens of blocks per delivered update, so their trees diverge
 	// persistently — the conjecture-(iii) regime.
-	fast := RunBitcoinAsync(AsyncParams{
-		Params:   Params{N: 6, TargetBlocks: 60, Seed: 23, MineInterval: 1, TokenProb: 0.5, ReadEvery: 4},
-		MaxDelay: 192,
-		TailProb: 0.2,
+	fast := execScenario(t, Scenario{
+		System: Bitcoin{},
+		Links:  AsyncLinks,
+		Params: ScenarioParams{
+			Params:   Params{N: 6, TargetBlocks: 60, Seed: 23, MineInterval: 1, TokenProb: 0.5, ReadEvery: 4},
+			MaxDelay: 192,
+			TailProb: 0.2,
+		},
 	})
 	fastOpts := Options(Params{N: 6}.withDefaults(), fast.History)
 	fastOpts.GraceWindow = 16
@@ -33,9 +37,13 @@ func TestOpenIssueEventualPrefixUnderAsynchrony(t *testing.T) {
 	// Slow mining against moderate asynchronous links: blocks are rare
 	// relative to delivery, the network quiesces between blocks, and
 	// Eventual Prefix holds.
-	slow := RunBitcoinAsync(AsyncParams{
-		Params:   Params{N: 6, TargetBlocks: 25, Seed: 23, MineInterval: 64, TokenProb: 0.04, ReadEvery: 32},
-		MaxDelay: 8,
+	slow := execScenario(t, Scenario{
+		System: Bitcoin{},
+		Links:  AsyncLinks,
+		Params: ScenarioParams{
+			Params:   Params{N: 6, TargetBlocks: 25, Seed: 23, MineInterval: 64, TokenProb: 0.04, ReadEvery: 32},
+			MaxDelay: 8,
+		},
 	})
 	slowOpts := Options(Params{N: 6}.withDefaults(), slow.History)
 	if v := consistency.EventualPrefix(slow.History, slowOpts); !v.Satisfied {
@@ -47,10 +55,14 @@ func TestOpenIssueEventualPrefixUnderAsynchrony(t *testing.T) {
 // per-replica safety properties hold — only the convergence property is
 // lost, matching the shape of the paper's conjecture.
 func TestAsyncRunStillSatisfiesSafetyCore(t *testing.T) {
-	res := RunBitcoinAsync(AsyncParams{
-		Params:   Params{N: 6, TargetBlocks: 60, Seed: 23, MineInterval: 1, TokenProb: 0.5, ReadEvery: 4},
-		MaxDelay: 192,
-		TailProb: 0.2,
+	res := execScenario(t, Scenario{
+		System: Bitcoin{},
+		Links:  AsyncLinks,
+		Params: ScenarioParams{
+			Params:   Params{N: 6, TargetBlocks: 60, Seed: 23, MineInterval: 1, TokenProb: 0.5, ReadEvery: 4},
+			MaxDelay: 192,
+			TailProb: 0.2,
+		},
 	})
 	opts := Options(Params{N: 6}.withDefaults(), res.History)
 	if v := consistency.BlockValidity(res.History, opts); !v.Satisfied {

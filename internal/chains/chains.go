@@ -123,6 +123,36 @@ type Result struct {
 	// The simulators never fill it themselves — the façade computes it
 	// from the rest of the result, so disabling metrics costs nothing.
 	Metrics map[string]float64
+	// Adversary carries the adversarial census when an AdversaryPlan
+	// drove the run; nil for honest runs.
+	Adversary *AdversaryStats
+}
+
+// AdversaryStats is the structured census of an adversarial run: who
+// mined, who made the main chain, and (for fruit-bearing protocols) who
+// was paid. The fruit fields stay nil/zero for plain withholding runs.
+type AdversaryStats struct {
+	// AdversaryMined / HonestMined count oracle-validated blocks.
+	AdversaryMined, HonestMined int
+	// AdversaryShare / HonestShare are main-chain proportions.
+	AdversaryShare, HonestShare float64
+	// AdversaryMerit is the adversary's entitled share (alpha).
+	AdversaryMerit float64
+	// Orphaned counts mined blocks that missed the final main chain.
+	Orphaned int
+	// MainChainByProc is the main-chain authorship census, the input to
+	// chain-quality fairness analysis.
+	MainChainByProc map[history.ProcID]int
+	// BlockShareByProc is main-chain block authorship (fruit runs).
+	BlockShareByProc map[history.ProcID]int
+	// FruitRewardByProc counts included fruits per miner (fruit runs).
+	FruitRewardByProc map[history.ProcID]int
+	// AdversaryBlockShare and AdversaryRewardShare are the adversary's
+	// realized proportions of blocks vs fruit rewards (fruit runs).
+	AdversaryBlockShare, AdversaryRewardShare float64
+	// FinalChain is the main chain at an honest replica when the run
+	// ended (fruit runs).
+	FinalChain blocktree.Chain
 }
 
 // Classify runs the consistency checker over the result's history.

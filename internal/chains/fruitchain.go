@@ -175,28 +175,15 @@ func (n *fruitNode) OnMessage(s *netsim.Sim, m netsim.Message) {
 	}
 }
 
-// FruitStats is the outcome of a FruitChain attack run.
-type FruitStats struct {
-	Result
-	// BlockShareByProc is main-chain block authorship.
-	BlockShareByProc map[history.ProcID]int
-	// FruitRewardByProc counts included fruits per miner.
-	FruitRewardByProc map[history.ProcID]int
-	// AdversaryMerit is the adversary's entitled share.
-	AdversaryMerit float64
-	// AdversaryBlockShare and AdversaryRewardShare are the adversary's
-	// realized proportions of blocks vs fruit rewards.
-	AdversaryBlockShare, AdversaryRewardShare float64
-	// FinalChain is the main chain at an honest replica when the run
-	// ended.
-	FinalChain blocktree.Chain
-}
-
-// RunFruitChainAttack runs N-1 honest FruitChain miners against the same
-// selfish block-withholding adversary as RunSelfishMining. The adversary
-// also mines fruits (at its merit rate) but its withheld blocks include
-// only its own fruits, the worst case for honest rewards.
-func RunFruitChainAttack(p Params, alpha float64) FruitStats {
+// runFruitChainAttack is the FruitWithholding plan's driver: N-1 honest
+// FruitChain miners against the same selfish block-withholding adversary
+// as runSelfishMining, with Params.Alpha as the merit share. The
+// adversary also mines fruits (at its merit rate) but its withheld
+// blocks include only its own fruits, the worst case for honest rewards.
+// The census (block authorship vs fruit rewards) lands on
+// Result.Adversary.
+func runFruitChainAttack(sc Scenario) Result {
+	p, alpha := sc.Params.Params, sc.Params.Alpha
 	p = p.withDefaults()
 	total := p.TokenProb * float64(p.N)
 	merits := make([]float64, p.N)
@@ -266,8 +253,9 @@ func RunFruitChainAttack(p Params, alpha float64) FruitStats {
 			rewardCensus[f.Miner]++
 		}
 	}
-	stats := FruitStats{
+	stats := &AdversaryStats{
 		AdversaryMerit:    alpha,
+		MainChainByProc:   blockCensus,
 		BlockShareByProc:  blockCensus,
 		FruitRewardByProc: rewardCensus,
 		FinalChain:        final,
@@ -286,7 +274,7 @@ func RunFruitChainAttack(p Params, alpha float64) FruitStats {
 		stats.AdversaryRewardShare = float64(rewardCensus[0]) / float64(totalRewards)
 	}
 	blocks, forks := bestReplica(reps)
-	stats.Result = Result{
+	return Result{
 		System:       fmt.Sprintf("FruitChain+selfish(α=%.2f)", alpha),
 		Refinement:   "R(BT-ADT_EC, Θ_P) — fair rewards via fruits",
 		OracleName:   orc.Name(),
@@ -299,8 +287,8 @@ func RunFruitChainAttack(p Params, alpha float64) FruitStats {
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
 		Bytes:        sim.Bytes,
+		Adversary:    stats,
 	}
-	return stats
 }
 
 // fruitSelfishMiner extends the selfish block miner with adversarial fruit

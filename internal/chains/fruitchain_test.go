@@ -7,6 +7,16 @@ import (
 	"blockadt/internal/fairness"
 )
 
+// runFruit executes the FruitChain withholding plan through the unified
+// executor.
+func runFruit(t *testing.T, p Params, alpha float64) Result {
+	t.Helper()
+	return execScenario(t, Scenario{
+		Adversary: FruitWithholding,
+		Params:    ScenarioParams{Params: p, Alpha: alpha},
+	})
+}
+
 // TestFruitChainRestoresRewardFairness is the Section 5.1 FruitChain
 // claim made measurable: under the same selfish-mining adversary, block
 // authorship is skewed far above the adversary's merit, but the fruit
@@ -15,7 +25,7 @@ import (
 func TestFruitChainRestoresRewardFairness(t *testing.T) {
 	p := Params{N: 6, TargetBlocks: 120, Seed: 31}
 	const alpha = 0.34
-	stats := RunFruitChainAttack(p, alpha)
+	stats := runFruit(t, p, alpha).Adversary
 
 	if stats.AdversaryBlockShare <= alpha {
 		t.Fatalf("adversary block share %.3f ≤ merit %.3f — attack did not bite", stats.AdversaryBlockShare, alpha)
@@ -27,7 +37,7 @@ func TestFruitChainRestoresRewardFairness(t *testing.T) {
 	}
 	// The reward distribution is within fairness tolerance of the merit
 	// entitlement.
-	merits := stats.meritVector(p)
+	merits := adversaryMeritVector(p, stats.AdversaryMerit)
 	rewardRep := fairness.FromCounts(stats.FruitRewardByProc, merits)
 	if !rewardRep.Fair(0.12) {
 		t.Fatalf("fruit rewards unfair (TVD %.3f):\n%s", rewardRep.TVD, rewardRep)
@@ -40,25 +50,13 @@ func TestFruitChainRestoresRewardFairness(t *testing.T) {
 		alpha, stats.AdversaryBlockShare, blockRep.TVD, stats.AdversaryRewardShare, rewardRep.TVD)
 }
 
-// meritVector mirrors RunFruitChainAttack's merit construction.
-func (s FruitStats) meritVector(p Params) []float64 {
-	p = p.withDefaults()
-	total := p.TokenProb * float64(p.N)
-	merits := make([]float64, p.N)
-	merits[0] = total * s.AdversaryMerit
-	for i := 1; i < p.N; i++ {
-		merits[i] = total * (1 - s.AdversaryMerit) / float64(p.N-1)
-	}
-	return merits
-}
-
 // TestFruitChainStillEventuallyConsistent: FruitChain maps to the same
 // refinement as Bitcoin (R(BT-ADT_EC, Θ_P)) — the reward change does not
 // alter the consistency classification.
 func TestFruitChainStillEventuallyConsistent(t *testing.T) {
 	p := Params{N: 6, TargetBlocks: 80, Seed: 31}
-	stats := RunFruitChainAttack(p, 0.3)
-	cls := consistency.Classify(stats.History, Options(p.withDefaults(), stats.History))
+	res := runFruit(t, p, 0.3)
+	cls := consistency.Classify(res.History, Options(p.withDefaults(), res.History))
 	if cls.Level != consistency.LevelEC {
 		t.Fatalf("FruitChain classified %s, want EC\nSC: %sEC: %s", cls.Level, cls.SC, cls.EC)
 	}
@@ -69,7 +67,7 @@ func TestFruitChainStillEventuallyConsistent(t *testing.T) {
 // main chain.
 func TestFruitsAreIncludedInHonestRuns(t *testing.T) {
 	p := Params{N: 5, TargetBlocks: 60, Seed: 7}
-	stats := RunFruitChainAttack(p, 0.01)
+	stats := runFruit(t, p, 0.01).Adversary
 	totalRewards := 0
 	miners := 0
 	for _, n := range stats.FruitRewardByProc {
@@ -106,10 +104,10 @@ func TestFruitPayloadRoundTrip(t *testing.T) {
 // chain's payloads (the harvest prunes already-included fruits).
 func TestFruitUniquenessOnChain(t *testing.T) {
 	p := Params{N: 5, TargetBlocks: 60, Seed: 7}
-	res := RunFruitChainAttack(p, 0.2)
+	stats := runFruit(t, p, 0.2).Adversary
 	seen := map[string]bool{}
 	total := 0
-	for _, blk := range res.FinalChain {
+	for _, blk := range stats.FinalChain {
 		for _, f := range DecodeFruits(blk.Payload) {
 			if seen[f.ID] {
 				t.Fatalf("fruit %s included twice", f.ID)
@@ -126,8 +124,8 @@ func TestFruitUniquenessOnChain(t *testing.T) {
 // TestFruitChainDeterministic: seeded reproducibility.
 func TestFruitChainDeterministic(t *testing.T) {
 	p := Params{N: 4, TargetBlocks: 30, Seed: 5}
-	a := RunFruitChainAttack(p, 0.25)
-	b := RunFruitChainAttack(p, 0.25)
+	a := runFruit(t, p, 0.25).Adversary
+	b := runFruit(t, p, 0.25).Adversary
 	if a.AdversaryBlockShare != b.AdversaryBlockShare || a.AdversaryRewardShare != b.AdversaryRewardShare {
 		t.Fatal("nondeterministic fruitchain run")
 	}

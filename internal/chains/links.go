@@ -1,28 +1,17 @@
 package chains
 
-import (
-	"blockadt/internal/history"
-	"blockadt/internal/netsim"
-)
-
-// This file provides the network-adversity runners: the PoW systems over
-// rate-lossy, partitioned and jitter-prone channels. Together with the
-// async/psync runners they make the channel model — the deciding variable
-// of Section 4.2 — a first-class scenario dimension. The lossy regime is
-// the executable side of the necessity results (Theorem 4.7: Eventual
-// Prefix is unimplementable once even one message sent by a correct
-// process is dropped); the partition regime exercises the related-work
-// remark that partition-prone systems sustain nothing stronger than
-// monotonic-prefix consistency while the cut is up; the jitter regime
-// shows rare heavy-tail stragglers alone do not break convergence.
-
-// LossyParams extends Params with the per-message drop probability.
-type LossyParams struct {
-	Params
-	// Rate is the per-message drop probability; 0 defaults to
-	// DefaultLossRate.
-	Rate float64
-}
+// This file keeps the shared constants of the network-adversity regimes:
+// the PoW systems over rate-lossy, partitioned and jitter-prone channels,
+// whose link plans (LossyLinks, PartitionLinks, JitterLinks, …) live in
+// execute.go. Together with the async/psync plans they make the channel
+// model — the deciding variable of Section 4.2 — a first-class scenario
+// dimension. The lossy regime is the executable side of the necessity
+// results (Theorem 4.7: Eventual Prefix is unimplementable once even one
+// message sent by a correct process is dropped); the partition regime
+// exercises the related-work remark that partition-prone systems sustain
+// nothing stronger than monotonic-prefix consistency while the cut is up;
+// the jitter regime shows rare heavy-tail stragglers alone do not break
+// convergence.
 
 // DefaultLossRate is the drop probability of the registered "lossy"
 // scenario link: high enough that every realistic run loses several
@@ -30,133 +19,11 @@ type LossyParams struct {
 // replica still reaches its target chain length.
 const DefaultLossRate = 0.10
 
-// RunPoWLossy runs the named PoW system over δ-bounded links that drop
-// each message independently with probability Rate. Dropped updates are
-// never retransmitted, so replicas missing a block diverge permanently —
-// the recorded histories witness the Eventual Prefix violation of
-// Theorem 4.7. Unknown systems panic; callers gate on SupportsPoWLinks.
-func RunPoWLossy(system string, p LossyParams) Result {
-	p.Params = p.Params.withDefaults()
-	rate := p.Rate
-	if rate <= 0 {
-		rate = DefaultLossRate
-	}
-	links := netsim.LossyRate{Inner: netsim.Synchronous{Delta: p.Delta}, P: rate}
-	return runPoWSystemLinks(system, "lossy", "R(BT-ADT_EC, Θ_P) — lossy channels (Theorem 4.7 regime)", links, p.Params)
-}
-
-// LossyPsyncParams extends Params with the two knobs of the Theorem 4.7
-// phase-boundary sweep: the per-message drop probability and the
-// weakly-synchronous stabilization time the surviving messages obey.
-type LossyPsyncParams struct {
-	Params
-	// Rate is the per-message drop probability. Unlike LossyParams.Rate
-	// it is taken literally: 0 means reliable channels (the p=0 boundary
-	// row), not the default rate.
-	Rate float64
-	// GSTDeltas is the global stabilization time of the underlying
-	// weakly-synchronous links, in units of the (defaulted) δ bound; 0
-	// defaults to 8, like RunPoWPsync. Scaling by δ here keeps callers —
-	// which usually leave δ to its default — from having to know it.
-	GSTDeltas int64
-}
-
-// RunPoWLossyPsync runs the named PoW system over weakly-synchronous
-// links that additionally drop each message independently with
-// probability Rate — the two-dimensional regime of the Theorem 4.7 phase
-// boundary. At Rate 0 it degrades to exactly the psync channel model (the
-// drop draw is still taken per message, so the delivery schedule differs
-// from RunPoWPsync's by the rng stream, but reliability is restored and
-// the run converges); at any Rate > 0 dropped updates are never
-// retransmitted and the theorem predicts the loss of Eventual Prefix.
-// Unknown systems panic; callers gate on SupportsPoWLinks.
-func RunPoWLossyPsync(system string, p LossyPsyncParams) Result {
-	p.Params = p.Params.withDefaults()
-	gstDeltas := p.GSTDeltas
-	if gstDeltas <= 0 {
-		gstDeltas = 8
-	}
-	links := netsim.LossyRate{
-		Inner: netsim.WeaklySynchronous{GST: gstDeltas * p.Delta, Delta: p.Delta},
-		P:     p.Rate,
-	}
-	return runPoWSystemLinks(system, "lossy+psync", "R(BT-ADT_EC, Θ_P) — lossy weakly-synchronous regime (Theorem 4.7 boundary)", links, p.Params)
-}
-
-// PartitionParams extends Params with the partition window.
-type PartitionParams struct {
-	Params
-	// Start and Heal bound the partition interval [Start, Heal) in
-	// virtual time; zero values default to [8δ, 24δ).
-	Start, Heal int64
-	// Split is the cut (processes with id < Split on one side); 0
-	// defaults to N/2 — the bisection.
-	Split int
-}
-
-// RunPoWPartition runs the named PoW system through a transient network
-// bisection: cross-cut messages whose delivery would land inside
-// [Start, Heal) are deferred until the cut closes (the network
-// retransmits on heal), so the two sides fork while partitioned and
-// reconverge afterwards without an anti-entropy resync. The result
-// carries PartitionHeal so the partition_heal_lag metric can measure the
-// reconvergence tail. Unknown systems panic; callers gate on
-// SupportsPoWLinks.
-func RunPoWPartition(system string, p PartitionParams) Result {
-	p.Params = p.Params.withDefaults()
-	start, heal := p.Start, p.Heal
-	if start <= 0 {
-		start = 8 * p.Delta
-	}
-	if heal <= start {
-		heal = start + 16*p.Delta
-	}
-	split := p.Split
-	if split <= 0 {
-		split = p.N / 2
-	}
-	links := netsim.PartitionModel{
-		Inner: netsim.Synchronous{Delta: p.Delta},
-		Split: history.ProcID(split),
-		Start: start,
-		Heal:  heal,
-		Defer: true,
-	}
-	res := runPoWSystemLinks(system, "partition", "R(BT-ADT_EC, Θ_P) — healed partition regime", links, p.Params)
-	res.PartitionHeal = heal
-	return res
-}
-
-// JitterParams extends Params with the heavy-tail straggler knobs.
-type JitterParams struct {
-	Params
-	// TailProb is the per-message straggler probability; 0 defaults to
-	// 0.05.
-	TailProb float64
-	// TailFactor multiplies a straggler's delay; 0 defaults to 10.
-	TailFactor int64
-}
-
-// RunPoWJitter runs the named PoW system over δ-bounded links where a
-// TailProb fraction of messages straggle by TailFactor×. Every message
-// still arrives, so convergence survives — jitter degrades fork rate and
-// finality depth, not the consistency level. Unknown systems panic;
-// callers gate on SupportsPoWLinks.
-func RunPoWJitter(system string, p JitterParams) Result {
-	p.Params = p.Params.withDefaults()
-	tail := p.TailProb
-	if tail <= 0 {
-		tail = 0.05
-	}
-	links := netsim.Jitter{Inner: netsim.Synchronous{Delta: p.Delta}, TailProb: tail, TailFactor: p.TailFactor}
-	return runPoWSystemLinks(system, "jitter", "R(BT-ADT_EC, Θ_P) — heavy-tail jitter regime", links, p.Params)
-}
-
 // NormalizeSelfishN is the one process-count normalization of the
-// selfish-mining experiment, shared by RunSelfishMining and the façade's
-// merit-vector reconstruction so the two can never drift apart: the
-// Params default (0 → 8) plus the adversarial minimum of one honest
-// miner (n < 2 → 2).
+// selfish-mining experiment, shared by the SelfishWithholding plan and
+// the façade's merit-vector reconstruction so the two can never drift
+// apart: the Params default (0 → 8) plus the adversarial minimum of one
+// honest miner (n < 2 → 2).
 func NormalizeSelfishN(n int) int {
 	if n == 0 {
 		n = 8

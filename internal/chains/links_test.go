@@ -19,22 +19,26 @@ func classifyLevel(res Result, n int) consistency.Level {
 // processes and its recorded history violates Eventual Prefix — for both
 // PoW systems, across seeds.
 func TestLossyWitnessesTheorem47(t *testing.T) {
-	for _, sys := range []string{"Bitcoin", "Ethereum"} {
+	for _, sys := range []System{Bitcoin{}, Ethereum{}} {
 		for _, seed := range []uint64{1, 42, 12345} {
-			res := RunPoWLossy(sys, LossyParams{Params: Params{N: 8, TargetBlocks: 30, Seed: seed}})
+			res := execScenario(t, Scenario{
+				System: sys,
+				Links:  LossyLinks,
+				Params: ScenarioParams{Params: Params{N: 8, TargetBlocks: 30, Seed: seed}},
+			})
 			if res.Dropped == 0 {
-				t.Fatalf("%s seed=%d: lossy run dropped nothing — no Theorem 4.7 hypothesis", sys, seed)
+				t.Fatalf("%s seed=%d: lossy run dropped nothing — no Theorem 4.7 hypothesis", sys.Name(), seed)
 			}
 			opts := Options(Params{N: 8}.withDefaults(), res.History)
 			v := consistency.EventualPrefix(res.History, opts)
 			if v.Satisfied {
-				t.Fatalf("%s seed=%d: lossy run satisfies Eventual Prefix despite %d drops", sys, seed, res.Dropped)
+				t.Fatalf("%s seed=%d: lossy run satisfies Eventual Prefix despite %d drops", sys.Name(), seed, res.Dropped)
 			}
 			if len(v.Violations) == 0 {
-				t.Fatalf("%s seed=%d: Eventual Prefix violated but no witness recorded", sys, seed)
+				t.Fatalf("%s seed=%d: Eventual Prefix violated but no witness recorded", sys.Name(), seed)
 			}
 			if lvl := classifyLevel(res, 8); lvl != consistency.LevelNone {
-				t.Fatalf("%s seed=%d: lossy run classified %s, want none", sys, seed, lvl)
+				t.Fatalf("%s seed=%d: lossy run classified %s, want none", sys.Name(), seed, lvl)
 			}
 		}
 	}
@@ -44,14 +48,18 @@ func TestLossyWitnessesTheorem47(t *testing.T) {
 // tree while the cut is up, then reconverges — the run classifies EC and
 // carries the heal time for the partition_heal_lag metric.
 func TestPartitionHealsBackToEC(t *testing.T) {
-	for _, sys := range []string{"Bitcoin", "Ethereum"} {
+	for _, sys := range []System{Bitcoin{}, Ethereum{}} {
 		for _, seed := range []uint64{1, 42, 12345} {
-			res := RunPoWPartition(sys, PartitionParams{Params: Params{N: 8, TargetBlocks: 30, Seed: seed}})
+			res := execScenario(t, Scenario{
+				System: sys,
+				Links:  PartitionLinks,
+				Params: ScenarioParams{Params: Params{N: 8, TargetBlocks: 30, Seed: seed}},
+			})
 			if res.PartitionHeal == 0 {
-				t.Fatalf("%s seed=%d: partition run lost its heal time", sys, seed)
+				t.Fatalf("%s seed=%d: partition run lost its heal time", sys.Name(), seed)
 			}
 			if lvl := classifyLevel(res, 8); lvl != consistency.LevelEC {
-				t.Fatalf("%s seed=%d: healed partition classified %s, want EC", sys, seed, lvl)
+				t.Fatalf("%s seed=%d: healed partition classified %s, want EC", sys.Name(), seed, lvl)
 			}
 		}
 	}
@@ -60,21 +68,25 @@ func TestPartitionHealsBackToEC(t *testing.T) {
 // TestJitterKeepsEC: heavy-tail stragglers alone never break eventual
 // consistency — every message still arrives.
 func TestJitterKeepsEC(t *testing.T) {
-	for _, sys := range []string{"Bitcoin", "Ethereum"} {
-		res := RunPoWJitter(sys, JitterParams{Params: Params{N: 8, TargetBlocks: 30, Seed: 42}})
+	for _, sys := range []System{Bitcoin{}, Ethereum{}} {
+		res := execScenario(t, Scenario{
+			System: sys,
+			Links:  JitterLinks,
+			Params: ScenarioParams{Params: Params{N: 8, TargetBlocks: 30, Seed: 42}},
+		})
 		if res.Dropped != 0 {
-			t.Fatalf("%s: jitter dropped %d messages", sys, res.Dropped)
+			t.Fatalf("%s: jitter dropped %d messages", sys.Name(), res.Dropped)
 		}
 		if lvl := classifyLevel(res, 8); lvl != consistency.LevelEC {
-			t.Fatalf("%s: jitter run classified %s, want EC", sys, lvl)
+			t.Fatalf("%s: jitter run classified %s, want EC", sys.Name(), lvl)
 		}
 	}
 }
 
-// TestPoWLinkRunnersCoverAllPoWSystems: the generic runner extends the
+// TestPoWLinkPlansCoverAllPoWSystems: the generic driver extends the
 // async and psync regimes beyond Bitcoin — Ethereum's GHOST selection
 // converges under the DLS-bounded weak synchrony too.
-func TestPoWLinkRunnersCoverAllPoWSystems(t *testing.T) {
+func TestPoWLinkPlansCoverAllPoWSystems(t *testing.T) {
 	if !SupportsPoWLinks("Bitcoin") || !SupportsPoWLinks("Ethereum") {
 		t.Fatal("PoW link support must cover Bitcoin and Ethereum")
 	}
@@ -82,16 +94,26 @@ func TestPoWLinkRunnersCoverAllPoWSystems(t *testing.T) {
 		t.Fatal("committee systems must not claim PoW link runners")
 	}
 	p := Params{N: 8, TargetBlocks: 30, Seed: 42}
-	if lvl := classifyLevel(RunPoWAsync("Ethereum", AsyncParams{Params: p, MaxDelay: 8}), 8); lvl != consistency.LevelEC {
+	async := execScenario(t, Scenario{
+		System: Ethereum{},
+		Links:  AsyncLinks,
+		Params: ScenarioParams{Params: p, MaxDelay: 8},
+	})
+	if lvl := classifyLevel(async, 8); lvl != consistency.LevelEC {
 		t.Fatalf("Ethereum/async classified %s, want EC", lvl)
 	}
-	if lvl := classifyLevel(RunPoWPsync("Ethereum", PsyncParams{Params: p}), 8); lvl != consistency.LevelEC {
+	psync := execScenario(t, Scenario{
+		System: Ethereum{},
+		Links:  PsyncLinks,
+		Params: ScenarioParams{Params: p},
+	})
+	if lvl := classifyLevel(psync, 8); lvl != consistency.LevelEC {
 		t.Fatalf("Ethereum/psync classified %s, want EC", lvl)
 	}
 }
 
-// TestNormalizeSelfishN pins the shared clamp both RunSelfishMining and
-// the façade's merit-vector reconstruction use.
+// TestNormalizeSelfishN pins the shared clamp both the withholding plan
+// and the façade's merit-vector reconstruction use.
 func TestNormalizeSelfishN(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{{0, 8}, {1, 2}, {2, 2}, {5, 5}} {
 		if got := NormalizeSelfishN(tc.in); got != tc.want {
@@ -101,7 +123,11 @@ func TestNormalizeSelfishN(t *testing.T) {
 	// The degenerate requests really run with the normalized counts: no
 	// main-chain author can sit outside [0, NormalizeSelfishN(n)).
 	for _, n := range []int{0, 1} {
-		stats := RunSelfishMining(Params{N: n, TargetBlocks: 20, Seed: 42}, 0.34)
+		res := execScenario(t, Scenario{
+			Adversary: SelfishWithholding,
+			Params:    ScenarioParams{Params: Params{N: n, TargetBlocks: 20, Seed: 42}, Alpha: 0.34},
+		})
+		stats := res.Adversary
 		limit := NormalizeSelfishN(n)
 		for proc := range stats.MainChainByProc {
 			if int(proc) >= limit {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"blockadt/internal/blocktree"
+	"blockadt/internal/consistency"
 	"blockadt/internal/history"
 	"blockadt/internal/netsim"
 	"blockadt/internal/pbft"
@@ -12,7 +13,7 @@ import (
 
 // This file discharges the abstraction the consensus-based simulators use:
 // where bft.go realizes the "Byzantine-tolerant commit" as an atomic
-// consumeToken on Θ_F,k=1 (the paper's own oracle reading), RunPBFTChain
+// consumeToken on Θ_F,k=1 (the paper's own oracle reading), PBFTChain
 // commits each block through the actual three-phase PBFT protocol of
 // internal/pbft. The resulting histories must — and do, see
 // pbftchain_test.go — classify exactly like the oracle-committed ones:
@@ -126,9 +127,25 @@ func (n *pbftChainNode) applyLocal(s *netsim.Sim, parent blocktree.BlockID, b bl
 	}
 }
 
-// RunPBFTChain drives a consortium chain whose per-slot commit is the real
-// PBFT protocol (writers = Params.Writers, default N/2+).
-func RunPBFTChain(p Params) Result {
+// PBFTChain is the consortium chain whose per-slot commit is the real
+// three-phase PBFT protocol (writers = Params.Writers, default N/2+). It
+// is a System value — experiments and benchmarks run it like a Table 1
+// row (deliberately unregistered in the façade: the registered committee
+// systems commit through the Θ_F,k=1 oracle reading; this one exists to
+// discharge that abstraction).
+type PBFTChain struct{}
+
+// Name implements System.
+func (PBFTChain) Name() string { return "PBFT-chain" }
+
+// Refinement implements System.
+func (PBFTChain) Refinement() string { return "R(BT-ADT_SC, Θ_F,k=1) — commit by real PBFT" }
+
+// Expected implements System.
+func (PBFTChain) Expected() consistency.Level { return consistency.LevelSC }
+
+// Run implements System.
+func (PBFTChain) Run(p Params) Result {
 	p = p.withDefaults()
 	writers := p.Writers
 	if writers <= 0 || writers > p.N {

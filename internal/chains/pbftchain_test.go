@@ -11,7 +11,7 @@ import (
 // strongly consistent, fork-free histories — the abstraction is sound.
 func TestPBFTChainIsStronglyConsistent(t *testing.T) {
 	p := Params{N: 4, TargetBlocks: 20, Seed: 9}
-	res := RunPBFTChain(p)
+	res := PBFTChain{}.Run(p)
 	if res.Blocks < p.TargetBlocks {
 		t.Fatalf("committed only %d blocks", res.Blocks)
 	}
@@ -31,7 +31,7 @@ func TestPBFTChainIsStronglyConsistent(t *testing.T) {
 func TestPBFTChainMatchesOracleAbstraction(t *testing.T) {
 	p := Params{N: 4, TargetBlocks: 15, Seed: 10}
 	oracleRun := Hyperledger{}.Run(p)
-	pbftRun := RunPBFTChain(p)
+	pbftRun := PBFTChain{}.Run(p)
 
 	oracleCls := oracleRun.Classify(Options(p.withDefaults(), oracleRun.History))
 	pbftCls := pbftRun.Classify(Options(p.withDefaults(), pbftRun.History))
@@ -52,7 +52,7 @@ func TestPBFTChainMatchesOracleAbstraction(t *testing.T) {
 // TestPBFTChainConsortium: only writers' blocks are committed.
 func TestPBFTChainConsortium(t *testing.T) {
 	p := Params{N: 7, Writers: 3, TargetBlocks: 12, Seed: 11}
-	res := RunPBFTChain(p)
+	res := PBFTChain{}.Run(p)
 	for _, a := range res.History.SuccessfulAppends() {
 		if int(a.Op.Proc) >= 3 {
 			t.Fatalf("non-writer p%d appended %s", a.Op.Proc, a.Block)
@@ -66,8 +66,8 @@ func TestPBFTChainConsortium(t *testing.T) {
 // TestPBFTChainDeterministic: same seed, same run.
 func TestPBFTChainDeterministic(t *testing.T) {
 	p := Params{N: 4, TargetBlocks: 10, Seed: 12}
-	a := RunPBFTChain(p)
-	b := RunPBFTChain(p)
+	a := PBFTChain{}.Run(p)
+	b := PBFTChain{}.Run(p)
 	if a.Blocks != b.Blocks || a.Ticks != b.Ticks || a.Delivered != b.Delivered {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}

@@ -71,13 +71,15 @@ func (n *powNode) mine(s *netsim.Sim) {
 // runPoW drives a permissionless PoW network with the given selector over
 // synchronous links and returns its result.
 func runPoW(name, refinement string, sel blocktree.Selector, p Params) Result {
-	return runPoWLinks(name, refinement, sel, nil, p)
+	return runPoWTopo(name, refinement, sel, nil, nil, p)
 }
 
-// runPoWLinks is runPoW with an explicit link model (nil = synchronous with
-// bound Delta). The asynchronous variants back the Section 4.2 open-issue
-// experiments: Eventual Prefix under unbounded delay.
-func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.LinkModel, p Params) Result {
+// runPoWTopo is runPoW with an explicit link model (nil = synchronous with
+// bound Delta) and dissemination topology (nil = complete-graph broadcast;
+// non-nil switches replicas to Gossiper flooding over the topology). The
+// asynchronous variants back the Section 4.2 open-issue experiments:
+// Eventual Prefix under unbounded delay.
+func runPoWTopo(name, refinement string, sel blocktree.Selector, links netsim.LinkModel, topo netsim.Topology, p Params) Result {
 	p = p.withDefaults()
 	if links == nil {
 		links = netsim.Synchronous{Delta: p.Delta}
@@ -95,6 +97,9 @@ func runPoWLinks(name, refinement string, sel blocktree.Selector, links netsim.L
 	for i := 0; i < p.N; i++ {
 		id := history.ProcID(i)
 		rep := netsim.NewReplicaCap(id, sel, sim.Recorder(), p.TargetBlocks+p.TargetBlocks/2)
+		if topo != nil {
+			rep.EnableGossip(topo)
+		}
 		reps[id] = rep
 		node := &powNode{rep: rep, orc: orc, merit: i, params: p, done: &done}
 		sim.Register(id, node)

@@ -136,25 +136,12 @@ func (m *selfishMiner) publish(s *netsim.Sim, n int) {
 
 // OnTimerRead is unused; reads come from honest observers.
 
-// SelfishStats summarizes a selfish-mining run.
-type SelfishStats struct {
-	Result
-	// AdversaryMined / HonestMined count oracle-validated blocks.
-	AdversaryMined, HonestMined int
-	// AdversaryShare / HonestShare are main-chain proportions.
-	AdversaryShare, HonestShare float64
-	// AdversaryMerit is the adversary's entitled share.
-	AdversaryMerit float64
-	// Orphaned counts mined blocks that missed the final main chain.
-	Orphaned int
-	// MainChainByProc is the main-chain authorship census, the input to
-	// chain-quality fairness analysis.
-	MainChainByProc map[history.ProcID]int
-}
-
-// RunSelfishMining runs N-1 honest miners against one selfish miner
-// (process 0) holding fraction alpha of the total mining power.
-func RunSelfishMining(p Params, alpha float64) SelfishStats {
+// runSelfishMining is the SelfishWithholding plan's driver: N-1 honest
+// miners against one selfish miner (process 0) holding fraction
+// Params.Alpha of the total mining power. The census lands on
+// Result.Adversary.
+func runSelfishMining(sc Scenario) Result {
+	p, alpha := sc.Params.Params, sc.Params.Alpha
 	p.N = NormalizeSelfishN(p.N)
 	p = p.withDefaults()
 	// Merit tapes: adversary gets alpha of the aggregate attempt rate.
@@ -222,7 +209,7 @@ func RunSelfishMining(p Params, alpha float64) SelfishStats {
 			honBlocks++
 		}
 	}
-	stats := SelfishStats{
+	stats := &AdversaryStats{
 		AdversaryMerit:  alpha,
 		MainChainByProc: byProc,
 	}
@@ -245,7 +232,7 @@ func RunSelfishMining(p Params, alpha float64) SelfishStats {
 	}
 	stats.Orphaned = stats.AdversaryMined + stats.HonestMined - mainLen
 	blocks, forks := bestReplica(reps)
-	stats.Result = Result{
+	return Result{
 		System:       fmt.Sprintf("Bitcoin+selfish(α=%.2f)", alpha),
 		Refinement:   "R(BT-ADT_EC, Θ_P) under adversarial withholding",
 		OracleName:   orc.Name(),
@@ -258,6 +245,6 @@ func RunSelfishMining(p Params, alpha float64) SelfishStats {
 		Delivered:    sim.Delivered,
 		Dropped:      sim.Dropped,
 		Bytes:        sim.Bytes,
+		Adversary:    stats,
 	}
-	return stats
 }

@@ -7,13 +7,22 @@ import (
 	"blockadt/internal/fairness"
 )
 
+// runSelfish executes the withholding plan through the unified executor.
+func runSelfish(t *testing.T, p Params, alpha float64) Result {
+	t.Helper()
+	return execScenario(t, Scenario{
+		Adversary: SelfishWithholding,
+		Params:    ScenarioParams{Params: p, Alpha: alpha},
+	})
+}
+
 // TestSelfishMiningDegradesChainQuality: a withholding adversary with a
 // third of the power orphans honest work, so the honest miners' realized
 // main-chain share falls below their merit entitlement — the chain-quality
 // loss the fairness analyzer is built to expose.
 func TestSelfishMiningDegradesChainQuality(t *testing.T) {
 	p := Params{N: 6, TargetBlocks: 120, Seed: 31}
-	stats := RunSelfishMining(p, 0.34)
+	stats := runSelfish(t, p, 0.34).Adversary
 
 	if stats.AdversaryMined == 0 || stats.HonestMined == 0 {
 		t.Fatalf("degenerate run: adv=%d honest=%d", stats.AdversaryMined, stats.HonestMined)
@@ -36,7 +45,7 @@ func TestSelfishMiningDegradesChainQuality(t *testing.T) {
 // best case).
 func TestSelfishMiningProfitability(t *testing.T) {
 	p := Params{N: 6, TargetBlocks: 120, Seed: 31}
-	stats := RunSelfishMining(p, 0.34)
+	stats := runSelfish(t, p, 0.34).Adversary
 	if stats.AdversaryShare <= stats.AdversaryMerit {
 		t.Fatalf("adversary share %.3f ≤ merit %.3f — strategy unprofitable in the γ=1 regime",
 			stats.AdversaryShare, stats.AdversaryMerit)
@@ -48,13 +57,15 @@ func TestSelfishMiningProfitability(t *testing.T) {
 // significant deviation, while an honest-only control run stays fair.
 func TestSelfishMiningFlaggedUnfair(t *testing.T) {
 	p := Params{N: 6, TargetBlocks: 120, Seed: 31}
-	stats := RunSelfishMining(p, 0.34)
+	res := runSelfish(t, p, 0.34)
+	stats := res.Adversary
 
 	// Chain quality: main-chain authorship against merit entitlement.
-	rep := fairness.FromCounts(stats.MainChainByProc, stats.meritVector(p))
+	merits := adversaryMeritVector(p, stats.AdversaryMerit)
+	rep := fairness.FromCounts(stats.MainChainByProc, merits)
 	// Production fairness is untouched (the tapes are fair), so the gap
 	// between the two reports isolates the withholding attack.
-	prod := fairness.Analyze(stats.History, stats.meritVector(p))
+	prod := fairness.Analyze(res.History, merits)
 	if rep.TVD <= prod.TVD {
 		t.Fatalf("chain-quality TVD %.3f ≤ production TVD %.3f — attack invisible", rep.TVD, prod.TVD)
 	}
@@ -64,14 +75,16 @@ func TestSelfishMiningFlaggedUnfair(t *testing.T) {
 	t.Logf("fairness TVD: chain quality %.3f vs production %.3f", rep.TVD, prod.TVD)
 }
 
-// meritVector reconstructs the merit distribution RunSelfishMining used.
-func (s SelfishStats) meritVector(p Params) []float64 {
+// adversaryMeritVector reconstructs the merit distribution the
+// withholding plans build: the adversary at process 0 holds alpha of the
+// aggregate attempt rate, the honest miners split the rest equally.
+func adversaryMeritVector(p Params, alpha float64) []float64 {
 	p = p.withDefaults()
 	total := p.TokenProb * float64(p.N)
 	merits := make([]float64, p.N)
-	merits[0] = total * s.AdversaryMerit
+	merits[0] = total * alpha
 	for i := 1; i < p.N; i++ {
-		merits[i] = total * (1 - s.AdversaryMerit) / float64(p.N-1)
+		merits[i] = total * (1 - alpha) / float64(p.N-1)
 	}
 	return merits
 }
@@ -82,9 +95,9 @@ func (s SelfishStats) meritVector(p Params) []float64 {
 // fairness as separate future work).
 func TestSelfishMiningStillEventuallyConsistent(t *testing.T) {
 	p := Params{N: 6, TargetBlocks: 80, Seed: 31}
-	stats := RunSelfishMining(p, 0.3)
-	opts := Options(p.withDefaults(), stats.History)
-	ec := consistency.CheckEC(stats.History, opts)
+	res := runSelfish(t, p, 0.3)
+	opts := Options(p.withDefaults(), res.History)
+	ec := consistency.CheckEC(res.History, opts)
 	if !ec.Satisfied() {
 		t.Fatalf("selfish run lost eventual consistency:\n%s", ec)
 	}

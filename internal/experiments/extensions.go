@@ -38,6 +38,17 @@ func (r Runner) ExtensionsParallel(parallelism int) []Result {
 	}, parallelism, func(_ int, exp func() Result) Result { return exp() })
 }
 
+// mustExecute runs a scenario whose strategies are fixed at compile time:
+// the only Execute errors are composition mistakes, so a failure here is a
+// programming bug, not an input problem.
+func mustExecute(sc chains.Scenario) chains.Result {
+	res, err := chains.Execute(sc)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // X1LedgerPredicate instantiates the paper's Section 3.1 example of the
 // validity predicate P: connectivity plus no double spending.
 func (r Runner) X1LedgerPredicate() Result {
@@ -96,17 +107,25 @@ func (r Runner) X2Fairness() Result {
 // open issues (ii)/(iii): Eventual Prefix fails when block generation
 // outpaces message delay, and holds when it does not.
 func (r Runner) X3AsyncEventualPrefix() Result {
-	fast := chains.RunBitcoinAsync(chains.AsyncParams{
-		Params:   chains.Params{N: 6, TargetBlocks: 60, Seed: 23, MineInterval: 1, TokenProb: 0.5, ReadEvery: 4},
-		MaxDelay: 192, TailProb: 0.2,
+	fast := mustExecute(chains.Scenario{
+		System: chains.Bitcoin{},
+		Links:  chains.AsyncLinks,
+		Params: chains.ScenarioParams{
+			Params:   chains.Params{N: 6, TargetBlocks: 60, Seed: 23, MineInterval: 1, TokenProb: 0.5, ReadEvery: 4},
+			MaxDelay: 192, TailProb: 0.2,
+		},
 	})
 	fastOpts := chains.Options(chains.Params{N: 6}, fast.History)
 	fastOpts.GraceWindow = 16
 	fastDiverges := !consistency.EventualPrefix(fast.History, fastOpts).Satisfied
 
-	slow := chains.RunBitcoinAsync(chains.AsyncParams{
-		Params:   chains.Params{N: 6, TargetBlocks: 25, Seed: 23, MineInterval: 64, TokenProb: 0.04, ReadEvery: 32},
-		MaxDelay: 8,
+	slow := mustExecute(chains.Scenario{
+		System: chains.Bitcoin{},
+		Links:  chains.AsyncLinks,
+		Params: chains.ScenarioParams{
+			Params:   chains.Params{N: 6, TargetBlocks: 25, Seed: 23, MineInterval: 64, TokenProb: 0.04, ReadEvery: 32},
+			MaxDelay: 8,
+		},
 	})
 	slowOpts := chains.Options(chains.Params{N: 6}, slow.History)
 	slowConverges := consistency.EventualPrefix(slow.History, slowOpts).Satisfied
@@ -159,7 +178,7 @@ func (r Runner) X5FinalityGadget() Result {
 // is unchanged — the oracle abstraction is sound.
 func (r Runner) X6PBFTDischarge() Result {
 	p := chains.Params{N: 4, TargetBlocks: 15, Seed: r.seed()}
-	pbftRun := chains.RunPBFTChain(p)
+	pbftRun := chains.PBFTChain{}.Run(p)
 	cls := pbftRun.Classify(chains.Options(p, pbftRun.History))
 	pass := cls.Level == consistency.LevelSC && pbftRun.Forks == 0
 	return Result{
@@ -176,8 +195,12 @@ func (r Runner) X6PBFTDischarge() Result {
 // eventually consistent — fairness and consistency are orthogonal.
 func (r Runner) X7SelfishMining() Result {
 	p := chains.Params{N: 6, TargetBlocks: 120, Seed: 31}
-	stats := chains.RunSelfishMining(p, 0.34)
-	ec := consistency.CheckEC(stats.History, chains.Options(p, stats.History)).Satisfied()
+	res := mustExecute(chains.Scenario{
+		Adversary: chains.SelfishWithholding,
+		Params:    chains.ScenarioParams{Params: p, Alpha: 0.34},
+	})
+	stats := res.Adversary
+	ec := consistency.CheckEC(res.History, chains.Options(p, res.History)).Satisfied()
 	profitable := stats.AdversaryShare > stats.AdversaryMerit
 	pass := profitable && stats.Orphaned > 0 && ec
 	return Result{
@@ -213,10 +236,14 @@ func (r Runner) X8PartitionProne() Result {
 // adversary as X7: block authorship skews, fruit rewards do not.
 func (r Runner) X9FruitChain() Result {
 	p := chains.Params{N: 6, TargetBlocks: 120, Seed: 31}
-	stats := chains.RunFruitChainAttack(p, 0.34)
+	res := mustExecute(chains.Scenario{
+		Adversary: chains.FruitWithholding,
+		Params:    chains.ScenarioParams{Params: p, Alpha: 0.34},
+	})
+	stats := res.Adversary
 	blockExcess := stats.AdversaryBlockShare - stats.AdversaryMerit
 	rewardExcess := stats.AdversaryRewardShare - stats.AdversaryMerit
-	cls := consistency.Classify(stats.History, chains.Options(p, stats.History))
+	cls := consistency.Classify(res.History, chains.Options(p, res.History))
 	pass := blockExcess > 0.05 && rewardExcess < blockExcess/2 && cls.Level == consistency.LevelEC
 	return Result{
 		ID:         "X9",

@@ -21,6 +21,13 @@ type Gossiper struct {
 	seen map[gossipKey]bool
 	// Deliver is invoked exactly once per distinct message.
 	Deliver func(s *Sim, m Message)
+	// Topo restricts the relay fan-out to the topology's neighbor set;
+	// nil relays to every registered process (the complete graph). Set
+	// it before the first publish or relay: membership is static once a
+	// simulation starts, so the neighbor set is computed once and cached.
+	Topo Topology
+	// peers caches Topo's neighbor set for this process.
+	peers []history.ProcID
 }
 
 // gossipKey identifies a message independent of its relay path.
@@ -90,7 +97,7 @@ func (g *Gossiper) OnMessage(s *Sim, m Message) bool {
 }
 
 func (g *Gossiper) relay(s *Sim, m Message) {
-	for _, p := range s.Procs() {
+	for _, p := range g.relayPeers(s) {
 		if p == g.id {
 			continue
 		}
@@ -99,6 +106,18 @@ func (g *Gossiper) relay(s *Sim, m Message) {
 		cp.To = p
 		s.Send(cp)
 	}
+}
+
+// relayPeers resolves the relay fan-out: the topology's neighbor set
+// when Topo is set, every registered process otherwise.
+func (g *Gossiper) relayPeers(s *Sim) []history.ProcID {
+	if g.Topo == nil {
+		return s.Procs()
+	}
+	if g.peers == nil {
+		g.peers = g.Topo.Peers(g.id, s.Procs())
+	}
+	return g.peers
 }
 
 // Seen reports whether the gossiper has already delivered the message.

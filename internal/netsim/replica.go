@@ -22,6 +22,10 @@ type Replica struct {
 	rec *history.Recorder
 	// pending[parent] = blocks waiting for parent to arrive.
 	pending map[blocktree.BlockID][]pendingBlock
+	// gossip, when set (EnableGossip), routes update dissemination
+	// through the flooding Gossiper over a restricted topology instead
+	// of the simulator's complete-graph broadcast.
+	gossip *Gossiper
 	// UpdateKind is the message kind replicas react to ("update").
 }
 
@@ -67,19 +71,54 @@ func (r *Replica) Tree() *blocktree.Tree { return r.bt.Tree() }
 func (r *Replica) CreateAndBroadcast(s *Sim, parent blocktree.BlockID, b blocktree.Block) {
 	r.applyUpdate(parent, b, r.id)
 	r.rec.Record(r.id, history.Label{Kind: history.KindSend, Parent: parent, Block: b.ID, Origin: r.id})
-	s.Broadcast(r.id, Message{Kind: UpdateMsg, Parent: parent, Block: b.ID, Origin: r.id, Payload: b})
+	m := Message{Kind: UpdateMsg, Parent: parent, Block: b.ID, Origin: r.id, Payload: b}
+	if r.gossip != nil {
+		r.gossip.Publish(s, m)
+		return
+	}
+	s.Broadcast(r.id, m)
+}
+
+// EnableGossip switches the replica's update dissemination from the
+// simulator's complete-graph broadcast to Gossiper flooding over the
+// given topology (nil: flooding over the complete graph). Originated
+// blocks reach only the topology's direct peers; every replica relays
+// the first copy it receives, so updates cross the graph hop by hop —
+// the LRC abstraction carried by the protocol instead of the primitive.
+// Call it before the simulation starts; dissemination mode is not
+// meant to change mid-run.
+func (r *Replica) EnableGossip(topo Topology) {
+	r.gossip = NewGossiper(r.id, func(s *Sim, m Message) {
+		b, ok := m.Payload.(blocktree.Block)
+		if !ok {
+			return
+		}
+		r.rec.Record(r.id, history.Label{Kind: history.KindReceive, Parent: m.Parent, Block: m.Block, Origin: m.Origin})
+		if m.Origin == r.id {
+			// Own block: update already applied at creation.
+			return
+		}
+		r.applyUpdate(m.Parent, b, m.Origin)
+	})
+	r.gossip.Topo = topo
 }
 
 // OnMessage handles an update delivery: records receive_j(bg, b) and applies
-// update_j(bg, b), deferring it if the predecessor is unknown.
+// update_j(bg, b), deferring it if the predecessor is unknown. In gossip
+// mode the first copy is additionally relayed to the topology's peers;
+// duplicate copies are dropped without a receive record.
 func (r *Replica) OnMessage(s *Sim, m Message) {
 	if m.Kind != UpdateMsg {
 		return
 	}
-	b, ok := m.Payload.(blocktree.Block)
-	if !ok {
+	if _, ok := m.Payload.(blocktree.Block); !ok {
 		return
 	}
+	if r.gossip != nil {
+		r.gossip.OnMessage(s, m)
+		return
+	}
+	b := m.Payload.(blocktree.Block)
 	r.rec.Record(r.id, history.Label{Kind: history.KindReceive, Parent: m.Parent, Block: m.Block, Origin: m.Origin})
 	if m.Origin == r.id {
 		// Self-delivery: update already applied at creation.

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+
+	"blockadt/internal/history"
+	"blockadt/internal/prng"
+)
+
+// Topology restricts which processes receive direct copies of a
+// broadcast or gossip relay. The default everywhere is the complete
+// graph (every process hears every send directly — the Table 1
+// setting); a non-complete topology makes dissemination multi-hop, so
+// the flooding relays of the Gossiper (the paper's Light Reliable
+// Communication, Definition 4.4) carry updates across the graph.
+//
+// Membership is static for the lifetime of a run, so implementations
+// may be pure functions of (p, procs) and callers may cache the result.
+type Topology interface {
+	// Name identifies the topology in reports and scenario labels.
+	Name() string
+	// Peers returns the processes p sends direct copies to. procs is the
+	// full membership in ascending id order; the returned slice must not
+	// include p itself and must induce a connected digraph over procs so
+	// relays can reach everyone.
+	Peers(p history.ProcID, procs []history.ProcID) []history.ProcID
+}
+
+// RingK is the degree-k ring overlay: processes are arranged on a ring
+// in id order and each sends to its K successors. K ≥ 1 keeps the ring
+// connected (diameter ⌈(n-1)/K⌉ hops); K ≥ n-1 degrades to the complete
+// graph. It is the smallest deterministic gossip graph with a tunable
+// fan-out, which is exactly what the topology dimension needs: same
+// protocol, fewer direct edges, convergence now owed to relaying.
+type RingK struct {
+	// K is the successor fan-out; values < 1 are clamped to 1.
+	K int
+}
+
+// Name implements Topology.
+func (r RingK) Name() string { return fmt.Sprintf("ring(k=%d)", r.K) }
+
+// Peers implements Topology.
+func (r RingK) Peers(p history.ProcID, procs []history.ProcID) []history.ProcID {
+	k := r.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(procs)-1 {
+		k = len(procs) - 1
+	}
+	idx := -1
+	for i, q := range procs {
+		if q == p {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || k <= 0 {
+		return nil
+	}
+	out := make([]history.ProcID, 0, k)
+	for i := 1; i <= k; i++ {
+		out = append(out, procs[(idx+i)%len(procs)])
+	}
+	return out
+}
+
+// ClusterLatency decorates a link model with a two-level latency matrix:
+// processes are grouped into fixed-size clusters by id (ids [0,Size) in
+// cluster 0, [Size,2·Size) in cluster 1, …) and a delivery crossing a
+// cluster boundary pays Extra ticks on top of the inner plan. The
+// decorator draws nothing from the rng itself, so wrapping a model
+// leaves its draw sequence — and with it the determinism contract of
+// seeded runs — untouched. It deliberately does not implement
+// BatchPlanner: the surcharge depends on the receiver, so a broadcast
+// fan-out has per-message delays even over a Synchronous inner model.
+type ClusterLatency struct {
+	Inner LinkModel
+	// Size is the cluster width in process ids; values < 1 behave as 1.
+	Size int
+	// Extra is the cross-cluster delivery surcharge in ticks.
+	Extra int64
+}
+
+// Name implements LinkModel.
+func (c ClusterLatency) Name() string {
+	return fmt.Sprintf("clustered(size=%d,+%d,%s)", c.Size, c.Extra, c.Inner.Name())
+}
+
+// Plan implements LinkModel.
+func (c ClusterLatency) Plan(rng *prng.Source, m Message, now int64) (int64, bool) {
+	delay, drop := c.Inner.Plan(rng, m, now)
+	if drop {
+		return delay, true
+	}
+	size := c.Size
+	if size < 1 {
+		size = 1
+	}
+	if int(m.From)/size != int(m.To)/size {
+		delay += c.Extra
+	}
+	return delay, false
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"blockadt/internal/history"
+	"blockadt/internal/prng"
+)
+
+func procs(n int) []history.ProcID {
+	out := make([]history.ProcID, n)
+	for i := range out {
+		out[i] = history.ProcID(i)
+	}
+	return out
+}
+
+// TestRingKPeers pins the ring overlay's neighbor sets: K successors in
+// id order with wrap-around, K clamped into [1, n-1], never including
+// the process itself.
+func TestRingKPeers(t *testing.T) {
+	ps := procs(5)
+	cases := []struct {
+		k    int
+		p    history.ProcID
+		want []history.ProcID
+	}{
+		{1, 0, []history.ProcID{1}},
+		{2, 3, []history.ProcID{4, 0}},
+		{3, 4, []history.ProcID{0, 1, 2}},
+		{0, 2, []history.ProcID{3}},          // k<1 clamps to 1
+		{9, 1, []history.ProcID{2, 3, 4, 0}}, // k>n-1 degrades to complete
+	}
+	for _, c := range cases {
+		got := RingK{K: c.k}.Peers(c.p, ps)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("RingK{K:%d}.Peers(%d) = %v, want %v", c.k, c.p, got, c.want)
+		}
+		for _, q := range got {
+			if q == c.p {
+				t.Errorf("RingK{K:%d}.Peers(%d) includes the process itself", c.k, c.p)
+			}
+		}
+	}
+	if got := (RingK{K: 2}).Peers(7, ps); got != nil {
+		t.Errorf("unknown process got peers %v", got)
+	}
+	if name := (RingK{K: 3}).Name(); name != "ring(k=3)" {
+		t.Errorf("Name() = %q", name)
+	}
+}
+
+// TestRingKConnected: every process reaches every other by following
+// successor edges — the connectivity precondition relays depend on.
+func TestRingKConnected(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		ps := procs(8)
+		topo := RingK{K: k}
+		for _, start := range ps {
+			reached := map[history.ProcID]bool{start: true}
+			frontier := []history.ProcID{start}
+			for len(frontier) > 0 {
+				p := frontier[0]
+				frontier = frontier[1:]
+				for _, q := range topo.Peers(p, ps) {
+					if !reached[q] {
+						reached[q] = true
+						frontier = append(frontier, q)
+					}
+				}
+			}
+			if len(reached) != len(ps) {
+				t.Fatalf("k=%d: from %d only %d/%d reachable", k, start, len(reached), len(ps))
+			}
+		}
+	}
+}
+
+// TestClusterLatencySurcharge: only deliveries crossing the cluster
+// boundary pay Extra, drops pass through untouched, and the decorator
+// draws nothing from the rng (the inner model's stream position is the
+// same with and without the wrap).
+func TestClusterLatencySurcharge(t *testing.T) {
+	inner := Synchronous{Delta: 8}
+	wrapped := ClusterLatency{Inner: inner, Size: 4, Extra: 32}
+
+	// Same seed, same message position: the only difference between the
+	// two draws is the receiver's cluster.
+	intra, drop := wrapped.Plan(prng.New(1), Message{From: 0, To: 3}, 0)
+	if drop {
+		t.Fatal("synchronous delivery dropped")
+	}
+	cross, _ := wrapped.Plan(prng.New(1), Message{From: 0, To: 4}, 0)
+	if cross != intra+32 {
+		t.Fatalf("cross-cluster delay %d, want intra %d + 32", cross, intra)
+	}
+
+	// rng-neutrality: the wrapped model consumes exactly the inner model's
+	// draws, so both streams stay in lockstep across a message sequence.
+	a, b := prng.New(7), prng.New(7)
+	jitterInner := Jitter{Inner: Synchronous{Delta: 8}, TailProb: 0.5, TailFactor: 4}
+	jitterWrapped := ClusterLatency{Inner: jitterInner, Size: 4, Extra: 32}
+	for i := 0; i < 100; i++ {
+		m := Message{From: history.ProcID(i % 8), To: history.ProcID((i + 3) % 8)}
+		di, _ := jitterInner.Plan(a, m, 0)
+		dw, _ := jitterWrapped.Plan(b, m, 0)
+		want := di
+		if int(m.From)/4 != int(m.To)/4 {
+			want += 32
+		}
+		if dw != want {
+			t.Fatalf("message %d: wrapped delay %d, want %d — rng streams diverged", i, dw, want)
+		}
+	}
+
+	// Drops propagate unchanged.
+	lossy := ClusterLatency{Inner: LossyRate{Inner: Synchronous{Delta: 8}, P: 1}, Size: 4, Extra: 32}
+	if _, drop := lossy.Plan(prng.New(3), Message{From: 0, To: 5}, 0); !drop {
+		t.Fatal("inner drop swallowed by the decorator")
+	}
+
+	if name := wrapped.Name(); name != "clustered(size=4,+32,synchronous(δ=8))" {
+		t.Errorf("Name() = %q", name)
+	}
+}
+
+// TestGossipOverRingTopology: with the relay fan-out restricted to a
+// degree-1 ring, a published message still reaches every process — over
+// n-1 hops instead of one — and the per-process dedup keeps deliveries
+// exactly-once.
+func TestGossipOverRingTopology(t *testing.T) {
+	const n = 6
+	s := New(Synchronous{Delta: 4}, 9)
+	gs := make([]*Gossiper, n)
+	delivered := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		g := NewGossiper(history.ProcID(i), func(*Sim, Message) { delivered[i]++ })
+		g.Topo = RingK{K: 1}
+		gs[i] = g
+		s.Register(history.ProcID(i), HandlerFuncs{
+			Message: func(sim *Sim, m Message) { g.OnMessage(sim, m) },
+		})
+	}
+	gs[0].Publish(s, Message{Kind: GossipKind, Block: "b", Origin: 0})
+	s.Run(1000)
+	for i, d := range delivered {
+		if d != 1 {
+			t.Fatalf("process %d delivered %d times, want exactly 1", i, d)
+		}
+	}
+	// Degree-1 ring: each process sends to exactly one successor, so the
+	// wire carries at most n copies (origin + n-1 relays).
+	if s.Delivered > n {
+		t.Fatalf("ring relay delivered %d copies, want ≤ %d", s.Delivered, n)
+	}
+}

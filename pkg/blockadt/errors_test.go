@@ -22,6 +22,7 @@ func TestLookupMissTyped(t *testing.T) {
 		{"selector", func(n string) error { _, err := LookupSelector(n); return err }, "longest"},
 		{"link", func(n string) error { _, err := LookupLink(n); return err }, LinkSync},
 		{"adversary", func(n string) error { _, err := LookupAdversary(n); return err }, AdvSelfish},
+		{"topology", func(n string) error { _, err := LookupTopology(n); return err }, TopoGossip},
 		{"metric", func(n string) error { _, err := LookupMetric(n); return err }, MetricForkRate},
 	}
 	for _, c := range cases {

@@ -26,9 +26,9 @@ func (r *Report) EncodeJSON() ([]byte, error) {
 // FormatTableHeader renders the sweep table's header line and rule.
 func FormatTableHeader() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-9s %-8s %3s %5s %-9s %-9s %6s %6s %6s %8s %6s\n",
-		"system", "link", "adv", "n", "seed", "expected", "measured", "blocks", "forks", "reorg", "fairTVD", "match")
-	fmt.Fprintln(&b, strings.Repeat("-", 103))
+	fmt.Fprintf(&b, "%-12s %-9s %-8s %-10s %3s %5s %-9s %-9s %6s %6s %6s %8s %6s\n",
+		"system", "link", "adv", "topo", "n", "seed", "expected", "measured", "blocks", "forks", "reorg", "fairTVD", "match")
+	fmt.Fprintln(&b, strings.Repeat("-", 114))
 	return b.String()
 }
 
@@ -38,8 +38,12 @@ func FormatRow(r Result) string {
 	if !r.Match {
 		match = "NO"
 	}
-	return fmt.Sprintf("%-12s %-9s %-8s %3d %5d %-9s %-9s %6d %6d %6d %8.4f %6s\n",
-		r.Config.System, r.Config.Link, r.Config.Adversary, r.Config.N, r.Config.SeedIndex,
+	topo := r.Config.Topology
+	if topo == "" {
+		topo = TopoComplete
+	}
+	return fmt.Sprintf("%-12s %-9s %-8s %-10s %3d %5d %-9s %-9s %6d %6d %6d %8.4f %6s\n",
+		r.Config.System, r.Config.Link, r.Config.Adversary, topo, r.Config.N, r.Config.SeedIndex,
 		r.Expected, r.Level, r.Blocks, r.Forks, r.MaxReorg, r.FairnessTVD, match)
 }
 

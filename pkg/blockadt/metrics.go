@@ -17,6 +17,7 @@ type ConfigAggregate struct {
 	System    string  `json:"system"`
 	Link      string  `json:"link"`
 	Adversary string  `json:"adversary"`
+	Topology  string  `json:"topology,omitempty"`
 	Alpha     float64 `json:"alpha,omitempty"`
 	N         int     `json:"n"`
 	Blocks    int     `json:"blocks"`
@@ -32,9 +33,9 @@ type ConfigAggregate struct {
 // configKey is a ConfigAggregate's identity: everything in a Scenario
 // except the seed dimension.
 type configKey struct {
-	system, link, adversary string
-	alpha                   float64
-	n, blocks               int
+	system, link, adversary, topology string
+	alpha                             float64
+	n, blocks                         int
 }
 
 // SeedAggregator folds sweep results into per-config aggregates across
@@ -62,7 +63,8 @@ func NewSeedAggregator() *SeedAggregator {
 func (a *SeedAggregator) Add(r Result) {
 	key := configKey{
 		system: r.Config.System, link: r.Config.Link, adversary: r.Config.Adversary,
-		alpha: r.Config.Alpha, n: r.Config.N, blocks: r.Config.Blocks,
+		topology: r.Config.Topology,
+		alpha:    r.Config.Alpha, n: r.Config.N, blocks: r.Config.Blocks,
 	}
 	st, ok := a.byKey[key]
 	if !ok {
@@ -92,7 +94,8 @@ func (a *SeedAggregator) Aggregates() []ConfigAggregate {
 		st := a.byKey[key]
 		agg := ConfigAggregate{
 			System: key.system, Link: key.link, Adversary: key.adversary,
-			Alpha: key.alpha, N: key.n, Blocks: key.blocks,
+			Topology: key.topology,
+			Alpha:    key.alpha, N: key.n, Blocks: key.blocks,
 			Seeds: st.seeds, Matched: st.matched,
 			Metrics: make(map[string]MetricSummary, len(st.aggs)),
 		}
@@ -144,9 +147,9 @@ func (s *StatsReport) EncodeJSON() ([]byte, error) {
 // FormatStatsHeader renders the stats table's header line and rule.
 func FormatStatsHeader() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-6s %-8s %3s %5s %-19s %12s %12s %12s %12s\n",
-		"system", "link", "adv", "n", "seeds", "metric", "mean", "p50", "p99", "max")
-	fmt.Fprintln(&b, strings.Repeat("-", 110))
+	fmt.Fprintf(&b, "%-12s %-6s %-8s %-10s %3s %5s %-19s %12s %12s %12s %12s\n",
+		"system", "link", "adv", "topo", "n", "seeds", "metric", "mean", "p50", "p99", "max")
+	fmt.Fprintln(&b, strings.Repeat("-", 121))
 	return b.String()
 }
 
@@ -155,13 +158,17 @@ func FormatStatsHeader() string {
 // not collect are skipped).
 func FormatStatsRows(agg ConfigAggregate, metricOrder []string) string {
 	var b strings.Builder
+	topo := agg.Topology
+	if topo == "" {
+		topo = TopoComplete
+	}
 	for _, name := range metricOrder {
 		s, ok := agg.Metrics[name]
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %-6s %-8s %3d %5d %-19s %12.6g %12.6g %12.6g %12.6g\n",
-			agg.System, agg.Link, agg.Adversary, agg.N, agg.Seeds, name,
+		fmt.Fprintf(&b, "%-12s %-6s %-8s %-10s %3d %5d %-19s %12.6g %12.6g %12.6g %12.6g\n",
+			agg.System, agg.Link, agg.Adversary, topo, agg.N, agg.Seeds, name,
 			s.Mean, s.P50, s.P99, s.Max)
 	}
 	return b.String()

@@ -175,7 +175,14 @@ func TestSelfishMiningMetricsAboveProportional(t *testing.T) {
 func TestFruitChainMetricsCloserToFair(t *testing.T) {
 	p := chains.Params{N: 6, TargetBlocks: 120, Seed: 31}
 	const alpha = 0.34
-	stats := chains.RunFruitChainAttack(p, alpha)
+	res, err := chains.Execute(chains.Scenario{
+		Adversary: chains.FruitWithholding,
+		Params:    chains.ScenarioParams{Params: p, Alpha: alpha},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := res.Adversary
 
 	merits := make([]float64, 6)
 	merits[0] = alpha
@@ -296,12 +303,12 @@ func TestMetricRunNormalizesDefaults(t *testing.T) {
 }
 
 // TestRegistriesEnumeratesGenerically pins the generic enumeration
-// surface `btadt list` renders: all six registries appear in order, with
-// every registration present — including the ones this PR adds (psync,
-// the metric collectors) — without any per-registry code in the caller.
+// surface `btadt list` renders: all seven registries appear in order,
+// with every registration present — including the ones this PR adds (the
+// topology dimension) — without any per-registry code in the caller.
 func TestRegistriesEnumeratesGenerically(t *testing.T) {
 	infos := Registries()
-	wantKinds := []string{"system", "oracle", "selector", "link", "adversary", "metric"}
+	wantKinds := []string{"system", "oracle", "selector", "link", "adversary", "topology", "metric"}
 	if len(infos) != len(wantKinds) {
 		t.Fatalf("enumerated %d registries, want %d", len(infos), len(wantKinds))
 	}
@@ -329,6 +336,12 @@ func TestRegistriesEnumeratesGenerically(t *testing.T) {
 	}
 	if !names("link")[LinkPsync] {
 		t.Error("generic enumeration missed the psync link")
+	}
+	topoNames := names("topology")
+	for _, want := range []string{TopoComplete, TopoGossip, TopoClustered} {
+		if !topoNames[want] {
+			t.Errorf("generic enumeration missed topology %q", want)
+		}
 	}
 	metricNames := names("metric")
 	for _, want := range MetricNames() {

@@ -9,6 +9,7 @@ type settings struct {
 	selector       string
 	link           string
 	adversary      string
+	topology       string
 	seed           uint64
 	n              int
 	writers        int
@@ -57,6 +58,13 @@ func WithLink(name string) Option { return func(s *settings) { s.link = name } }
 // Simulate, which rejects any value but "none" with a pointer to
 // SimulateAdversary (where the adversary is the positional argument).
 func WithAdversary(name string) Option { return func(s *settings) { s.adversary = name } }
+
+// WithTopology selects a registered dissemination topology by name
+// ("complete", "gossip3", "clustered2"). Applies to Simulate;
+// SimulateAdversary rejects non-default topologies (adversary models
+// assume complete-graph broadcast), and a live New instance has no
+// network.
+func WithTopology(name string) Option { return func(s *settings) { s.topology = name } }
 
 // WithSeed sets the seed driving all pseudorandomness. Applies to every
 // entry point.
@@ -139,6 +147,8 @@ func (s settings) simulationOnlyErr() error {
 	switch {
 	case s.link != "":
 		return fmt.Errorf("blockadt: WithLink applies to Simulate, not New (a live instance has no network)")
+	case s.topology != "":
+		return fmt.Errorf("blockadt: WithTopology applies to Simulate, not New (a live instance has no network)")
 	case s.adversary != "":
 		return fmt.Errorf("blockadt: WithAdversary applies to Simulate, not New")
 	case s.blocks != 0:
@@ -172,6 +182,24 @@ func (s settings) metricSpecs() ([]MetricSpec, error) {
 		specs = append(specs, spec)
 	}
 	return specs, nil
+}
+
+// topologySpec resolves the WithTopology request against the registry
+// and the composition's support predicate. No option (or the complete
+// default) resolves to the nil-Plan complete-graph spec.
+func (s settings) topologySpec(system, link, adversary string) (TopologySpec, error) {
+	name := s.topology
+	if name == "" {
+		name = TopoComplete
+	}
+	tspec, err := LookupTopology(name)
+	if err != nil {
+		return TopologySpec{}, err
+	}
+	if tspec.Plan != nil && !tspec.supportsScenario(system, link, adversary) {
+		return TopologySpec{}, fmt.Errorf("blockadt: system %q does not implement topology %q under link %q and adversary %q", system, name, link, adversary)
+	}
+	return tspec, nil
 }
 
 // simParams assembles the chains-level parameters from the options.

@@ -16,7 +16,7 @@ const (
 )
 
 // The two fault models self-register. "none" is the honest default (nil
-// Run); "selfish" wraps the Eyal–Sirer withholding miner.
+// Plan); "selfish" composes the Eyal–Sirer withholding plan.
 func init() {
 	RegisterAdversary(AdversarySpec{
 		Name:        AdvNone,
@@ -29,32 +29,51 @@ func init() {
 		Supports: func(system, link string) bool {
 			return selfishSystems[system] && link == LinkSync
 		},
-		Run: func(system, link string, p SimParams, alpha float64) AdversaryOutcome {
-			stats := chains.RunSelfishMining(p, alpha)
-			// Chain quality against this model's entitlement: the
-			// adversary at process 0 holds alpha, the honest miners
-			// split the remainder equally. The process count comes from
-			// the same normalization RunSelfishMining applies, so the
-			// entitlement vector can never drift from the processes
-			// that actually ran.
+		Plan: func(ex *Execution) {
+			ex.Adversary = chains.SelfishWithholding
+		},
+		// Withholding skews chain quality, not consistency: the run is
+		// still predicted eventually consistent.
+		Expected: func(system, link string, honest Level) Level { return consistency.LevelEC },
+		// Chain quality against this model's entitlement: the adversary
+		// at process 0 holds alpha, the honest miners split the
+		// remainder equally. The process count comes from the same
+		// normalization the withholding plan applies, so the entitlement
+		// vector can never drift from the processes that actually ran.
+		Entitlement: func(p SimParams, alpha float64) []float64 {
 			n := chains.NormalizeSelfishN(p.N)
 			merits := make([]float64, n)
 			merits[0] = alpha
 			for i := 1; i < n; i++ {
 				merits[i] = (1 - alpha) / float64(n-1)
 			}
-			return AdversaryOutcome{
-				SimResult:       stats.Result,
-				Expected:        consistency.LevelEC,
-				FairnessTVD:     fairness.FromCounts(stats.MainChainByProc, merits).TVD,
-				AdversaryMined:  stats.AdversaryMined,
-				HonestMined:     stats.HonestMined,
-				AdversaryShare:  stats.AdversaryShare,
-				HonestShare:     stats.HonestShare,
-				AdversaryMerit:  stats.AdversaryMerit,
-				Orphaned:        stats.Orphaned,
-				MainChainByProc: stats.MainChainByProc,
-			}
+			return merits
 		},
 	})
+}
+
+// adversaryOutcome assembles the structured outcome of an adversarial
+// execution from the census the plan attached to the result. It is the
+// one place AdversaryStats maps onto the façade's AdversaryOutcome,
+// shared by the sweep engine and SimulateAdversary.
+func adversaryOutcome(spec AdversarySpec, system, link string, p SimParams, alpha float64, honest Level, res SimResult) AdversaryOutcome {
+	out := AdversaryOutcome{SimResult: res, Expected: honest}
+	if spec.Expected != nil {
+		out.Expected = spec.Expected(system, link, honest)
+	}
+	stats := res.Adversary
+	if stats == nil {
+		return out
+	}
+	if spec.Entitlement != nil {
+		out.FairnessTVD = fairness.FromCounts(stats.MainChainByProc, spec.Entitlement(p, alpha)).TVD
+	}
+	out.AdversaryMined = stats.AdversaryMined
+	out.HonestMined = stats.HonestMined
+	out.AdversaryShare = stats.AdversaryShare
+	out.HonestShare = stats.HonestShare
+	out.AdversaryMerit = stats.AdversaryMerit
+	out.Orphaned = stats.Orphaned
+	out.MainChainByProc = stats.MainChainByProc
+	return out
 }

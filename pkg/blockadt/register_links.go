@@ -36,8 +36,8 @@ const (
 )
 
 // The six scenario link models self-register. "sync" is the default
-// (nil Run: the system's own simulator is used); the rest carry their
-// own netsim-backed runners, all supporting every PoW system
+// (nil Plan: the system's own simulator is used); the rest compose one
+// of the executor's link plans, all supporting every PoW system
 // (chains.SupportsPoWLinks — the committee systems assume synchronous
 // rounds). Each spec's Params string is the canonical encoding of its
 // fixed parameters; it joins scenario keys and run-store cache keys, so
@@ -56,11 +56,12 @@ func init() {
 		Description: "asynchronous slow-mining regime with bounded common case (Section 4.2 TBC)",
 		Params:      "maxDelay=8",
 		Supports:    chains.SupportsPoWLinks,
-		Run: func(system string, p SimParams) SimResult {
+		Plan: func(ex *Execution) {
 			// Slow-mining asynchronous regime: common-case delay equal to
 			// the synchronous bound, no stragglers — the configuration the
 			// Section 4.2 conjecture predicts still converges to EC.
-			return chains.RunPoWAsync(system, chains.AsyncParams{Params: p, MaxDelay: 8})
+			ex.Links = chains.AsyncLinks
+			ex.Params.MaxDelay = 8
 		},
 		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
 	})
@@ -68,11 +69,11 @@ func init() {
 		Name:        LinkPsync,
 		Description: "weakly synchronous: async before GST, δ-bounded after, pre-GST sends delivered by GST+δ (Section 4.2)",
 		Supports:    chains.SupportsPoWLinks,
-		Run: func(system string, p SimParams) SimResult {
-			// GST and PreMax take the runner's δ-scaled defaults: the run
+		Plan: func(ex *Execution) {
+			// GST and PreMax take the plan's δ-scaled defaults: the run
 			// outlives stabilization by a wide margin, so the theory still
 			// predicts (eventual) convergence.
-			return chains.RunPoWPsync(system, chains.PsyncParams{Params: p})
+			ex.Links = chains.PsyncLinks
 		},
 		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
 	})
@@ -81,8 +82,9 @@ func init() {
 		Description: "seeded per-message drops, no retransmission — the Theorem 4.7 lossy channels",
 		Params:      "p=0.10",
 		Supports:    chains.SupportsPoWLinks,
-		Run: func(system string, p SimParams) SimResult {
-			return chains.RunPoWLossy(system, chains.LossyParams{Params: p, Rate: chains.DefaultLossRate})
+		Plan: func(ex *Execution) {
+			ex.Links = chains.LossyLinks
+			ex.Params.Rate = chains.DefaultLossRate
 		},
 		// Theorem 4.7: dropping even one correct process's message makes
 		// Eventual Prefix unimplementable — the run retains no criterion
@@ -94,11 +96,11 @@ func init() {
 		Description: "transient bisection [8δ,24δ), cross-cut traffic deferred until heal",
 		Params:      "start=8δ,heal=24δ,defer",
 		Supports:    chains.SupportsPoWLinks,
-		Run: func(system string, p SimParams) SimResult {
-			// Zero values pick the runner's δ-scaled window and the N/2
+		Plan: func(ex *Execution) {
+			// Zero values pick the plan's δ-scaled window and the N/2
 			// bisection; the result carries the heal time for the
 			// partition_heal_lag metric.
-			return chains.RunPoWPartition(system, chains.PartitionParams{Params: p})
+			ex.Links = chains.PartitionLinks
 		},
 		// The cut heals and deferred traffic arrives, so convergence is
 		// delayed, not destroyed: still EC.
@@ -109,8 +111,8 @@ func init() {
 		Description: "heavy-tail stragglers: 5% of deliveries stretched 10× over synchronous links",
 		Params:      "tail=0.05,x=10",
 		Supports:    chains.SupportsPoWLinks,
-		Run: func(system string, p SimParams) SimResult {
-			return chains.RunPoWJitter(system, chains.JitterParams{Params: p})
+		Plan: func(ex *Execution) {
+			ex.Links = chains.JitterLinks
 		},
 		// Every message still arrives: stragglers inflate forks and
 		// finality depth but never break eventual consistency.
@@ -137,8 +139,9 @@ func EnsureAsyncLink(maxDelay int64) string {
 		Params:      fmt.Sprintf("maxDelay=%d", maxDelay),
 		Supports:    chains.SupportsPoWLinks,
 		Hidden:      true,
-		Run: func(system string, p SimParams) SimResult {
-			return chains.RunPoWAsync(system, chains.AsyncParams{Params: p, MaxDelay: maxDelay})
+		Plan: func(ex *Execution) {
+			ex.Links = chains.AsyncLinks
+			ex.Params.MaxDelay = maxDelay
 		},
 		// Slower links delay convergence without destroying it: still EC.
 		Expected: func(system string, sync Level) Level { return consistency.LevelEC },
@@ -174,10 +177,10 @@ func EnsureLossyPsyncLink(rate float64, gstDeltas int) string {
 		Params:      fmt.Sprintf("p=%.2f,gst=%dδ", rate, gstDeltas),
 		Supports:    chains.SupportsPoWLinks,
 		Hidden:      true,
-		Run: func(system string, p SimParams) SimResult {
-			return chains.RunPoWLossyPsync(system, chains.LossyPsyncParams{
-				Params: p, Rate: rate, GSTDeltas: int64(gstDeltas),
-			})
+		Plan: func(ex *Execution) {
+			ex.Links = chains.LossyPsyncLinks
+			ex.Params.Rate = rate
+			ex.Params.GSTDeltas = int64(gstDeltas)
 		},
 		Expected: func(system string, sync Level) Level { return expected },
 	})

@@ -80,13 +80,14 @@ func (r *registry[T]) all() []T {
 	return out
 }
 
-// The six registries backing the façade.
+// The seven registries backing the façade.
 var (
 	systemRegistry    = newRegistry[SystemSpec]("system")
 	oracleRegistry    = newRegistry[OracleSpec]("oracle")
 	selectorRegistry  = newRegistry[SelectorSpec]("selector")
 	linkRegistry      = newRegistry[LinkSpec]("link")
 	adversaryRegistry = newRegistry[AdversarySpec]("adversary")
+	topologyRegistry  = newRegistry[TopologySpec]("topology")
 	metricRegistry    = newRegistry[MetricSpec]("metric")
 )
 
@@ -139,6 +140,16 @@ var registryEnumerators = []func() RegistryInfo{
 	func() RegistryInfo {
 		return enumerate("adversary", "adversaries", adversaryRegistry,
 			func(a AdversarySpec) RegistryEntry { return RegistryEntry{Name: a.Name, Description: a.Description} })
+	},
+	func() RegistryInfo {
+		info := RegistryInfo{Kind: "topology", Title: "topologies"}
+		for _, t := range topologyRegistry.all() {
+			if t.Hidden {
+				continue
+			}
+			info.Entries = append(info.Entries, RegistryEntry{Name: t.Name, Detail: t.Params, Description: t.Description})
+		}
+		return info
 	},
 	func() RegistryInfo {
 		return enumerate("metric", "metrics", metricRegistry,
@@ -203,8 +214,13 @@ func RegisterAdversary(a AdversarySpec) {
 	adversaryRegistry.register(a.Name, a)
 }
 
+// RegisterTopology adds a dissemination topology to the registry.
+func RegisterTopology(t TopologySpec) {
+	topologyRegistry.register(t.Name, t)
+}
+
 // RegisterMetric adds a run-measurement collector to the registry. Like
-// the other five registries it panics on an empty or duplicate name or a
+// the other six registries it panics on an empty or duplicate name or a
 // nil Compute.
 func RegisterMetric(m MetricSpec) {
 	if m.Compute == nil {
@@ -229,6 +245,9 @@ func LookupLink(name string) (LinkSpec, error) { return linkRegistry.lookup(name
 // LookupAdversary returns the registered adversary spec.
 func LookupAdversary(name string) (AdversarySpec, error) { return adversaryRegistry.lookup(name) }
 
+// LookupTopology returns the registered topology spec.
+func LookupTopology(name string) (TopologySpec, error) { return topologyRegistry.lookup(name) }
+
 // LookupMetric returns the registered metric spec.
 func LookupMetric(name string) (MetricSpec, error) { return metricRegistry.lookup(name) }
 
@@ -247,6 +266,9 @@ func Links() []LinkSpec { return linkRegistry.all() }
 
 // Adversaries returns every registered adversary in registration order.
 func Adversaries() []AdversarySpec { return adversaryRegistry.all() }
+
+// Topologies returns every registered topology in registration order.
+func Topologies() []TopologySpec { return topologyRegistry.all() }
 
 // Metrics returns every registered metric collector in registration
 // order.

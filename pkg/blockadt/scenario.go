@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"blockadt/internal/chains"
 	"blockadt/internal/fairness"
 	"blockadt/internal/metrics"
 	"blockadt/internal/parallel"
@@ -11,7 +12,7 @@ import (
 )
 
 // Scenario is one fully resolved configuration of a scenario matrix:
-// a (system, link, adversary, n, blocks, seed) point.
+// a (system, link, adversary, topology, n, blocks, seed) point.
 type Scenario struct {
 	System    string `json:"system"`
 	Link      string `json:"link"`
@@ -21,6 +22,12 @@ type Scenario struct {
 	// parameterless models, so pre-existing scenario keys — and the
 	// seeds derived from them — are unchanged.
 	LinkParams string `json:"linkParams,omitempty"`
+	// Topology and TopoParams name the dissemination topology and its
+	// canonical parameter string. Both stay empty for the default
+	// complete graph, so pre-existing scenarios — their JSON, keys and
+	// derived seeds — are byte-for-byte unchanged.
+	Topology   string `json:"topology,omitempty"`
+	TopoParams string `json:"topoParams,omitempty"`
 	// Alpha is the adversary's merit share (adversarial runs only).
 	Alpha float64 `json:"alpha,omitempty"`
 	N     int     `json:"n"`
@@ -35,13 +42,20 @@ type Scenario struct {
 
 // Key returns the canonical identity of the scenario — everything that
 // distinguishes it within a matrix except the derived seed itself. Link
-// parameters join the key only when present, so the parameterless models
-// keep their historical keys (and derived seeds) byte for byte.
+// parameters — and the topology, when non-default — join the key only
+// when present, so the parameterless complete-graph scenarios keep their
+// historical keys (and derived seeds) byte for byte.
 func (c Scenario) Key() string {
 	key := fmt.Sprintf("%s|%s|%s|a=%.4f|n=%d|b=%d|s=%d",
 		c.System, c.Link, c.Adversary, c.Alpha, c.N, c.Blocks, c.SeedIndex)
 	if c.LinkParams != "" {
 		key += "|lp=" + c.LinkParams
+	}
+	if c.Topology != "" {
+		key += "|topo=" + c.Topology
+		if c.TopoParams != "" {
+			key += "|tp=" + c.TopoParams
+		}
 	}
 	return key
 }
@@ -70,7 +84,7 @@ func hashString(s string) uint64 {
 
 // Matrix spans a scenario cross product. Zero-valued dimensions fall back
 // to defaults (every registered system, synchronous links, no adversary,
-// n=8, one seed).
+// the complete graph, n=8, one seed).
 type Matrix struct {
 	// Systems are registered system names; empty = every registered
 	// system in registration order (for the built-ins, Table 1 order).
@@ -79,6 +93,8 @@ type Matrix struct {
 	Links []string `json:"links,omitempty"`
 	// Adversaries are registered adversary names; empty = {none}.
 	Adversaries []string `json:"adversaries,omitempty"`
+	// Topologies are registered topology names; empty = {complete}.
+	Topologies []string `json:"topologies,omitempty"`
 	// Ns are process counts; empty = {8}.
 	Ns []int `json:"ns,omitempty"`
 	// Seeds is the number of seed indices per point; 0 = 1.
@@ -148,6 +164,9 @@ func (m Matrix) withDefaults() Matrix {
 	if len(m.Adversaries) == 0 {
 		m.Adversaries = []string{AdvNone}
 	}
+	if len(m.Topologies) == 0 {
+		m.Topologies = []string{TopoComplete}
+	}
 	if len(m.Ns) == 0 {
 		m.Ns = []int{8}
 	}
@@ -164,10 +183,10 @@ func (m Matrix) withDefaults() Matrix {
 }
 
 // Configs expands the matrix into its resolved scenarios, in
-// deterministic (systems → links → adversaries → ns → seeds) order,
-// pruning combinations no registered simulator implements. It errors on
-// unregistered systems, links or adversaries so a typo fails loudly
-// instead of silently sweeping nothing.
+// deterministic (systems → links → adversaries → topologies → ns →
+// seeds) order, pruning combinations no registered simulator implements.
+// It errors on unregistered systems, links, adversaries or topologies so
+// a typo fails loudly instead of silently sweeping nothing.
 func (m Matrix) Configs() ([]Scenario, error) {
 	m = m.withDefaults()
 	for _, name := range m.Systems {
@@ -206,24 +225,41 @@ func (m Matrix) Configs() ([]Scenario, error) {
 				if err != nil {
 					return nil, err
 				}
-				if aspec.Run != nil && !aspec.supportsSystem(sys, link) {
+				if aspec.Plan != nil && !aspec.supportsSystem(sys, link) {
 					continue
 				}
-				for _, n := range m.Ns {
-					for s := 0; s < m.Seeds; s++ {
-						cfg := Scenario{
-							System: sys, Link: link, Adversary: adv,
-							LinkParams: lspec.Params,
-							N:          n, Blocks: m.TargetBlocks, SeedIndex: s,
+				for _, topo := range m.Topologies {
+					tspec, err := LookupTopology(topo)
+					if err != nil {
+						return nil, err
+					}
+					if tspec.Plan != nil && !tspec.supportsScenario(sys, link, adv) {
+						continue
+					}
+					for _, n := range m.Ns {
+						for s := 0; s < m.Seeds; s++ {
+							cfg := Scenario{
+								System: sys, Link: link, Adversary: adv,
+								LinkParams: lspec.Params,
+								N:          n, Blocks: m.TargetBlocks, SeedIndex: s,
+							}
+							if aspec.Plan != nil {
+								cfg.Alpha = m.Alpha
+							}
+							if tspec.Plan != nil {
+								// The default complete graph stays out of
+								// the scenario entirely: its keys, JSON
+								// and derived seeds predate the topology
+								// dimension.
+								cfg.Topology = topo
+								cfg.TopoParams = tspec.Params
+							}
+							if m.ShardCount > 1 && cfg.shard(m.ShardCount) != m.ShardIndex {
+								continue
+							}
+							cfg.Seed = cfg.DeriveSeed(m.RootSeed)
+							out = append(out, cfg)
 						}
-						if aspec.Run != nil {
-							cfg.Alpha = m.Alpha
-						}
-						if m.ShardCount > 1 && cfg.shard(m.ShardCount) != m.ShardIndex {
-							continue
-						}
-						cfg.Seed = cfg.DeriveSeed(m.RootSeed)
-						out = append(out, cfg)
 					}
 				}
 			}
@@ -371,7 +407,7 @@ func RunScenario(cfg Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if aspec.Run != nil {
+	if aspec.Plan != nil {
 		if !aspec.supportsSystem(cfg.System, cfg.Link) {
 			return Result{}, fmt.Errorf("blockadt: system %q does not implement adversary %q under link %q", cfg.System, cfg.Adversary, cfg.Link)
 		}
@@ -379,22 +415,30 @@ func RunScenario(cfg Scenario) (Result, error) {
 			return Result{}, fmt.Errorf("blockadt: adversary merit share must be in (0,1), got %v", cfg.Alpha)
 		}
 	}
+	if cfg.Topology != "" {
+		tspec, err := LookupTopology(cfg.Topology)
+		if err != nil {
+			return Result{}, err
+		}
+		if tspec.Plan != nil && !tspec.supportsScenario(cfg.System, cfg.Link, cfg.Adversary) {
+			return Result{}, fmt.Errorf("blockadt: system %q does not implement topology %q under link %q and adversary %q", cfg.System, cfg.Topology, cfg.Link, cfg.Adversary)
+		}
+	}
 	return runScenario(cfg, nil), nil
 }
 
 // runScenario is RunScenario's engine-side core. It assumes the scenario
 // was validated (Matrix.Configs and RunScenario both do): an unknown
-// system name panics, and an unknown link or adversary name degrades to
-// the honest synchronous path — neither can reach here through the
-// exported entry points. mspecs are the resolved metric collectors to
-// run over the result (nil disables collection).
+// system name panics, and an unknown link, adversary or topology name
+// degrades to the honest synchronous path — neither can reach here
+// through the exported entry points. mspecs are the resolved metric
+// collectors to run over the result (nil disables collection).
 func runScenario(cfg Scenario, mspecs []MetricSpec) Result {
 	scenarioRuns.Add(1)
 	p := SimParams{N: cfg.N, TargetBlocks: cfg.Blocks, Seed: cfg.Seed}
 	start := time.Now()
 
 	var (
-		res         SimResult
 		expected    Level
 		out         Result
 		adversarial bool
@@ -407,26 +451,48 @@ func runScenario(cfg Scenario, mspecs []MetricSpec) Result {
 	}
 	aspec, aerr := LookupAdversary(cfg.Adversary)
 	lspec, lerr := LookupLink(cfg.Link)
+	ex := Execution{System: specSystem{spec}, Params: ExecutionParams{Params: p}}
 	switch {
-	case aerr == nil && aspec.Run != nil:
-		stats := aspec.Run(cfg.System, cfg.Link, p, cfg.Alpha)
-		res = stats.SimResult
-		expected = stats.Expected
+	case aerr == nil && aspec.Plan != nil:
+		ex.Params.Alpha = cfg.Alpha
+		aspec.Plan(&ex)
 		adversarial = true
-		out.AdversaryShare = stats.AdversaryShare
-		out.FairnessTVD = stats.FairnessTVD
-	case lerr == nil && lspec.Run != nil:
-		res = lspec.Run(cfg.System, p)
+		expected = spec.Expected
+		if aspec.Expected != nil {
+			expected = aspec.Expected(cfg.System, cfg.Link, spec.Expected)
+		}
+	case lerr == nil && lspec.Plan != nil:
+		lspec.Plan(&ex)
 		expected = linkExpected(lspec, cfg.System, spec.Expected)
-		out.FairnessTVD = fairness.Analyze(res.History, equalMerits(cfg.N)).TVD
 	default:
-		res = spec.Run(p)
 		expected = spec.Expected
 		if lerr == nil {
-			// A link model registered without its own runner may still
+			// A link model registered without its own plan may still
 			// adjust the predicted level (LinkSpec.Expected).
 			expected = linkExpected(lspec, cfg.System, spec.Expected)
 		}
+	}
+	if cfg.Topology != "" {
+		if tspec, terr := LookupTopology(cfg.Topology); terr == nil && tspec.Plan != nil {
+			tspec.Plan(&ex)
+			if tspec.Expected != nil {
+				expected = tspec.Expected(cfg.System, cfg.Link, expected)
+			}
+		}
+	}
+	res, err := chains.Execute(ex)
+	if err != nil {
+		// Configs() and RunScenario validated the composition; an
+		// executor rejection here is a registration bug (e.g. a custom
+		// link spec whose Supports accepts a system its plan cannot
+		// run).
+		panic(convertExecuteErr(err))
+	}
+	if adversarial {
+		stats := adversaryOutcome(aspec, cfg.System, cfg.Link, p, cfg.Alpha, spec.Expected, res)
+		out.AdversaryShare = stats.AdversaryShare
+		out.FairnessTVD = stats.FairnessTVD
+	} else {
 		out.FairnessTVD = fairness.Analyze(res.History, equalMerits(cfg.N)).TVD
 	}
 

@@ -42,15 +42,24 @@ func Simulate(name string, opts ...Option) (SimResult, error) {
 	if !lspec.supportsSystem(spec.Name) {
 		return SimResult{}, fmt.Errorf("blockadt: system %q does not implement link model %q", spec.Name, link)
 	}
+	tspec, err := s.topologySpec(spec.Name, link, AdvNone)
+	if err != nil {
+		return SimResult{}, err
+	}
 	mspecs, err := s.metricSpecs()
 	if err != nil {
 		return SimResult{}, err
 	}
-	var res SimResult
-	if lspec.Run != nil {
-		res = lspec.Run(spec.Name, p)
-	} else {
-		res = spec.Run(p)
+	ex := Execution{System: specSystem{spec}, Params: ExecutionParams{Params: p}}
+	if lspec.Plan != nil {
+		lspec.Plan(&ex)
+	}
+	if tspec.Plan != nil {
+		tspec.Plan(&ex)
+	}
+	res, err := chains.Execute(ex)
+	if err != nil {
+		return SimResult{}, convertExecuteErr(err)
 	}
 	if len(mspecs) > 0 {
 		run := newMetricRun(p, res)
@@ -134,7 +143,7 @@ func SimulateAdversary(system, adversary string, opts ...Option) (AdversaryOutco
 	if err != nil {
 		return AdversaryOutcome{}, err
 	}
-	if aspec.Run == nil {
+	if aspec.Plan == nil {
 		return AdversaryOutcome{}, fmt.Errorf("blockadt: adversary %q is the honest default; use Simulate", adversary)
 	}
 	s := applyOptions(opts)
@@ -157,6 +166,11 @@ func SimulateAdversary(system, adversary string, opts ...Option) (AdversaryOutco
 	if !aspec.supportsSystem(spec.Name, link) {
 		return AdversaryOutcome{}, fmt.Errorf("blockadt: system %q does not implement adversary %q under link %q", spec.Name, adversary, link)
 	}
+	if s.topology != "" && s.topology != TopoComplete {
+		// The executor rejects the composition too; failing here names
+		// the conflicting option.
+		return AdversaryOutcome{}, fmt.Errorf("blockadt: WithTopology(%q) conflicts with SimulateAdversary (adversary models assume complete-graph broadcast)", s.topology)
+	}
 	alpha := s.alpha
 	if alpha == 0 {
 		alpha = 0.34
@@ -168,7 +182,13 @@ func SimulateAdversary(system, adversary string, opts ...Option) (AdversaryOutco
 	if err != nil {
 		return AdversaryOutcome{}, err
 	}
-	out := aspec.Run(spec.Name, link, s.simParams(), alpha)
+	ex := Execution{System: specSystem{spec}, Params: ExecutionParams{Params: s.simParams(), Alpha: alpha}}
+	aspec.Plan(&ex)
+	res, err := chains.Execute(ex)
+	if err != nil {
+		return AdversaryOutcome{}, convertExecuteErr(err)
+	}
+	out := adversaryOutcome(aspec, spec.Name, link, s.simParams(), alpha, spec.Expected, res)
 	if len(mspecs) > 0 {
 		run := newMetricRun(s.simParams(), out.SimResult)
 		run.FairnessTVD = out.FairnessTVD

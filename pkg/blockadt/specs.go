@@ -64,9 +64,11 @@ type LinkSpec struct {
 	// Supports reports whether the named system implements this link
 	// model in scenario runs; nil means every system does.
 	Supports func(system string) bool
-	// Run simulates the named system under this link model. A nil Run
-	// marks the default model: the system's own Run is used.
-	Run func(system string, p SimParams) SimResult
+	// Plan composes the model into an execution: it sets the executor's
+	// link strategy (one of the chains link plans) and the parameter
+	// fields the plan reads. A nil Plan marks the default model: the
+	// system's own synchronous simulator runs untouched.
+	Plan func(ex *Execution)
 	// Expected returns the consistency level the theory predicts for
 	// the named system under this link model, given the system's
 	// default (synchronous) level; nil means the level is unchanged.
@@ -87,10 +89,49 @@ type AdversarySpec struct {
 	// Supports reports whether the named system implements this
 	// adversary under the named link model; nil means every combination.
 	Supports func(system, link string) bool
-	// Run executes the adversarial simulation of the named system under
-	// the named link model (always one Supports accepted). Alpha is the
-	// adversary's merit share. A nil Run marks the honest default.
-	Run func(system, link string, p SimParams, alpha float64) AdversaryOutcome
+	// Plan composes the fault model into an execution: it sets the
+	// executor's adversary strategy (one of the chains adversary plans);
+	// the adversary's merit share travels as the execution's Alpha
+	// parameter. A nil Plan marks the honest default.
+	Plan func(ex *Execution)
+	// Expected returns the consistency level the adversarial run is
+	// predicted to retain, given the system's honest synchronous level;
+	// nil means the level is unchanged.
+	Expected func(system, link string, honest Level) Level
+	// Entitlement returns the per-process merit entitlement vector this
+	// model defines (the chain-quality baseline the fairness TVD is
+	// measured against). Only the model knows its merit layout — e.g.
+	// the selfish miner normalizes the process count before splitting
+	// the honest remainder.
+	Entitlement func(p SimParams, alpha float64) []float64
+}
+
+// TopologySpec describes a registered dissemination topology — one value
+// of the scenario matrix's topology dimension. The default complete
+// graph is the nil-Plan entry: every pre-existing scenario runs exactly
+// as before, and only non-default topologies join scenario keys.
+type TopologySpec struct {
+	Name        string
+	Description string
+	// Params is the canonical encoding of the topology's fixed
+	// parameters ("k=3" for gossip degree, …). Like LinkSpec.Params it
+	// joins scenario keys and run-store cache keys — but only for
+	// non-default topologies, so pre-existing keys are unchanged.
+	Params string
+	// Supports reports whether the (system, link, adversary) composition
+	// implements this topology; nil means every combination.
+	Supports func(system, link, adversary string) bool
+	// Plan composes the topology into an execution: it sets the
+	// executor's topology strategy (gossip graph, link decoration, or
+	// both). A nil Plan marks the default complete graph.
+	Plan func(ex *Execution)
+	// Expected returns the consistency level the theory predicts under
+	// this topology, given the level predicted by the system and link
+	// model; nil means the level is unchanged.
+	Expected func(system, link string, honest Level) Level
+	// Hidden excludes the topology from Registries() enumeration, like
+	// hidden link variants.
+	Hidden bool
 }
 
 // MetricSpec describes a registered run-measurement collector — one
@@ -140,6 +181,10 @@ func (l LinkSpec) supportsSystem(system string) bool {
 
 func (a AdversarySpec) supportsSystem(system, link string) bool {
 	return a.Supports == nil || a.Supports(system, link)
+}
+
+func (t TopologySpec) supportsScenario(system, link, adversary string) bool {
+	return t.Supports == nil || t.Supports(system, link, adversary)
 }
 
 // asChainsSystem adapts a SystemSpec back to the internal simulator

@@ -1,0 +1,254 @@
+package blockadt
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"blockadt/internal/chains"
+)
+
+// TestRegistryCrossProductNoThirdState is the composition property test
+// of the unified executor: every registered (system, link, adversary,
+// topology) tuple either executes deterministically or is excluded by a
+// Supports predicate during matrix expansion — there is no third state
+// where expansion admits a tuple the engine then rejects (or vice
+// versa). The registries are enumerated live, so user registrations from
+// other tests are held to the same contract as the built-ins.
+func TestRegistryCrossProductNoThirdState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross product is slow")
+	}
+	for _, sys := range SystemNames() {
+		for _, lspec := range Links() {
+			for _, aspec := range Adversaries() {
+				for _, tspec := range Topologies() {
+					m := Matrix{
+						Systems:      []string{sys},
+						Links:        []string{lspec.Name},
+						Adversaries:  []string{aspec.Name},
+						Topologies:   []string{tspec.Name},
+						TargetBlocks: 10,
+						RootSeed:     7,
+					}
+					configs, err := m.Configs()
+					if err != nil {
+						t.Fatalf("%s×%s×%s×%s: expansion error: %v", sys, lspec.Name, aspec.Name, tspec.Name, err)
+					}
+					supported := lspec.supportsSystem(sys) &&
+						(aspec.Plan == nil || aspec.supportsSystem(sys, lspec.Name)) &&
+						(tspec.Plan == nil || tspec.supportsScenario(sys, lspec.Name, aspec.Name))
+					if supported != (len(configs) == 1) {
+						t.Fatalf("%s×%s×%s×%s: Supports says %v but expansion produced %d configs",
+							sys, lspec.Name, aspec.Name, tspec.Name, supported, len(configs))
+					}
+					if !supported {
+						// The excluded state: running the tuple directly must
+						// fail with the same verdict expansion gave.
+						cfg := Scenario{
+							System: sys, Link: lspec.Name, Adversary: aspec.Name,
+							N: 8, Blocks: 10,
+						}
+						if tspec.Plan != nil {
+							cfg.Topology = tspec.Name
+						}
+						if aspec.Plan != nil {
+							cfg.Alpha = 0.34
+						}
+						if _, err := RunScenario(cfg); err == nil {
+							t.Fatalf("%s×%s×%s×%s: pruned by expansion but RunScenario accepted it",
+								sys, lspec.Name, aspec.Name, tspec.Name)
+						}
+						continue
+					}
+					// The executing state: deterministic, modulo wall clock.
+					a, err := RunScenario(configs[0])
+					if err != nil {
+						t.Fatalf("%s×%s×%s×%s: admitted by expansion but failed to run: %v",
+							sys, lspec.Name, aspec.Name, tspec.Name, err)
+					}
+					b, err := RunScenario(configs[0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					a.WallNS, b.WallNS = 0, 0
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("%s×%s×%s×%s: nondeterministic:\n a: %+v\n b: %+v",
+							sys, lspec.Name, aspec.Name, tspec.Name, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopologySweepDeterministicAcrossParallelism sweeps every topology
+// by name over the PoW systems and asserts the canonical JSON is
+// byte-identical at parallelism 1 and a real worker pool — the topology
+// dimension inherits the engine's determinism contract.
+func TestTopologySweepDeterministicAcrossParallelism(t *testing.T) {
+	m := Matrix{
+		Systems:      []string{"Bitcoin", "Ethereum"},
+		Topologies:   []string{TopoComplete, TopoGossip, TopoClustered},
+		Seeds:        2,
+		TargetBlocks: 30,
+		RootSeed:     42,
+	}
+	serial, err := Run(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	concurrent, err := Run(m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := serial.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := concurrent.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jc) {
+		t.Fatalf("topology sweep differs between parallelism 1 and %d", workers)
+	}
+	// 2 systems × 3 topologies × 2 seeds, minus Ethereum×clustered2
+	// (clustered supports heaviest-chain selection only).
+	if serial.Total != 10 {
+		t.Fatalf("swept %d configs, want 10", serial.Total)
+	}
+	for _, r := range serial.Results {
+		if !r.Match {
+			t.Errorf("%s measured %s, expected %s", r.Config.Key(), r.Level, r.Expected)
+		}
+	}
+	// The seed aggregator keys on topology too: 5 matrix points (Bitcoin
+	// ×3 topologies + Ethereum×2), never topologies folded together.
+	aggs := AggregateSeeds(serial.Results)
+	if len(aggs) != 5 {
+		t.Fatalf("aggregated %d configs, want 5 (topology must be part of the config key)", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.Seeds != 2 {
+			t.Errorf("%s@%s folded %d runs, want 2", a.System, a.Topology, a.Seeds)
+		}
+	}
+}
+
+// TestTopologyKeySchema pins the topology key schema: the default
+// complete graph stays out of scenario keys and JSON entirely (every
+// pre-existing key, derived seed and store entry is unchanged), while
+// non-default topologies append |topo= and |tp= segments.
+func TestTopologyKeySchema(t *testing.T) {
+	m := Matrix{
+		Systems:      []string{"Bitcoin"},
+		Topologies:   []string{TopoComplete, TopoGossip, TopoClustered},
+		TargetBlocks: 20,
+		RootSeed:     42,
+	}
+	configs, err := m.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 3 {
+		t.Fatalf("expanded %d configs, want 3", len(configs))
+	}
+	complete, gossip, clustered := configs[0], configs[1], configs[2]
+	if complete.Topology != "" || strings.Contains(complete.Key(), "topo=") {
+		t.Fatalf("complete graph leaked into the key: %s", complete.Key())
+	}
+	legacy := Scenario{System: "Bitcoin", Link: LinkSync, Adversary: AdvNone, N: 8, Blocks: 20}
+	if complete.Key() != legacy.Key() || complete.Seed != legacy.DeriveSeed(42) {
+		t.Fatalf("complete-graph key or seed drifted: %s vs %s", complete.Key(), legacy.Key())
+	}
+	if want := legacy.Key() + "|topo=" + TopoGossip + "|tp=k=3"; gossip.Key() != want {
+		t.Fatalf("gossip key = %s, want %s", gossip.Key(), want)
+	}
+	if !strings.Contains(clustered.Key(), "|topo="+TopoClustered+"|tp=clusters=2") {
+		t.Fatalf("clustered key = %s", clustered.Key())
+	}
+	seen := map[uint64]bool{}
+	for _, c := range configs {
+		if seen[c.Seed] {
+			t.Fatalf("topology dimension reused a derived seed: %s", c.Key())
+		}
+		seen[c.Seed] = true
+	}
+}
+
+// TestSimulateWithTopology covers the options surface of the topology
+// dimension: Simulate honors WithTopology deterministically; unsupported
+// compositions, SimulateAdversary and New reject it with named errors.
+func TestSimulateWithTopology(t *testing.T) {
+	a, err := Simulate("Bitcoin", WithTopology(TopoGossip), WithBlocks(20), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate("Bitcoin", WithTopology(TopoGossip), WithBlocks(20), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks != b.Blocks || a.Ticks != b.Ticks || a.Delivered != b.Delivered {
+		t.Fatal("WithTopology simulation nondeterministic")
+	}
+	if !strings.Contains(a.System, "@"+TopoGossip) {
+		t.Fatalf("result system %q does not carry the topology tag", a.System)
+	}
+
+	if _, err := Simulate("Hyperledger", WithTopology(TopoGossip)); err == nil {
+		t.Fatal("committee system accepted a gossip topology")
+	}
+	if _, err := Simulate("Bitcoin", WithTopology("torus")); !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("unknown topology: %v", err)
+	}
+	if _, err := SimulateAdversary("Bitcoin", AdvSelfish, WithTopology(TopoGossip)); err == nil ||
+		!strings.Contains(err.Error(), "WithTopology") {
+		t.Fatalf("SimulateAdversary accepted WithTopology: %v", err)
+	}
+	if _, err := New("Bitcoin", WithTopology(TopoGossip)); err == nil ||
+		!strings.Contains(err.Error(), "WithTopology") {
+		t.Fatalf("New accepted WithTopology: %v", err)
+	}
+}
+
+// TestUnknownSystemSurfacesAsUnknownNameError pins satellite contract:
+// when the executor rejects a composition the registries admitted (a
+// custom link spec whose nil Supports claims every system), the façade
+// converts the internal *chains.UnknownSystemError into its public typed
+// error — callers handle one error surface, *UnknownNameError.
+func TestUnknownSystemSurfacesAsUnknownNameError(t *testing.T) {
+	const name = "test-claims-everything"
+	if _, err := LookupLink(name); err != nil {
+		RegisterLink(LinkSpec{
+			Name:        name,
+			Description: "test-only async variant with no Supports predicate",
+			Plan: func(ex *Execution) {
+				ex.Links = chains.AsyncLinks
+				ex.Params.MaxDelay = 8
+			},
+			Hidden: true,
+		})
+	}
+	_, err := Simulate("Algorand", WithLink(name))
+	var unknown *UnknownNameError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want *UnknownNameError, got %v", err)
+	}
+	if !errors.Is(err, ErrUnknownName) {
+		t.Fatalf("errors.Is(err, ErrUnknownName) = false for %v", err)
+	}
+	if unknown.Kind != "system" || unknown.Name != "Algorand" {
+		t.Fatalf("got Kind %q Name %q, want system/Algorand", unknown.Kind, unknown.Name)
+	}
+	if len(unknown.Registered) == 0 {
+		t.Fatal("Registered alternatives empty")
+	}
+}
